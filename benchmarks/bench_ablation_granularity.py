@@ -1,0 +1,121 @@
+"""E12 — ablation / future work: grouping jobs of a single service.
+
+Section 5.4: "we plan to address this problem by grouping jobs of a
+single service, thus finding a trade-off between data parallelism and
+the system's overhead."  This bench sweeps the intra-service group size
+k on one data-parallel stage and reports the expected stage makespan
+from the probabilistic model (`repro.model.probabilistic.GranularityModel`),
+with a variance-free control case pinning the analytics down.
+
+Expected shape: k = 1 maximizes parallelism but pays n_D overhead
+draws (a max over many heavy-tailed samples); very large k serializes
+compute; an intermediate k wins when overhead variability is high.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model.probabilistic import GranularityModel
+from repro.util.distributions import Constant, LogNormal
+
+N_ITEMS = 32
+COMPUTE = 120.0
+
+
+def test_granularity_tradeoff(benchmark):
+    rng = np.random.default_rng(17)
+    model = GranularityModel(
+        overhead=LogNormal(mean_value=600.0, sigma_log=0.8),
+        compute=Constant(COMPUTE),
+        n_d=N_ITEMS,
+    )
+
+    candidates = [1, 2, 4, 8, 16, 32]
+
+    def sweep():
+        return {k: model.expected_makespan(k, rng, rounds=300) for k in candidates}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n=== expected stage makespan vs intra-service group size k ===")
+    print(f"(one service, {N_ITEMS} items, compute {COMPUTE:.0f}s/item, "
+          "overhead ~LogNormal(600s, heavy tail))")
+    print(f"{'k':>4} | {'jobs':>5} | {'expected makespan (s)':>22}")
+    print("-" * 40)
+    for k in candidates:
+        jobs = -(-N_ITEMS // k)
+        print(f"{k:>4} | {jobs:>5} | {times[k]:>22.0f}")
+
+    best_k = min(times, key=times.get)
+    print(f"\nbest group size: k = {best_k}")
+
+    # The trade-off exists: neither extreme is optimal.
+    assert times[best_k] < times[1]
+    assert times[best_k] < times[N_ITEMS]
+    assert 1 < best_k < N_ITEMS
+
+
+def test_granularity_end_to_end(benchmark):
+    """Same trade-off realized in the execution stack via BatchingService."""
+    from repro.grid.middleware import Grid
+    from repro.grid.overhead import OverheadModel
+    from repro.grid.resources import ComputingElement, Site
+    from repro.grid.storage import StorageElement
+    from repro.grid.transfer import NetworkModel
+    from repro.services.base import GridData
+    from repro.services.batching import BatchingService
+    from repro.services.descriptor import (
+        AccessMethod, ExecutableDescriptor, InputSpec, OutputSpec,
+    )
+    from repro.services.wrapper import GenericWrapperService
+    from repro.sim.engine import Engine
+    from repro.util.rng import RandomStreams
+
+    def run(batch_size, seed=5):
+        engine = Engine()
+        streams = RandomStreams(seed=seed)
+        ce = ComputingElement(engine, "ce", "s0", infinite=True)
+        grid = Grid(
+            engine, streams,
+            sites=[Site("s0", [ce], StorageElement("se", "s0"))],
+            overhead=OverheadModel(queue_extra=LogNormal(mean_value=600.0, sigma_log=0.9)),
+            network=NetworkModel.instantaneous(),
+        )
+        descriptor = ExecutableDescriptor(
+            name="stage", access=AccessMethod("URL", "http://host"), value="stage",
+            inputs=(InputSpec("x", "-i", AccessMethod("GFN")),),
+            outputs=(OutputSpec("y", "-o"),),
+        )
+        inner = GenericWrapperService(engine, grid, descriptor, compute_time=COMPUTE)
+        service = BatchingService(engine, inner, batch_size=batch_size)
+        events = [service.invoke({"x": GridData(i)}) for i in range(N_ITEMS)]
+        service.flush()
+        engine.run(until=engine.all_of(events))
+        return engine.now
+
+    def sweep():
+        return {k: run(k) for k in (1, 4, N_ITEMS)}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== same sweep, end-to-end through BatchingService + grid ===")
+    for k, t in times.items():
+        print(f"  k={k:>3}: makespan {t:8.0f}s")
+    assert times[4] < times[1]
+    assert times[4] < times[N_ITEMS]
+
+
+def test_no_variance_degenerates_to_full_grouping_indifference(benchmark):
+    """With constant overhead, parallel groups tie: only compute serialization hurts."""
+    rng = np.random.default_rng(3)
+    model = GranularityModel(
+        overhead=Constant(600.0), compute=Constant(COMPUTE), n_d=16
+    )
+
+    def sweep():
+        return {k: model.expected_makespan(k, rng, rounds=5) for k in (1, 4, 16)}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nconstant-overhead control: {times}")
+    assert times[1] == pytest.approx(600.0 + COMPUTE)
+    assert times[4] == pytest.approx(600.0 + 4 * COMPUTE)
+    assert times[16] == pytest.approx(600.0 + 16 * COMPUTE)

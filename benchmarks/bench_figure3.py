@@ -1,0 +1,58 @@
+"""E7 — Figure 3: the cross-product and dot-product iteration strategies.
+
+Regenerates the figure's semantics as data: feeding input sets A (n
+items) and B (m items) to a two-port service produces n x m invocations
+under the cross product and min(n, m) under the dot product — "the
+most common iteration strategy consists in processing each data of the
+first set with each data of the second set in their order of
+definition".
+"""
+
+import pytest
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.services.base import LocalService
+from repro.sim.engine import Engine
+from repro.workflow.builder import WorkflowBuilder
+
+
+def run_strategy(strategy, n, m):
+    engine = Engine()
+    combine = LocalService(
+        engine, "combine", ("a", "b"), ("y",),
+        function=lambda a, b: {"y": (a, b)}, duration=1.0,
+    )
+    workflow = (
+        WorkflowBuilder(f"figure3-{strategy}")
+        .source("A")
+        .source("B")
+        .service("combine", combine, iteration_strategy=strategy)
+        .sink("out")
+        .connect("A:output", "combine:a")
+        .connect("B:output", "combine:b")
+        .connect("combine:y", "out:input")
+        .build()
+    )
+    result = MoteurEnactor(engine, workflow, OptimizationConfig.sp_dp()).run(
+        {"A": [f"A{i}" for i in range(n)], "B": [f"B{j}" for j in range(m)]}
+    )
+    return result.output_values("out")
+
+
+def test_figure3_operators(benchmark):
+    n, m = 4, 3
+    dot = benchmark.pedantic(run_strategy, args=("dot", n, m), rounds=1, iterations=1)
+    cross = run_strategy("cross", n, m)
+
+    print(f"\n=== Figure 3 (regenerated) — A has {n} items, B has {m} ===")
+    print(f"dot product   -> {len(dot)} results (min(n, m) = {min(n, m)}):")
+    for a, b in sorted(dot):
+        print(f"   {a} . {b}")
+    print(f"cross product -> {len(cross)} results (n x m = {n * m}):")
+    for a, b in sorted(cross):
+        print(f"   {a} x {b}")
+
+    assert len(dot) == min(n, m)
+    assert sorted(dot) == [(f"A{i}", f"B{i}") for i in range(min(n, m))]
+    assert len(cross) == n * m
+    assert set(cross) == {(f"A{i}", f"B{j}") for i in range(n) for j in range(m)}

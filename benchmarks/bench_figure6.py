@@ -1,0 +1,67 @@
+"""E6 — Figure 6: why service parallelism pays when times vary.
+
+The paper's constructed example: on a 2-service pipeline over D0..D2,
+"the processing time of the data set D0 is twice as long as the other
+ones on service P0 and the execution time of the data set D1 is three
+times as long as the other ones on service P1" (an error-resubmission
+and a queue-blocked job).  Without service parallelism the stage
+barrier wastes the slack; with it, computations overlap.
+
+Regenerates both execution diagrams and checks the published makespans:
+5T without SP (DP only) vs 4T with SP+DP.
+"""
+
+import pytest
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.core.diagrams import execution_diagram
+from repro.services.base import LocalService
+from repro.sim.engine import Engine
+from repro.workflow.patterns import chain_workflow
+
+#: row = service, column = data set (in units of T)
+TIMES = [
+    [2.0, 1.0, 1.0],  # P1: D0 was submitted twice (error)
+    [1.0, 3.0, 1.0],  # P2: D1 remained blocked on a waiting queue
+]
+
+
+def run_case(config):
+    engine = Engine()
+
+    def factory(name, inputs, outputs):
+        index = int(name[1:]) - 1
+
+        def duration(inputs_dict):
+            return TIMES[index][inputs_dict["x"].value]
+
+        return LocalService(
+            engine, name, inputs, outputs,
+            function=lambda x: {"y": x}, duration=duration,
+        )
+
+    workflow = chain_workflow(factory, 2)
+    return MoteurEnactor(engine, workflow, config).run({"input": [0, 1, 2]})
+
+
+def test_figure6_diagrams(benchmark):
+    dp_result = benchmark.pedantic(run_case, args=(OptimizationConfig.dp(),),
+                                   rounds=1, iterations=1)
+    dsp_result = run_case(OptimizationConfig.sp_dp())
+
+    print("\n=== Figure 6 left (regenerated) — DP only, stage barrier ===")
+    print(execution_diagram(dp_result.trace, cell=1.0))
+    print(f"makespan: {dp_result.makespan:.0f} T")
+    print("\n=== Figure 6 right (regenerated) — SP+DP, overlap ===")
+    print(execution_diagram(dsp_result.trace, cell=1.0))
+    print(f"makespan: {dsp_result.makespan:.0f} T")
+
+    # Published values: the barrier costs max(2,1,1) + max(1,3,1) = 5T;
+    # overlapping brings it to the heaviest item path D1 = 1 + 3 = 4T.
+    assert dp_result.makespan == 5.0
+    assert dsp_result.makespan == 4.0
+
+    gain = dp_result.makespan / dsp_result.makespan
+    print(f"\nS_SDP measured: {gain:.2f} (> 1 despite the theory's S_SDP = 1, "
+          "because the constant-time hypothesis fails)")
+    assert gain > 1.0

@@ -1,0 +1,75 @@
+"""E8 — equations (1)-(4): the simulator equals the analytical model.
+
+On the idealized substrate (hypotheses of Section 3.5.2: unlimited data
+parallelism, no overheads, no synchronization), the enacted makespan of
+each policy must equal the closed form *exactly*, for arbitrary T_ij
+matrices.  This is the calibration-free correctness anchor of the whole
+reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.model.makespan import makespans
+from repro.services.base import LocalService
+from repro.sim.engine import Engine
+from repro.workflow.patterns import chain_workflow
+
+POLICIES = [
+    ("NOP", OptimizationConfig.nop()),
+    ("DP", OptimizationConfig.dp()),
+    ("SP", OptimizationConfig.sp()),
+    ("SP+DP", OptimizationConfig.sp_dp()),
+]
+
+
+def enact_policy(times, config):
+    engine = Engine()
+
+    def factory(name, inputs, outputs):
+        index = int(name[1:]) - 1
+
+        def duration(inputs_dict):
+            return float(times[index][inputs_dict["x"].value])
+
+        return LocalService(
+            engine, name, inputs, outputs,
+            function=lambda x: {"y": x}, duration=duration,
+        )
+
+    workflow = chain_workflow(factory, len(times))
+    return MoteurEnactor(engine, workflow, config).run(
+        {"input": list(range(len(times[0])))}
+    ).makespan
+
+
+def test_model_validation(benchmark):
+    rng = np.random.default_rng(7)
+    matrices = [rng.uniform(0.5, 20.0, size=(n_w, n_d))
+                for n_w, n_d in [(1, 8), (3, 5), (5, 12), (4, 1), (2, 10)]]
+
+    def validate_all():
+        worst = 0.0
+        for matrix in matrices:
+            expected = makespans(matrix)
+            for label, config in POLICIES:
+                measured = enact_policy(matrix.tolist(), config)
+                worst = max(worst, abs(measured - expected[label]))
+        return worst
+
+    worst_error = benchmark.pedantic(validate_all, rounds=1, iterations=1)
+
+    print("\n=== equations (1)-(4) vs enacted makespans ===")
+    print(f"{'shape':>8} | {'policy':>6} | {'model':>10} | {'simulated':>10}")
+    print("-" * 44)
+    for matrix in matrices[:3]:
+        expected = makespans(matrix)
+        for label, config in POLICIES:
+            measured = enact_policy(matrix.tolist(), config)
+            print(
+                f"{matrix.shape[0]}x{matrix.shape[1]:>6} | {label:>6} | "
+                f"{expected[label]:10.3f} | {measured:10.3f}"
+            )
+    print(f"\nworst absolute deviation over all cases: {worst_error:.2e} s")
+    assert worst_error < 1e-6

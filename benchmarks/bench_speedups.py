@@ -1,0 +1,70 @@
+"""E9 — Section 3.5.4: asymptotic speed-ups under constant times.
+
+Sweeps n_W and n_D on the ideal substrate with T_ij = T and verifies
+the four closed-form ratios:
+
+    S_DP  = n_D                      S_SP  = n_D n_W / (n_D + n_W - 1)
+    S_DSP = (n_D + n_W - 1) / n_W    S_SDP = 1
+"""
+
+import pytest
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.model.speedup import (
+    speedup_dp_given_sp,
+    speedup_dp_no_sp,
+    speedup_sp_given_dp,
+    speedup_sp_no_dp,
+)
+from repro.services.base import LocalService
+from repro.sim.engine import Engine
+from repro.workflow.patterns import chain_workflow
+
+SWEEP = [(2, 4), (3, 8), (5, 12), (5, 66)]
+T = 3.0
+
+
+def measure(n_w, n_d, config):
+    engine = Engine()
+
+    def factory(name, inputs, outputs):
+        return LocalService(engine, name, inputs, outputs, duration=T)
+
+    workflow = chain_workflow(factory, n_w)
+    return MoteurEnactor(engine, workflow, config).run(
+        {"input": list(range(n_d))}
+    ).makespan
+
+
+def test_asymptotic_speedups(benchmark):
+    def sweep():
+        rows = []
+        for n_w, n_d in SWEEP:
+            nop = measure(n_w, n_d, OptimizationConfig.nop())
+            dp = measure(n_w, n_d, OptimizationConfig.dp())
+            sp = measure(n_w, n_d, OptimizationConfig.sp())
+            dsp = measure(n_w, n_d, OptimizationConfig.sp_dp())
+            rows.append((n_w, n_d, nop / dp, nop / sp, sp / dsp, dp / dsp))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n=== Section 3.5.4 asymptotic speed-ups (measured vs theory) ===")
+    print(f"{'n_W':>4} {'n_D':>4} | {'S_DP':>12} | {'S_SP':>12} | {'S_DSP':>12} | {'S_SDP':>12}")
+    print("-" * 70)
+    for (n_w, n_d, s_dp, s_sp, s_dsp, s_sdp) in rows:
+        theory = (
+            speedup_dp_no_sp(n_w, n_d),
+            speedup_sp_no_dp(n_w, n_d),
+            speedup_dp_given_sp(n_w, n_d),
+            speedup_sp_given_dp(n_w, n_d),
+        )
+        print(
+            f"{n_w:>4} {n_d:>4} | {s_dp:5.2f} ({theory[0]:5.2f}) | "
+            f"{s_sp:5.2f} ({theory[1]:5.2f}) | {s_dsp:5.2f} ({theory[2]:5.2f}) | "
+            f"{s_sdp:5.2f} ({theory[3]:5.2f})"
+        )
+        assert s_dp == pytest.approx(theory[0], rel=1e-9)
+        assert s_sp == pytest.approx(theory[1], rel=1e-9)
+        assert s_dsp == pytest.approx(theory[2], rel=1e-9)
+        assert s_sdp == pytest.approx(theory[3], rel=1e-9)

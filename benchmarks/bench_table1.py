@@ -1,0 +1,50 @@
+"""E1 — Table 1: execution time per optimization configuration and size.
+
+Regenerates the paper's Table 1 on the simulated EGEE-like grid: the
+Bronze Standard workflow enacted under NOP / JG / SP / DP / SP+DP /
+SP+DP+JG over 12, 66 and 126 image pairs.
+
+Shape claims reproduced (absolute seconds are testbed-dependent):
+* configuration ordering NOP > JG > SP > DP > SP+DP > SP+DP+JG at
+  every size,
+* the DP family is dramatically flatter in the input size than the
+  non-DP family.
+"""
+
+import pytest
+
+from repro.core import OptimizationConfig
+from repro.experiments.harness import run_configuration
+from repro.experiments.reporting import check_ordering, format_table1, paper_comparison
+
+from conftest import BENCH_SEED
+
+
+def test_table1_regeneration(benchmark, paper_sweep):
+    """Benchmark one representative cell; print the full measured table."""
+
+    def one_cell():
+        return run_configuration(OptimizationConfig.sp_dp_jg(), 12, seed=BENCH_SEED)
+
+    row = benchmark.pedantic(one_cell, rounds=1, iterations=1)
+    assert row.makespan > 0
+
+    print("\n=== Table 1 (measured) — execution time for each configuration ===")
+    print(format_table1(paper_sweep, with_hours=True))
+    print("\n=== paper vs measured ===")
+    print(paper_comparison(paper_sweep))
+
+    ordering = check_ordering(paper_sweep)
+    print(f"\nconfiguration ordering preserved per size: {ordering}")
+    assert all(ordering.values()), "paper's configuration ordering must hold"
+
+
+def test_table1_dp_flattens_growth(benchmark, paper_sweep):
+    """DP's growth from 12 to 126 pairs is far below NOP's (paper: 1.9x vs 4.1x)."""
+    nop_growth = benchmark.pedantic(
+        lambda: paper_sweep.cell("NOP", 126).makespan / paper_sweep.cell("NOP", 12).makespan,
+        rounds=1, iterations=1,
+    )
+    dp_growth = paper_sweep.cell("DP", 126).makespan / paper_sweep.cell("DP", 12).makespan
+    print(f"\ngrowth 12->126 pairs: NOP x{nop_growth:.1f}, DP x{dp_growth:.1f}")
+    assert dp_growth < nop_growth / 2

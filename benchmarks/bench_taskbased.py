@@ -1,0 +1,78 @@
+"""E13 — baseline: task-based expansion growth (Section 2.2).
+
+Quantifies "a cross product produces an enormous amount of tasks and
+chaining cross products just makes the application workflow
+representation intractable even for a limited number (tens) of input
+data": counts static tasks for chained cross products against the
+constant-size service workflow, and times the expansion itself.
+"""
+
+import pytest
+
+from repro.services.base import LocalService
+from repro.sim.engine import Engine
+from repro.taskbased.dag import expand_workflow
+from repro.workflow.builder import WorkflowBuilder
+
+
+def cross_chain(engine, depth):
+    builder = WorkflowBuilder("cross-chain")
+    for i in range(depth + 1):
+        builder.source(f"s{i}")
+    previous = "s0:output"
+    for level in range(depth):
+        builder.service(
+            f"X{level}",
+            LocalService(engine, f"X{level}", ("a", "b"), ("y",)),
+            iteration_strategy="cross",
+        )
+        builder.connect(previous, f"X{level}:a")
+        builder.connect(f"s{level + 1}:output", f"X{level}:b")
+        previous = f"X{level}:y"
+    builder.sink("out")
+    builder.connect(previous, "out:input")
+    return builder.build()
+
+
+def expand_for(n, depth=3):
+    engine = Engine()
+    workflow = cross_chain(engine, depth)
+    dataset = {f"s{i}": list(range(n)) for i in range(depth + 1)}
+    return workflow, expand_workflow(workflow, dataset)
+
+
+def test_taskbased_explosion(benchmark):
+    dag20 = benchmark.pedantic(expand_for, args=(20,), rounds=1, iterations=1)[1]
+
+    print("\n=== static task count vs input size (3 chained cross products) ===")
+    print(f"{'n':>4} | {'service processors':>18} | {'static tasks':>12}")
+    print("-" * 42)
+    for n in (2, 5, 10, 20):
+        workflow, dag = expand_for(n)
+        print(f"{n:>4} | {len(workflow.services()):>18} | {dag.task_count:>12}")
+        assert dag.task_count == n**2 + n**3 + n**4
+        assert len(workflow.services()) == 3
+
+    # "tens of input data" is already tens of thousands of tasks
+    assert dag20.task_count == 20**2 + 20**3 + 20**4  # 168,400
+
+
+def test_dot_products_stay_linear(benchmark):
+    """Control: dot-product chains expand linearly — the explosion is
+    specifically a cross-product phenomenon."""
+
+    def expand_dot(n):
+        engine = Engine()
+        builder = WorkflowBuilder("dot-chain").source("s0").source("s1")
+        builder.service(
+            "X0", LocalService(engine, "X0", ("a", "b"), ("y",)),
+            iteration_strategy="dot",
+        )
+        builder.connect("s0:output", "X0:a").connect("s1:output", "X0:b")
+        builder.sink("out").connect("X0:y", "out:input")
+        workflow = builder.build()
+        return expand_workflow(workflow, {"s0": list(range(n)), "s1": list(range(n))})
+
+    dag = benchmark.pedantic(expand_dot, args=(100,), rounds=1, iterations=1)
+    print(f"\ndot-product chain at n=100: {dag.task_count} tasks (linear)")
+    assert dag.task_count == 100

@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+The expensive artifact — the full Table 1 sweep (6 configurations x 3
+sizes on the calibrated EGEE-like grid) — is computed once per session
+and shared by the Table 1 / Table 2 / Figure 10 / ratio benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_sweep
+
+#: master seed for every benchmark in the suite (reproducible numbers)
+BENCH_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def paper_sweep():
+    """The full Table 1 grid at the paper's sizes (12, 66, 126)."""
+    return run_sweep(seed=BENCH_SEED)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Task-based vs service-based composition (Section 2).
+
+Quantifies the paper's two structural arguments:
+
+1. **combinatorial explosion** — chained cross products make the static
+   task-based representation grow as a product of input sizes while the
+   service workflow stays constant-size (Section 2.2);
+2. **equivalent parallelism** — once expanded, a DAGMan-style executor
+   extracts the same parallelism the service enactor gets from SP+DP,
+   so the service approach costs nothing in performance while staying
+   tractable to describe.
+
+Run:  python examples/task_vs_service.py
+"""
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.grid.testbeds import ideal_testbed
+from repro.services.base import LocalService
+from repro.sim.engine import Engine
+from repro.taskbased.dag import expand_workflow
+from repro.taskbased.dagman import DagmanExecutor
+from repro.taskbased.jdl import TaskDescription, render_jdl
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.patterns import chain_workflow
+
+
+def cross_chain(engine, depth):
+    """depth chained cross-product services over depth+1 sources."""
+    builder = WorkflowBuilder("cross-chain")
+    for i in range(depth + 1):
+        builder.source(f"s{i}")
+    previous = "s0:output"
+    for level in range(depth):
+        builder.service(
+            f"X{level}",
+            LocalService(engine, f"X{level}", ("a", "b"), ("y",)),
+            iteration_strategy="cross",
+        )
+        builder.connect(previous, f"X{level}:a")
+        builder.connect(f"s{level + 1}:output", f"X{level}:b")
+        previous = f"X{level}:y"
+    builder.sink("out")
+    builder.connect(previous, "out:input")
+    return builder.build()
+
+
+def main() -> None:
+    print("1. Combinatorial explosion of the static task representation")
+    print(f"{'items n':>8} | {'service processors':>19} | {'static tasks':>12}")
+    print("-" * 47)
+    for n in (2, 5, 10, 20):
+        engine = Engine()
+        workflow = cross_chain(engine, depth=3)
+        dataset = {f"s{i}": list(range(n)) for i in range(4)}
+        dag = expand_workflow(workflow, dataset)
+        print(f"{n:>8} | {len(workflow.services()):>19} | {dag.task_count:>12}")
+    print("(n^2 + n^3 + n^4 tasks: 'intractable even for a limited")
+    print(" number (tens) of input data' — the service graph stays at 3 nodes)\n")
+
+    print("2. One of those tasks, as the JDL a task-based user maintains by hand:")
+    print(render_jdl(TaskDescription(
+        name="X0-D0_3", executable="combine",
+        arguments="-a /data/s0_0.dat -b /data/s1_3.dat -o /data/x0_0_3.dat",
+        input_files=("/data/s0_0.dat", "/data/s1_3.dat"),
+        output_files=("/data/x0_0_3.dat",),
+    )))
+
+    print("\n3. Same pipeline, same grid: DAGMan vs MOTEUR SP+DP")
+    durations = {"P1": 30.0, "P2": 60.0, "P3": 45.0}
+    items = list(range(8))
+
+    engine = Engine()
+    workflow = chain_workflow(
+        lambda n, i, o: LocalService(engine, n, i, o, duration=durations[n]), 3
+    )
+    service_result = MoteurEnactor(engine, workflow, OptimizationConfig.sp_dp()).run(
+        {"input": items}
+    )
+
+    engine2 = Engine()
+    grid2 = ideal_testbed(engine2)
+    workflow2 = chain_workflow(
+        lambda n, i, o: LocalService(engine2, n, i, o, duration=durations[n]), 3
+    )
+    dag = expand_workflow(workflow2, {"input": items})
+    dag_result = DagmanExecutor(engine2, grid2, durations=durations).run(dag)
+
+    print(f"   MOTEUR (SP+DP), 3-processor workflow: {service_result.makespan:.0f}s")
+    print(f"   DAGMan, {dag.task_count}-task static DAG:        {dag_result.makespan:.0f}s")
+    print("   -> identical parallelism, radically different description sizes")
+
+
+if __name__ == "__main__":
+    main()

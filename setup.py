@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` works on minimal environments that lack the
+``wheel`` package needed by the PEP 660 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

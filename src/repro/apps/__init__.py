@@ -1,0 +1,33 @@
+"""The Bronze Standard application (Section 4.2).
+
+The paper's evaluation workload: assessing medical-image rigid
+registration algorithms without ground truth, by registering many image
+pairs with many algorithms and treating the per-pair mean transform as
+a "bronze standard" reference.
+
+* :mod:`~repro.apps.transforms` — real 6-parameter rigid-transform
+  algebra (rotations via quaternions, Fréchet-style rotation means),
+* :mod:`~repro.apps.imaging` — a synthetic MRI database generator
+  (patients, time points, ground-truth inter-acquisition transforms),
+* :mod:`~repro.apps.registration` — the four registration methods
+  (crestMatch, Baladin, Yasmina, PFMatchICP/PFRegister) as simulated
+  grid services: calibrated compute times, real noisy-transform outputs,
+* :mod:`~repro.apps.accuracy` — the MultiTransfoTest statistics
+  (per-method rotation/translation accuracy against the bronze
+  standard),
+* :mod:`~repro.apps.bronze_standard` — the Figure 9 workflow assembled
+  and ready to enact.
+"""
+
+from repro.apps.bronze_standard import BronzeStandardApplication
+from repro.apps.imaging import ImageDatabase, ImagePair, MedicalImage
+from repro.apps.transforms import RigidTransform, mean_transform
+
+__all__ = [
+    "BronzeStandardApplication",
+    "ImageDatabase",
+    "ImagePair",
+    "MedicalImage",
+    "RigidTransform",
+    "mean_transform",
+]

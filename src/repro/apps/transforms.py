@@ -1,0 +1,179 @@
+"""Rigid 3-D transforms: the data the Bronze Standard actually computes.
+
+"Medical image registration consists in searching a transformation
+(that is to say 6 parameters in the rigid case — 3 rotation angles and
+3 translation parameters) between two images" (Section 4.2).
+
+:class:`RigidTransform` is a unit quaternion plus a translation vector,
+with composition, inversion, perturbation, and distance metrics.  The
+bronze-standard statistic needs a **mean of rotations**, computed here
+with the standard quaternion-averaging method (the eigenvector of the
+accumulated outer-product matrix — Markley et al.), which is exact for
+the small dispersions involved.
+
+Everything is numpy/scipy; no simulation concepts — these are the
+honest data products flowing through the simulated services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy.spatial.transform import Rotation
+
+__all__ = ["RigidTransform", "mean_transform", "rotation_angle_deg"]
+
+
+def _normalize_quaternion(quat: np.ndarray) -> np.ndarray:
+    quat = np.asarray(quat, dtype=float)
+    if quat.shape != (4,):
+        raise ValueError(f"quaternion must have shape (4,), got {quat.shape}")
+    norm = float(np.linalg.norm(quat))
+    if norm == 0:
+        raise ValueError("zero quaternion is not a rotation")
+    quat = quat / norm
+    # Canonical sign: w >= 0 (q and -q are the same rotation).
+    if quat[3] < 0:
+        quat = -quat
+    return quat
+
+
+@dataclass(frozen=True)
+class RigidTransform:
+    """A rigid spatial transform: rotation (unit quaternion) + translation.
+
+    The quaternion uses scipy's ``(x, y, z, w)`` convention and is kept
+    normalized with ``w >= 0`` so equal rotations compare equal.
+    """
+
+    quaternion: np.ndarray = field(default_factory=lambda: np.array([0.0, 0.0, 0.0, 1.0]))
+    translation: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "quaternion", _normalize_quaternion(self.quaternion))
+        translation = np.asarray(self.translation, dtype=float)
+        if translation.shape != (3,):
+            raise ValueError(f"translation must have shape (3,), got {translation.shape}")
+        object.__setattr__(self, "translation", translation)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def identity(cls) -> "RigidTransform":
+        """The do-nothing transform."""
+        return cls()
+
+    @classmethod
+    def from_euler_deg(
+        cls, angles_deg: Sequence[float], translation: Sequence[float]
+    ) -> "RigidTransform":
+        """From XYZ Euler angles in degrees plus a translation (mm)."""
+        rotation = Rotation.from_euler("xyz", angles_deg, degrees=True)
+        return cls(quaternion=rotation.as_quat(), translation=np.asarray(translation, float))
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        max_angle_deg: float = 10.0,
+        max_translation: float = 20.0,
+    ) -> "RigidTransform":
+        """A random small transform (inter-acquisition patient motion)."""
+        if max_angle_deg < 0 or max_translation < 0:
+            raise ValueError("bounds must be >= 0")
+        angles = rng.uniform(-max_angle_deg, max_angle_deg, size=3)
+        translation = rng.uniform(-max_translation, max_translation, size=3)
+        return cls.from_euler_deg(angles, translation)
+
+    # -- algebra ------------------------------------------------------------
+    @property
+    def rotation(self) -> Rotation:
+        """The rotation part as a scipy Rotation."""
+        return Rotation.from_quat(self.quaternion)
+
+    def compose(self, other: "RigidTransform") -> "RigidTransform":
+        """``self ∘ other``: apply *other* first, then *self*."""
+        rotation = self.rotation * other.rotation
+        translation = self.rotation.apply(other.translation) + self.translation
+        return RigidTransform(quaternion=rotation.as_quat(), translation=translation)
+
+    def inverse(self) -> "RigidTransform":
+        """The transform undoing this one."""
+        inv = self.rotation.inv()
+        return RigidTransform(
+            quaternion=inv.as_quat(), translation=-inv.apply(self.translation)
+        )
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Transform an ``(n, 3)`` (or ``(3,)``) point array."""
+        return self.rotation.apply(np.asarray(points, dtype=float)) + self.translation
+
+    def perturb(
+        self,
+        rng: np.random.Generator,
+        rotation_sigma_deg: float,
+        translation_sigma: float,
+    ) -> "RigidTransform":
+        """Compose with small Gaussian noise — a noisy *estimate* of self.
+
+        This is how simulated registration algorithms produce their
+        answers: ground truth composed with method-specific error.
+        """
+        if rotation_sigma_deg < 0 or translation_sigma < 0:
+            raise ValueError("sigmas must be >= 0")
+        noise_angles = rng.normal(0.0, rotation_sigma_deg, size=3)
+        noise_translation = rng.normal(0.0, translation_sigma, size=3)
+        noise = RigidTransform.from_euler_deg(noise_angles, noise_translation)
+        return noise.compose(self)
+
+    # -- metrics -----------------------------------------------------------------
+    def rotation_distance_deg(self, other: "RigidTransform") -> float:
+        """Geodesic rotation distance in degrees."""
+        relative = self.rotation * other.rotation.inv()
+        return float(np.degrees(relative.magnitude()))
+
+    def translation_distance(self, other: "RigidTransform") -> float:
+        """Euclidean distance between the translation parts."""
+        return float(np.linalg.norm(self.translation - other.translation))
+
+    def is_close(
+        self, other: "RigidTransform", angle_tol_deg: float = 1e-6, trans_tol: float = 1e-6
+    ) -> bool:
+        """Approximate equality within the given tolerances."""
+        return (
+            self.rotation_distance_deg(other) <= angle_tol_deg
+            and self.translation_distance(other) <= trans_tol
+        )
+
+    def __repr__(self) -> str:
+        angle = float(np.degrees(self.rotation.magnitude()))
+        t = self.translation
+        return (
+            f"RigidTransform(angle={angle:.2f}deg, "
+            f"t=[{t[0]:.2f}, {t[1]:.2f}, {t[2]:.2f}])"
+        )
+
+
+def mean_transform(transforms: Sequence[RigidTransform]) -> RigidTransform:
+    """The mean rigid transform: quaternion average + arithmetic translation.
+
+    The rotation mean maximizes ``Σ (qᵀ qᵢ)²`` — the principal
+    eigenvector of ``Σ qᵢ qᵢᵀ`` (Markley's quaternion averaging), which
+    coincides with the Fréchet mean for the dispersion levels of
+    registration noise.  This is the "mean registration [that] should
+    be more precise and is called a bronze-standard".
+    """
+    if not transforms:
+        raise ValueError("cannot average zero transforms")
+    quats = np.stack([t.quaternion for t in transforms])
+    accumulator = quats.T @ quats  # 4x4 symmetric
+    eigenvalues, eigenvectors = np.linalg.eigh(accumulator)
+    mean_quat = eigenvectors[:, int(np.argmax(eigenvalues))]
+    translation = np.mean([t.translation for t in transforms], axis=0)
+    return RigidTransform(quaternion=mean_quat, translation=translation)
+
+
+def rotation_angle_deg(transform: RigidTransform) -> float:
+    """Magnitude of the rotation part, in degrees."""
+    return float(np.degrees(transform.rotation.magnitude()))

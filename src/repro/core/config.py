@@ -1,0 +1,108 @@
+"""Optimization configuration: which of the paper's levers are on.
+
+The evaluation (Section 4.4) runs six configurations mixing Data
+Parallelism (DP), Service Parallelism (SP) and Job Grouping (JG); "the
+configuration with no optimization (NOP) only includes workflow
+parallelism".  :class:`OptimizationConfig` captures one such mix; the
+canonical six live in :meth:`OptimizationConfig.paper_configurations`.
+
+Semantics implemented by the enactor:
+
+* **workflow parallelism** — always on (independent branches run
+  concurrently; "trivial and implemented in all the workflow managers").
+* **SP off** — stage barrier: a service only starts processing once
+  every one of its predecessors has finished its *whole* data stream.
+  This is what equations (1) and (2) describe.
+* **SP on** — per-item firing (pipelining, equation (3)).
+* **DP off** — at most one job in flight per service.
+* **DP on** — one concurrent job per available data item (unbounded,
+  hypothesis H2), optionally capped via ``data_parallelism_cap`` for
+  the Section 5.4 granularity ablation.
+* **JG on** — maximal sequential chains of groupable wrapped services
+  are fused into single-job virtual services before execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["OptimizationConfig"]
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """One combination of the enactor's optimization levers."""
+
+    data_parallelism: bool = False
+    service_parallelism: bool = False
+    job_grouping: bool = False
+    #: max concurrent jobs per service when DP is on (None = unbounded)
+    data_parallelism_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.data_parallelism_cap is not None:
+            if not self.data_parallelism:
+                raise ValueError("data_parallelism_cap requires data_parallelism=True")
+            if self.data_parallelism_cap < 1:
+                raise ValueError(
+                    f"data_parallelism_cap must be >= 1, got {self.data_parallelism_cap}"
+                )
+
+    @property
+    def label(self) -> str:
+        """The paper's name for this configuration (NOP, DP, SP+DP+JG, ...)."""
+        parts = []
+        if self.service_parallelism:
+            parts.append("SP")
+        if self.data_parallelism:
+            parts.append("DP")
+        if self.job_grouping:
+            parts.append("JG")
+        return "+".join(parts) if parts else "NOP"
+
+    @property
+    def service_concurrency(self) -> "int | float":
+        """Per-service concurrent-invocation cap implied by the flags."""
+        if not self.data_parallelism:
+            return 1
+        return self.data_parallelism_cap if self.data_parallelism_cap else float("inf")
+
+    # -- canonical configurations -------------------------------------------
+    @classmethod
+    def nop(cls) -> "OptimizationConfig":
+        """Workflow parallelism only."""
+        return cls()
+
+    @classmethod
+    def dp(cls) -> "OptimizationConfig":
+        """Data parallelism only."""
+        return cls(data_parallelism=True)
+
+    @classmethod
+    def sp(cls) -> "OptimizationConfig":
+        """Service parallelism (pipelining) only."""
+        return cls(service_parallelism=True)
+
+    @classmethod
+    def jg(cls) -> "OptimizationConfig":
+        """Job grouping only."""
+        return cls(job_grouping=True)
+
+    @classmethod
+    def sp_dp(cls) -> "OptimizationConfig":
+        """Service + data parallelism."""
+        return cls(data_parallelism=True, service_parallelism=True)
+
+    @classmethod
+    def sp_dp_jg(cls) -> "OptimizationConfig":
+        """Everything on — the paper's best configuration."""
+        return cls(data_parallelism=True, service_parallelism=True, job_grouping=True)
+
+    @classmethod
+    def paper_configurations(cls) -> List["OptimizationConfig"]:
+        """The six rows of Table 1, in the paper's order."""
+        return [cls.nop(), cls.jg(), cls.sp(), cls.dp(), cls.sp_dp(), cls.sp_dp_jg()]
+
+    def __str__(self) -> str:
+        return self.label

@@ -1,0 +1,520 @@
+"""MOTEUR: the optimized service-based workflow enactor.
+
+This is the paper's prototype (Section 4.1) rebuilt on the simulated
+grid.  "To our knowledge, this is the only service-based workflow
+enactor providing all these levels of optimization":
+
+* **asynchronous service calls** — every invocation is a simulated
+  process, the analogue of the "independent system threads" MOTEUR
+  spawns (Section 3.1),
+* **workflow parallelism** — independent branches always run
+  concurrently (Section 3.2),
+* **data parallelism** — a service fires one concurrent job per
+  available input item when enabled (Section 3.3),
+* **service parallelism** — per-item firing lets different services
+  process different items simultaneously; disabling it imposes the
+  stage barriers described by equations (1)-(2) (Section 3.4),
+* **job grouping** — sequential wrapped services are fused into
+  single-job virtual services before execution (Section 3.6),
+* **data synchronization barriers** — synchronization processors (and
+  targets of Scufl coordination constraints) consume their entire input
+  streams in one invocation (Section 2.3),
+* **provenance-aware iteration strategies** — dot products stay
+  causally correct under DP+SP thanks to history trees (Section 4.1).
+
+Execution model
+---------------
+The enactor pushes :class:`~repro.core.tokens.DataToken` s along the
+workflow links.  Sources emit their data sets at start time; each
+token offered to a processor's iteration engine may complete one or
+more *bindings*; each binding becomes an invocation process that (a)
+waits for the stage barrier when SP is off, (b) acquires the service's
+concurrency gate (capacity 1 without DP), (c) invokes the black-box
+service, and (d) delivers the outputs downstream with a derived
+history tree.  Enactment completes when no invocation is in flight —
+a quiescence criterion that also covers workflows with loops, where
+stream lengths cannot be known in advance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import OptimizationConfig
+from repro.core.grouping import GroupInfo, group_workflow
+from repro.core.iteration import Binding, IterationEngine, expected_bindings
+from repro.core.provenance import HistoryTree
+from repro.core.tokens import NO_DATA, DataToken, NoData
+from repro.core.trace import ExecutionTrace, TraceEvent
+from repro.grid.middleware import Grid
+from repro.services.base import GridData, ServiceError
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import Resource
+from repro.workflow.analysis import find_cycles
+from repro.workflow.datasets import InputDataSet
+from repro.workflow.graph import Processor, ProcessorKind, Workflow, WorkflowError
+from repro.workflow.validation import require_valid
+
+__all__ = ["MoteurEnactor", "EnactmentResult", "EnactmentError"]
+
+
+class EnactmentError(RuntimeError):
+    """The enactment failed (service error, job failure, deadlock...)."""
+
+
+@dataclass
+class EnactmentResult:
+    """Everything one enactment produced."""
+
+    workflow_name: str
+    config: OptimizationConfig
+    started_at: float
+    finished_at: float
+    #: sink name -> data items collected, arrival order
+    outputs: Dict[str, List[GridData]]
+    #: sink name -> provenance trees matching ``outputs``
+    histories: Dict[str, List[HistoryTree]]
+    trace: ExecutionTrace
+    invocation_count: int
+    groups: List[GroupInfo] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock seconds from enactment start to completion."""
+        return self.finished_at - self.started_at
+
+    def output_values(self, sink: str) -> List[Any]:
+        """Convenience: the plain values collected at *sink*."""
+        return [d.value for d in self.outputs.get(sink, [])]
+
+
+class _ProcessorState:
+    """Mutable per-processor bookkeeping for one enactment."""
+
+    __slots__ = (
+        "processor",
+        "iteration",
+        "gate",
+        "emitted",
+        "invocations_done",
+        "arrived",
+        "expected",
+        "preds",
+        "preds_drained",
+        "drained",
+        "sync_buffers",
+        "collected",
+        "collected_histories",
+        "tracks_draining",
+    )
+
+    def __init__(self, processor: Processor) -> None:
+        self.processor = processor
+        self.iteration: Optional[IterationEngine] = None
+        self.gate: Optional[Resource] = None
+        self.emitted: Dict[str, int] = {
+            port: 0 for port in processor.effective_output_ports()
+        }
+        self.invocations_done = 0
+        self.arrived = 0  # sink-side token count
+        self.expected: Optional[int] = None
+        self.preds: List[str] = []
+        self.preds_drained: Optional[Event] = None
+        self.drained: Optional[Event] = None
+        self.sync_buffers: Dict[str, List[DataToken]] = {}
+        self.collected: List[GridData] = []
+        self.collected_histories: List[HistoryTree] = []
+        self.tracks_draining = True
+
+
+class MoteurEnactor:
+    """The optimized enactor; one instance may run several data sets.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine shared with the services/grid.
+    workflow:
+        A bound workflow (every service processor carries a live
+        service).  With job grouping enabled the enactor derives and
+        runs a grouped copy; the original is untouched.
+    config:
+        The optimization switches (defaults to NOP).
+    grid:
+        When given, grid-file items of the input data set are
+        registered in the grid's replica catalog before execution.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        workflow: Workflow,
+        config: Optional[OptimizationConfig] = None,
+        grid: Optional[Grid] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or OptimizationConfig.nop()
+        self.grid = grid
+        require_valid(workflow)
+        for processor in workflow.services():
+            if processor.service is None:
+                raise WorkflowError(
+                    f"processor {processor.name!r} has no bound service; "
+                    "bind it (see repro.workflow.scufl.bind_services) before enacting"
+                )
+        self.original_workflow = workflow
+        self.groups: List[GroupInfo] = []
+        if self.config.job_grouping:
+            self.workflow, self.groups = group_workflow(workflow, engine)
+        else:
+            self.workflow = workflow
+
+        cycles = find_cycles(self.workflow)
+        self._cyclic_processors = {name for cycle in cycles for name in cycle}
+        if self._cyclic_processors and not self.config.service_parallelism:
+            raise WorkflowError(
+                "workflows with loops require service parallelism: a stage "
+                "barrier would wait for a stream that never ends "
+                f"(cycle through {sorted(self._cyclic_processors)})"
+            )
+        # Synchronization set: flagged processors plus coordination targets
+        # ("we used those coordination constraints to identify services that
+        #  require data synchronization").
+        self._sync = {
+            p.name for p in self.workflow.processors.values() if p.synchronization
+        }
+        self._sync.update(after for _, after in self.workflow.coordination_constraints)
+        bad_sync = self._sync & self._cyclic_processors
+        if bad_sync:
+            raise WorkflowError(
+                f"synchronization processors on a cycle can never fire: {sorted(bad_sync)}"
+            )
+
+        # -- per-run state, reset by enact() --
+        self._states: Dict[str, _ProcessorState] = {}
+        self._in_flight = 0
+        self._completion: Optional[Event] = None
+        self._started_at = 0.0
+        self._trace = ExecutionTrace()
+        self._invocation_count = 0
+        self._failed = False
+
+    # -- public API ----------------------------------------------------------
+    def run(self, dataset: "InputDataSet | Mapping[str, Sequence[Any]]") -> EnactmentResult:
+        """Enact the workflow on *dataset*, driving the engine to completion."""
+        completion = self.enact(dataset)
+        return self.engine.run(until=completion)
+
+    def enact(self, dataset: "InputDataSet | Mapping[str, Sequence[Any]]") -> Event:
+        """Start an enactment; returns an event yielding the result.
+
+        Use this form to embed the enactment in a larger simulation (or
+        to run several enactments concurrently on one engine — each
+        needs its own enactor instance).
+        """
+        data = self._normalize_dataset(dataset)
+        self._reset()
+        self._build_states()
+        self._register_input_files(data)
+        self._emit_sources(data)
+        self._fire_inputless_services()
+        self._check_completion()
+        return self._completion
+
+    # -- setup ------------------------------------------------------------------
+    def _normalize_dataset(
+        self, dataset: "InputDataSet | Mapping[str, Sequence[Any]]"
+    ) -> InputDataSet:
+        if isinstance(dataset, InputDataSet):
+            return dataset
+        if isinstance(dataset, Mapping):
+            return InputDataSet.from_values("adhoc", **{k: list(v) for k, v in dataset.items()})
+        raise TypeError(
+            f"dataset must be an InputDataSet or a mapping, got {type(dataset).__name__}"
+        )
+
+    def _reset(self) -> None:
+        self._states = {}
+        self._in_flight = 0
+        self._completion = self.engine.event(name=f"enactment:{self.workflow.name}")
+        self._started_at = self.engine.now
+        self._trace = ExecutionTrace()
+        self._invocation_count = 0
+        self._failed = False
+
+    def _build_states(self) -> None:
+        for name, processor in self.workflow.processors.items():
+            state = _ProcessorState(processor)
+            state.tracks_draining = name not in self._cyclic_processors
+            if processor.kind is ProcessorKind.SERVICE:
+                ports = processor.effective_input_ports()
+                if name in self._sync:
+                    state.sync_buffers = {port: [] for port in ports}
+                elif ports:
+                    state.iteration = IterationEngine(ports, processor.iteration_strategy)
+                state.gate = Resource(
+                    self.engine, self.config.service_concurrency, name=f"gate:{name}"
+                )
+            if state.tracks_draining:
+                state.drained = self.engine.event(name=f"drained:{name}")
+            self._states[name] = state
+
+        # Predecessors: data links plus coordination (control) links.
+        for name, state in self._states.items():
+            preds = list(self.workflow.predecessors(name))
+            for before, after in self.workflow.coordination_constraints:
+                if after == name and before not in preds:
+                    preds.append(before)
+            state.preds = preds
+            if state.tracks_draining:
+                pred_events = []
+                incomplete = False
+                for pred in preds:
+                    pred_state = self._states[pred]
+                    if pred_state.drained is None:
+                        incomplete = True  # pred on a cycle: no stream accounting
+                        break
+                    pred_events.append(pred_state.drained)
+                if incomplete:
+                    state.tracks_draining = False
+                    state.drained = None
+                elif pred_events:
+                    state.preds_drained = self.engine.all_of(
+                        pred_events, name=f"preds-drained:{name}"
+                    )
+                    state.preds_drained.callbacks.append(
+                        lambda _evt, s=state: self._check_drained(s)
+                    )
+            if name in self._sync:
+                if state.preds_drained is None and state.preds:
+                    raise WorkflowError(
+                        f"synchronization processor {name!r} depends on a cyclic "
+                        "region; its input stream length is undecidable"
+                    )
+                self._spawn_sync(state)
+
+    def _register_input_files(self, dataset: InputDataSet) -> None:
+        if self.grid is None:
+            return
+        for file in dataset.files():
+            if not self.grid.catalog.knows(file.gfn):
+                self.grid.add_input_file(file)
+
+    def _emit_sources(self, dataset: InputDataSet) -> None:
+        for source in self.workflow.sources():
+            items = dataset.items(source.name)
+            state = self._states[source.name]
+            port = source.effective_output_ports()[0]
+            for index, item in enumerate(items):
+                token = DataToken(
+                    data=item.grid_data(), history=HistoryTree.leaf(source.name, index)
+                )
+                state.emitted[port] += 1
+                self._deliver(source.name, port, token)
+            if state.drained is not None:
+                state.expected = 0
+                state.drained.succeed(len(items))
+
+    def _fire_inputless_services(self) -> None:
+        for processor in self.workflow.services():
+            if not processor.effective_input_ports() and processor.name not in self._sync:
+                self._spawn_invocation(self._states[processor.name], {})
+
+    # -- token flow ---------------------------------------------------------------
+    def _deliver(self, from_processor: str, out_port: str, token: DataToken) -> None:
+        for link in self.workflow.links_out_of(from_processor, out_port):
+            self._accept(link.target.processor, link.target.port, token)
+
+    def _accept(self, name: str, port: str, token: DataToken) -> None:
+        state = self._states[name]
+        processor = state.processor
+        if processor.kind is ProcessorKind.SINK:
+            state.collected.append(token.data)
+            state.collected_histories.append(token.history)
+            state.arrived += 1
+            self._check_drained(state)
+            return
+        if name in self._sync:
+            state.sync_buffers[port].append(token)
+            return
+        assert state.iteration is not None
+        for binding in state.iteration.offer(port, token):
+            self._spawn_invocation(state, binding)
+
+    def _spawn_invocation(self, state: _ProcessorState, binding: Binding) -> None:
+        self._in_flight += 1
+        self.engine.process(
+            self._invoke(state, binding), name=f"moteur:{state.processor.name}"
+        )
+
+    # -- invocation lifecycle ---------------------------------------------------------
+    def _invoke(self, state: _ProcessorState, binding: Binding):
+        processor = state.processor
+        try:
+            # Stage barrier: without service parallelism a service only
+            # starts once its predecessors finished their whole streams.
+            if not self.config.service_parallelism and state.preds_drained is not None:
+                yield state.preds_drained
+
+            request = state.gate.request()
+            yield request
+            start = self.engine.now
+            try:
+                inputs = {port: token.data for port, token in binding.items()}
+                call, record = processor.service.invoke_recorded(inputs)
+                outputs = yield call
+            finally:
+                state.gate.release(request)
+            end = self.engine.now
+
+            parents = tuple(binding[port].history for port in sorted(binding))
+            history = HistoryTree.derive(processor.name, parents)
+            kind = "grouped" if getattr(processor.service, "stages", None) else "invocation"
+            self._trace.add(
+                TraceEvent(
+                    processor=processor.name,
+                    label=history.label(),
+                    start=start,
+                    end=end,
+                    kind=kind,
+                    job_ids=tuple(record.job_ids),
+                )
+            )
+            self._invocation_count += 1
+            self._emit_outputs(state, history, outputs)
+            state.invocations_done += 1
+            self._check_drained(state)
+        except Exception as exc:
+            self._fail(exc)
+            return
+        finally:
+            self._in_flight -= 1
+        self._check_completion()
+
+    def _spawn_sync(self, state: _ProcessorState) -> None:
+        self._in_flight += 1
+        self.engine.process(
+            self._sync_invoke(state), name=f"moteur-sync:{state.processor.name}"
+        )
+
+    def _sync_invoke(self, state: _ProcessorState):
+        """Synchronization barrier: one invocation over the whole streams."""
+        processor = state.processor
+        try:
+            if state.preds_drained is not None:
+                yield state.preds_drained
+            request = state.gate.request()
+            yield request
+            start = self.engine.now
+            try:
+                inputs = {
+                    port: GridData(value=[t.value for t in tokens])
+                    for port, tokens in state.sync_buffers.items()
+                }
+                call, record = processor.service.invoke_recorded(inputs)
+                outputs = yield call
+            finally:
+                state.gate.release(request)
+            end = self.engine.now
+
+            parents = tuple(
+                token.history
+                for port in sorted(state.sync_buffers)
+                for token in state.sync_buffers[port]
+            )
+            history = HistoryTree.derive(processor.name, parents)
+            self._trace.add(
+                TraceEvent(
+                    processor=processor.name,
+                    label=history.label(),
+                    start=start,
+                    end=end,
+                    kind="synchronization",
+                    job_ids=tuple(record.job_ids),
+                )
+            )
+            self._invocation_count += 1
+            self._emit_outputs(state, history, outputs)
+            state.invocations_done += 1
+            state.expected = 1
+            if state.drained is not None and not state.drained.triggered:
+                state.drained.succeed(state.invocations_done)
+        except Exception as exc:
+            self._fail(exc)
+            return
+        finally:
+            self._in_flight -= 1
+        self._check_completion()
+
+    def _emit_outputs(
+        self, state: _ProcessorState, history: HistoryTree, outputs: Mapping[str, GridData]
+    ) -> None:
+        for port in state.processor.effective_output_ports():
+            datum = outputs[port]
+            if isinstance(datum.value, NoData):
+                continue  # conditional port chose not to emit (loop exits...)
+            state.emitted[port] += 1
+            self._deliver(state.processor.name, port, DataToken(datum, history))
+
+    # -- stream accounting -------------------------------------------------------------
+    def _check_drained(self, state: _ProcessorState) -> None:
+        """Mark *state* drained once its full stream has been processed."""
+        if state.drained is None or state.drained.triggered:
+            return
+        if state.preds_drained is not None and not state.preds_drained.triggered:
+            return
+        if state.expected is None:
+            per_port: Dict[str, int] = {}
+            for port in state.processor.effective_input_ports():
+                per_port[port] = sum(
+                    self._states[link.source.processor].emitted[link.source.port]
+                    for link in self.workflow.links_into(state.processor.name, port)
+                )
+            if state.processor.kind is ProcessorKind.SINK:
+                state.expected = sum(per_port.values())
+            elif state.processor.name in self._sync:
+                state.expected = 1
+            else:
+                state.expected = expected_bindings(
+                    state.processor.iteration_strategy, per_port
+                )
+        done = (
+            state.arrived
+            if state.processor.kind is ProcessorKind.SINK
+            else state.invocations_done
+        )
+        if done >= state.expected:
+            state.drained.succeed(done)
+
+    def _check_completion(self) -> None:
+        if self._failed or self._completion is None or self._completion.triggered:
+            return
+        if self._in_flight == 0:
+            self._completion.succeed(self._build_result())
+
+    def _fail(self, exc: Exception) -> None:
+        if not self._failed and self._completion is not None and not self._completion.triggered:
+            self._failed = True
+            self._completion.fail(
+                EnactmentError(f"enactment of {self.workflow.name!r} failed: {exc}")
+            )
+
+    def _build_result(self) -> EnactmentResult:
+        outputs: Dict[str, List[GridData]] = {}
+        histories: Dict[str, List[HistoryTree]] = {}
+        for sink in self.workflow.sinks():
+            state = self._states[sink.name]
+            outputs[sink.name] = list(state.collected)
+            histories[sink.name] = list(state.collected_histories)
+        return EnactmentResult(
+            workflow_name=self.workflow.name,
+            config=self.config,
+            started_at=self._started_at,
+            finished_at=self.engine.now,
+            outputs=outputs,
+            histories=histories,
+            trace=self._trace,
+            invocation_count=self._invocation_count,
+            groups=list(self.groups),
+        )

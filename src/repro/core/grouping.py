@@ -1,0 +1,143 @@
+"""Job grouping: the workflow transformation of Section 3.6.
+
+"Processors grouping consists in merging multiple jobs into a single
+one.  It reduces the grid overhead induced by the submission,
+scheduling, queuing and data transfers times [...]  In particular
+sequential processors grouping is interesting because those processors
+do not benefit from any parallelism."
+
+:func:`group_workflow` rewrites a workflow before enactment:
+
+1. find the maximal groupable sequential chains
+   (:func:`repro.workflow.analysis.sequential_chains` — only
+   generic-wrapper-backed, non-synchronization, dot-strategy services
+   whose intermediate data is invisible outside the chain),
+2. build one :class:`~repro.services.composite.CompositeService` per
+   chain (the *virtual service* of Figure 7 that submits a single job
+   with the composed command line),
+3. splice the composite into a new workflow, re-routing the external
+   links onto the composite's exposed ports.
+
+For the Bronze Standard workflow this produces exactly the two groups
+the paper names: ``crestLines+crestMatch`` and
+``PFMatchICP+PFRegister``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.services.composite import CompositeService
+from repro.services.wrapper import GenericWrapperService
+from repro.sim.engine import Engine
+from repro.workflow.analysis import sequential_chains
+from repro.workflow.graph import Processor, ProcessorKind, Workflow
+
+__all__ = ["GroupInfo", "group_workflow"]
+
+
+@dataclass(frozen=True)
+class GroupInfo:
+    """One formed group: its processor name, members and composite service."""
+
+    name: str
+    members: Tuple[str, ...]
+    composite: CompositeService
+
+
+def group_workflow(workflow: Workflow, engine: Engine) -> Tuple[Workflow, List[GroupInfo]]:
+    """Return a grouped copy of *workflow* plus the groups formed.
+
+    Chains whose members are not all generic-wrapper services are
+    skipped (only wrapper services expose the descriptors the enactor
+    needs to compose command lines); everything else is left untouched.
+    The original workflow is never modified.
+    """
+    chains = []
+    for chain in sequential_chains(workflow):
+        services = [workflow.processor(name).service for name in chain]
+        if all(isinstance(service, GenericWrapperService) for service in services):
+            chains.append(chain)
+
+    if not chains:
+        return workflow.copy(name=f"{workflow.name} (grouped)"), []
+
+    member_of: Dict[str, str] = {}
+    groups: List[GroupInfo] = []
+    composites: Dict[str, CompositeService] = {}
+    chain_members: Dict[str, List[str]] = {}
+    for chain in chains:
+        group_name = "+".join(chain)
+        internal_links: Dict[Tuple[int, str], Tuple[int, str]] = {}
+        position = {name: idx for idx, name in enumerate(chain)}
+        for link in workflow.links:
+            src, dst = link.source.processor, link.target.processor
+            if src in position and dst in position:
+                internal_links[(position[dst], link.target.port)] = (
+                    position[src],
+                    link.source.port,
+                )
+        composite = CompositeService(
+            engine,
+            stages=[workflow.processor(name).service for name in chain],
+            internal_links=internal_links,
+            name=group_name,
+        )
+        composites[group_name] = composite
+        chain_members[group_name] = list(chain)
+        for name in chain:
+            member_of[name] = group_name
+        groups.append(GroupInfo(name=group_name, members=tuple(chain), composite=composite))
+
+    grouped = Workflow(name=f"{workflow.name} (grouped)")
+    added_groups = set()
+    for name, processor in workflow.processors.items():
+        group_name = member_of.get(name)
+        if group_name is None:
+            grouped.add_processor(processor)
+        elif group_name not in added_groups:
+            added_groups.add(group_name)
+            grouped.add_processor(
+                Processor(
+                    name=group_name,
+                    kind=ProcessorKind.SERVICE,
+                    service=composites[group_name],
+                    input_ports=tuple(composites[group_name].input_ports),
+                    output_ports=tuple(composites[group_name].output_ports),
+                    iteration_strategy="dot",
+                    synchronization=False,
+                    groupable=False,  # already a group
+                )
+            )
+
+    for link in workflow.links:
+        src, dst = link.source.processor, link.target.processor
+        src_group = member_of.get(src)
+        dst_group = member_of.get(dst)
+        if src_group is not None and src_group == dst_group:
+            continue  # internal to a group: handled by the composite
+        source_ref = str(link.source)
+        target_ref = str(link.target)
+        if src_group is not None:
+            composite = composites[src_group]
+            idx = chain_members[src_group].index(src)
+            public = composite.public_output_name(idx, link.source.port)
+            source_ref = f"{src_group}:{public}"
+        if dst_group is not None:
+            composite = composites[dst_group]
+            idx = chain_members[dst_group].index(dst)
+            public = composite.public_input_name(idx, link.target.port)
+            target_ref = f"{dst_group}:{public}"
+        grouped.add_link(source_ref, target_ref)
+
+    seen_constraints = set()
+    for before, after in workflow.coordination_constraints:
+        before = member_of.get(before, before)
+        after = member_of.get(after, after)
+        if before == after or (before, after) in seen_constraints:
+            continue
+        seen_constraints.add((before, after))
+        grouped.add_coordination_constraint(before, after)
+
+    return grouped, groups

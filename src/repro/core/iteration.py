@@ -1,0 +1,143 @@
+"""Iteration strategies: provenance-aware dot and cross products.
+
+Section 2.2: "When a service owns two input ports or more, an iteration
+strategy defines the composition rule for the data coming from all
+input ports pairwise":
+
+* **dot product** — pair items "in their order of definition",
+  producing ``min(n, m)`` results.  Under data+service parallelism,
+  items arrive out of order, so the pairing is driven by provenance
+  compatibility (:func:`repro.core.provenance.compatible`) rather than
+  raw arrival rank — this is exactly the causality problem Section 4.1
+  solves with history trees.
+* **cross product** — combine every item of each port with every item
+  of every other port, producing ``n × m`` results.
+
+:class:`IterationEngine` is the incremental combiner a processor state
+owns: tokens are *offered* one at a time and the engine returns the
+newly fireable input bindings, deterministically.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.provenance import compatible
+from repro.core.tokens import DataToken
+
+__all__ = ["IterationEngine", "Binding", "expected_bindings"]
+
+#: one fireable set of inputs: port -> token
+Binding = Dict[str, DataToken]
+
+
+class IterationEngine:
+    """Incremental dot/cross combiner over a processor's input ports."""
+
+    def __init__(self, ports: Tuple[str, ...], strategy: str) -> None:
+        if not ports:
+            raise ValueError("an iteration engine needs at least one port")
+        if strategy not in ("dot", "cross"):
+            raise ValueError(f"unknown strategy {strategy!r} (expected 'dot' or 'cross')")
+        self.ports = tuple(ports)
+        self.strategy = strategy
+        #: per-port tokens not yet consumed (dot) / all tokens seen (cross)
+        self._buffers: Dict[str, List[DataToken]] = {port: [] for port in ports}
+        self.offered = 0
+        self.fired = 0
+
+    def offer(self, port: str, token: DataToken) -> List[Binding]:
+        """Feed one token; return bindings that just became fireable."""
+        if port not in self._buffers:
+            raise KeyError(f"unknown port {port!r}; engine ports are {self.ports}")
+        self.offered += 1
+        if self.strategy == "dot":
+            bindings = self._offer_dot(port, token)
+        else:
+            bindings = self._offer_cross(port, token)
+        self.fired += len(bindings)
+        return bindings
+
+    # -- dot --------------------------------------------------------------
+    def _offer_dot(self, port: str, token: DataToken) -> List[Binding]:
+        self._buffers[port].append(token)
+        if len(self.ports) == 1:
+            self._buffers[port].pop()
+            return [{port: token}]
+        binding = self._try_match(port, token)
+        if binding is None:
+            return []
+        # Consume the matched tokens.
+        for bport, btoken in binding.items():
+            self._buffers[bport].remove(btoken)
+        return [binding]
+
+    def _try_match(self, port: str, token: DataToken) -> Optional[Binding]:
+        """Greedy compatibility search seeded by the newly arrived token.
+
+        For each other port, take the first buffered token compatible
+        with everything chosen so far (arrival order).  Greedy matching
+        is exact for the tree-shaped dataflows of the paper's
+        applications, where lineages on shared sources are equal or
+        disjoint.
+        """
+        chosen: Binding = {port: token}
+        for other in self.ports:
+            if other == port:
+                continue
+            found = None
+            for candidate in self._buffers[other]:
+                if all(compatible(candidate.history, t.history) for t in chosen.values()):
+                    found = candidate
+                    break
+            if found is None:
+                return None
+            chosen[other] = found
+        return chosen
+
+    # -- cross -------------------------------------------------------------
+    def _offer_cross(self, port: str, token: DataToken) -> List[Binding]:
+        other_ports = [p for p in self.ports if p != port]
+        if not other_ports:
+            return [{port: token}]
+        pools = [self._buffers[p] for p in other_ports]
+        bindings: List[Binding] = []
+        if all(pools):
+            for combination in product(*pools):
+                binding: Binding = {port: token}
+                binding.update(dict(zip(other_ports, combination)))
+                bindings.append(binding)
+        # Record the token *after* combining so it never pairs with itself.
+        self._buffers[port].append(token)
+        return bindings
+
+    # -- bookkeeping -----------------------------------------------------------
+    def buffered(self, port: str) -> int:
+        """Unconsumed (dot) / total seen (cross) tokens on *port*."""
+        return len(self._buffers[port])
+
+    def __repr__(self) -> str:
+        counts = {p: len(b) for p, b in self._buffers.items()}
+        return f"<IterationEngine {self.strategy} ports={counts} fired={self.fired}>"
+
+
+def expected_bindings(strategy: str, per_port_counts: Mapping[str, int]) -> int:
+    """How many bindings a full set of streams will produce.
+
+    Dot: ``min`` over ports (the paper's ``min(n, m)``);
+    cross: product over ports (the paper's ``n × m``).
+    Used by the enactor's stream-completion accounting (barriers and
+    synchronization processors need to know when a stream has ended).
+    """
+    if not per_port_counts:
+        return 1  # a no-input service fires exactly once
+    counts = list(per_port_counts.values())
+    if strategy == "dot":
+        return min(counts)
+    if strategy == "cross":
+        result = 1
+        for count in counts:
+            result *= count
+        return result
+    raise ValueError(f"unknown strategy {strategy!r}")

@@ -1,0 +1,165 @@
+"""Execution traces: everything the enactor did, with timestamps.
+
+The trace is the raw material for the paper-style execution diagrams
+(Figures 4-6, rendered by :mod:`repro.core.diagrams`) and for the
+per-configuration statistics the experiment harness reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One service invocation as observed by the enactor."""
+
+    processor: str
+    label: str  # paper-style item label, e.g. "D0"
+    start: float
+    end: float
+    kind: str = "invocation"  # "invocation" | "grouped" | "synchronization"
+    job_ids: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"event ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds of the invocation."""
+        return self.end - self.start
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        """True when the event intersects the half-open interval [t0, t1)."""
+        return self.start < t1 and self.end > t0
+
+
+class ExecutionTrace:
+    """Ordered collection of trace events plus derived statistics."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def add(self, event: TraceEvent) -> None:
+        """Record one event."""
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All events, recording order."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- derived statistics ------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Last end minus first start (0 for an empty trace)."""
+        if not self._events:
+            return 0.0
+        return max(e.end for e in self._events) - min(e.start for e in self._events)
+
+    @property
+    def start_time(self) -> Optional[float]:
+        """Earliest invocation start."""
+        return min((e.start for e in self._events), default=None)
+
+    @property
+    def end_time(self) -> Optional[float]:
+        """Latest invocation end."""
+        return max((e.end for e in self._events), default=None)
+
+    def processors(self) -> List[str]:
+        """Distinct processor names in first-appearance order."""
+        seen = set()
+        names = []
+        for event in self._events:
+            if event.processor not in seen:
+                seen.add(event.processor)
+                names.append(event.processor)
+        return names
+
+    def for_processor(self, processor: str) -> List[TraceEvent]:
+        """Events of one processor, sorted by start time."""
+        return sorted(
+            (e for e in self._events if e.processor == processor),
+            key=lambda e: (e.start, e.label),
+        )
+
+    def busy_time(self, processor: str) -> float:
+        """Total union-of-intervals busy seconds for *processor*.
+
+        Overlapping invocations (data parallelism) are not
+        double-counted.
+        """
+        intervals = sorted(
+            (e.start, e.end) for e in self._events if e.processor == processor
+        )
+        busy = 0.0
+        current_start: Optional[float] = None
+        current_end = float("-inf")
+        for start, end in intervals:
+            if current_start is None or start > current_end:
+                if current_start is not None:
+                    busy += current_end - current_start
+                current_start, current_end = start, end
+            else:
+                current_end = max(current_end, end)
+        if current_start is not None:
+            busy += current_end - current_start
+        return busy
+
+    def concurrency_profile(self, processor: Optional[str] = None) -> List[Tuple[float, int]]:
+        """Step function of in-flight invocations over time.
+
+        Returns ``(time, active_count)`` breakpoints; useful to check
+        that DP-off really serialized a service and that DP-on overlapped.
+        """
+        deltas: Dict[float, int] = {}
+        for event in self._events:
+            if processor is not None and event.processor != processor:
+                continue
+            deltas[event.start] = deltas.get(event.start, 0) + 1
+            deltas[event.end] = deltas.get(event.end, 0) - 1
+        profile = []
+        active = 0
+        for time in sorted(deltas):
+            active += deltas[time]
+            profile.append((time, active))
+        return profile
+
+    def max_concurrency(self, processor: Optional[str] = None) -> int:
+        """Peak simultaneous invocations (optionally for one processor)."""
+        profile = self.concurrency_profile(processor)
+        return max((count for _, count in profile), default=0)
+
+    # -- export -------------------------------------------------------------
+    def to_rows(self) -> List[dict]:
+        """The trace as plain dictionaries (for DataFrames, JSON, ...)."""
+        return [
+            {
+                "processor": e.processor,
+                "label": e.label,
+                "start": e.start,
+                "end": e.end,
+                "duration": e.duration,
+                "kind": e.kind,
+                "job_ids": list(e.job_ids),
+            }
+            for e in self._events
+        ]
+
+    def to_csv(self) -> str:
+        """The trace as CSV text (header + one line per event)."""
+        lines = ["processor,label,start,end,duration,kind,job_ids"]
+        for e in self._events:
+            jobs = ";".join(str(j) for j in e.job_ids)
+            lines.append(
+                f"{e.processor},{e.label},{e.start},{e.end},{e.duration},{e.kind},{jobs}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Command-line entry point: reproduce the paper from a shell.
+
+Usage::
+
+    python -m repro.experiments table1  [--sizes 12 66 126] [--seed 42]
+    python -m repro.experiments diagrams
+    python -m repro.experiments bronze  [--pairs 12] [--config SP+DP+JG]
+
+``table1`` runs the full sweep and prints Tables 1 and 2, the Section
+5.2/5.3 ratios and the paper comparison; ``diagrams`` regenerates the
+Figure 4/5/6 execution diagrams; ``bronze`` runs one Bronze Standard
+enactment and reports its outputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.core.diagrams import execution_diagram
+from repro.services.base import LocalService
+
+
+def _config_by_label(label: str) -> OptimizationConfig:
+    table = {c.label: c for c in OptimizationConfig.paper_configurations()}
+    try:
+        return table[label]
+    except KeyError:
+        raise SystemExit(
+            f"unknown configuration {label!r}; options: {', '.join(table)}"
+        ) from None
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import run_sweep
+    from repro.experiments.reporting import (
+        check_ordering,
+        format_ratios,
+        format_table1,
+        format_table2,
+        paper_comparison,
+    )
+
+    sweep = run_sweep(sizes=tuple(args.sizes), seed=args.seed)
+    print("=== Table 1 (measured) ===")
+    print(format_table1(sweep, with_hours=True))
+    print("\n=== Table 2 (measured) ===")
+    print(format_table2(sweep.table2()))
+    print("\n=== Sections 5.2/5.3 ratios ===")
+    print(format_ratios(sweep.table2()))
+    print("\n=== paper vs measured ===")
+    print(paper_comparison(sweep))
+    print(f"\nordering preserved: {check_ordering(sweep)}")
+    return 0
+
+
+def cmd_diagrams(args: argparse.Namespace) -> int:
+    from repro.sim.engine import Engine
+    from repro.workflow.patterns import chain_workflow, figure1_workflow
+
+    for title, config in (
+        ("Figure 4 — data parallelism", OptimizationConfig.dp()),
+        ("Figure 5 — service parallelism", OptimizationConfig.sp()),
+    ):
+        engine = Engine()
+
+        def factory(name, inputs, outputs):
+            return LocalService(engine, name, inputs, outputs, duration=1.0)
+
+        workflow = figure1_workflow(factory)
+        result = MoteurEnactor(engine, workflow, config).run({"source": [0, 1, 2]})
+        print(f"=== {title} (makespan {result.makespan:.0f} T) ===")
+        print(execution_diagram(result.trace, cell=1.0))
+        print()
+
+    times = [[2.0, 1.0, 1.0], [1.0, 3.0, 1.0]]
+    for title, config in (
+        ("Figure 6 left — DP only", OptimizationConfig.dp()),
+        ("Figure 6 right — SP+DP", OptimizationConfig.sp_dp()),
+    ):
+        engine = Engine()
+
+        def factory(name, inputs, outputs):
+            index = int(name[1:]) - 1
+            return LocalService(
+                engine, name, inputs, outputs,
+                function=lambda x: {"y": x},
+                duration=lambda d, i=index: times[i][d["x"].value],
+            )
+
+        workflow = chain_workflow(factory, 2)
+        result = MoteurEnactor(engine, workflow, config).run({"input": [0, 1, 2]})
+        print(f"=== {title} (makespan {result.makespan:.0f} T) ===")
+        print(execution_diagram(result.trace, cell=1.0))
+        print()
+    return 0
+
+
+def cmd_bronze(args: argparse.Namespace) -> int:
+    from repro.apps.bronze_standard import BronzeStandardApplication
+    from repro.experiments.analysis import job_statistics, overhead_breakdown
+    from repro.grid.testbeds import egee_like_testbed
+    from repro.sim.engine import Engine
+    from repro.util.rng import RandomStreams
+    from repro.util.units import format_duration
+
+    engine = Engine()
+    streams = RandomStreams(seed=args.seed)
+    grid = egee_like_testbed(
+        engine, streams, n_sites=6, workers_per_ce=40, with_background_load=False
+    )
+    app = BronzeStandardApplication(engine, grid, streams)
+    config = _config_by_label(args.config)
+    result = app.enact(config, n_pairs=args.pairs)
+
+    print(f"configuration: {config.label}, {args.pairs} image pairs")
+    print(f"makespan: {format_duration(result.makespan)}")
+    if result.groups:
+        print(f"groups: {', '.join(g.name for g in result.groups)}")
+    stats = job_statistics(grid.records)
+    print(f"jobs: {stats.jobs} ({stats.total_attempts} attempts), "
+          f"overhead fraction {stats.overhead_fraction:.0%}")
+    phases = overhead_breakdown(grid.records)
+    if phases is not None:
+        print(
+            "mean phase latencies: "
+            f"submit->match {phases.submission_to_matched:.0f}s, "
+            f"match->queue {phases.matched_to_queued:.0f}s, "
+            f"queue->run {phases.queued_to_running:.0f}s, "
+            f"run->done {phases.running_to_done:.0f}s"
+        )
+    rotation = result.output_values("accuracy_rotation")[0]
+    translation = result.output_values("accuracy_translation")[0]
+    print(f"accuracy: {rotation:.3f} deg rotation, {translation:.3f} mm translation")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's evaluation from the command line.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="run the Table 1/2 sweep")
+    table1.add_argument("--sizes", type=int, nargs="+", default=[12, 66, 126])
+    table1.add_argument("--seed", type=int, default=42)
+    table1.set_defaults(func=cmd_table1)
+
+    diagrams = sub.add_parser("diagrams", help="regenerate Figures 4/5/6")
+    diagrams.set_defaults(func=cmd_diagrams)
+
+    bronze = sub.add_parser("bronze", help="run one Bronze Standard enactment")
+    bronze.add_argument("--pairs", type=int, default=12)
+    bronze.add_argument("--config", default="SP+DP+JG")
+    bronze.add_argument("--seed", type=int, default=42)
+    bronze.set_defaults(func=cmd_bronze)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Report formatting: text tables and paper-vs-measured comparisons.
+
+These renderers produce the artifacts the benchmark suite prints and
+EXPERIMENTS.md records: Table 1/Table 2 layouts, the Section 5.2/5.3
+ratio analyses, and explicit shape checks (configuration ordering,
+linearity, which metric each optimization moves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.experiments.calibration import PAPER_TABLE1, PAPER_TABLE2
+from repro.experiments.harness import SweepResult
+from repro.model.metrics import ConfigurationFit, ratios_table
+from repro.util.units import format_duration
+
+__all__ = [
+    "format_table1",
+    "format_table2",
+    "format_ratios",
+    "paper_comparison",
+    "check_ordering",
+    "SECTION52_PAIRS",
+]
+
+#: the (analyzed, reference) comparisons of Sections 5.2 and 5.3
+SECTION52_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("DP", "NOP"),
+    ("SP+DP", "DP"),
+    ("JG", "NOP"),
+    ("SP+DP+JG", "SP+DP"),
+)
+
+
+def _grid(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    def line(cells):
+        return " | ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), "-+-".join("-" * w for w in widths)]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def format_table1(sweep: SweepResult, with_hours: bool = False) -> str:
+    """Render the measured Table 1 (execution time per config and size)."""
+    headers = ["Configuration"] + [f"{s} pairs" for s in sweep.sizes]
+    rows = []
+    for label in sweep.config_labels:
+        cells = [label]
+        for size in sweep.sizes:
+            makespan = sweep.cell(label, size).makespan
+            cells.append(
+                f"{makespan:.0f}s ({makespan / 3600:.2f}h)" if with_hours else f"{makespan:.0f}"
+            )
+        rows.append(cells)
+    return _grid(headers, rows)
+
+
+def format_table2(fits: Mapping[str, ConfigurationFit]) -> str:
+    """Render the measured Table 2 (y-intercept and slope per config)."""
+    headers = ["Configuration", "y-intercept (s)", "slope (s/data set)", "r^2"]
+    rows = [
+        [label, f"{fit.y_intercept:.0f}", f"{fit.slope:.1f}", f"{fit.fit.r_squared:.4f}"]
+        for label, fit in fits.items()
+    ]
+    return _grid(headers, rows)
+
+
+def format_ratios(
+    fits: Mapping[str, ConfigurationFit],
+    pairs: Sequence[Tuple[str, str]] = SECTION52_PAIRS,
+) -> str:
+    """Render the Section 5.2/5.3 speed-up and ratio analysis."""
+    headers = [
+        "Analyzed vs reference",
+        "speed-ups (per size)",
+        "y-intercept ratio",
+        "slope ratio",
+    ]
+    rows = []
+    for entry in ratios_table(fits, pairs):
+        speedups = ", ".join(f"{s:.2f}" for s in entry["speedups"])
+        rows.append(
+            [
+                f"{entry['analyzed']} vs {entry['reference']}",
+                speedups,
+                f"{entry['y_intercept_ratio']:.2f}",
+                f"{entry['slope_ratio']:.2f}",
+            ]
+        )
+    return _grid(headers, rows)
+
+
+def paper_comparison(sweep: SweepResult) -> str:
+    """Side-by-side paper-vs-measured table for every Table 1 cell.
+
+    Also reports, per configuration, the paper's regression line next
+    to the measured one — the shape comparison EXPERIMENTS.md records.
+    """
+    headers = ["Configuration", "size", "paper (s)", "measured (s)", "measured/paper"]
+    rows = []
+    for label in sweep.config_labels:
+        for size in sweep.sizes:
+            paper = PAPER_TABLE1.get(label, {}).get(size)
+            measured = sweep.cell(label, size).makespan
+            ratio = f"{measured / paper:.2f}" if paper else "-"
+            rows.append([label, size, f"{paper:.0f}" if paper else "-", f"{measured:.0f}", ratio])
+    table = _grid(headers, rows)
+
+    fits = sweep.table2()
+    headers2 = ["Configuration", "paper y-int", "measured y-int", "paper slope", "measured slope"]
+    rows2 = []
+    for label in sweep.config_labels:
+        paper = PAPER_TABLE2.get(label)
+        fit = fits[label]
+        rows2.append(
+            [
+                label,
+                f"{paper[0]:.0f}" if paper else "-",
+                f"{fit.y_intercept:.0f}",
+                f"{paper[1]:.0f}" if paper else "-",
+                f"{fit.slope:.1f}",
+            ]
+        )
+    return table + "\n\n" + _grid(headers2, rows2)
+
+
+def check_ordering(sweep: SweepResult) -> Dict[int, bool]:
+    """Check the paper's headline shape at every size.
+
+    The published ordering at every input size is
+    ``NOP > JG > SP > DP > SP+DP > SP+DP+JG``; returns size -> whether
+    the measured sweep preserves it.
+    """
+    expected = ["NOP", "JG", "SP", "DP", "SP+DP", "SP+DP+JG"]
+    present = [label for label in expected if label in sweep.config_labels]
+    verdict: Dict[int, bool] = {}
+    for size in sweep.sizes:
+        times = [sweep.cell(label, size).makespan for label in present]
+        verdict[size] = all(t1 > t2 for t1, t2 in zip(times, times[1:]))
+    return verdict

@@ -1,0 +1,82 @@
+"""Failure injection and resubmission policy.
+
+Production-grid jobs fail for reasons unrelated to the application
+(middleware hiccups, full scratch disks, expired proxies...).  The
+paper's Figure 6 narrative makes this concrete: "D0 was submitted twice
+because an error occurred".  Failures interact with the optimization
+study in two ways:
+
+* they lengthen *some* jobs enormously, feeding the execution-time
+  variability that makes service parallelism profitable even under
+  data parallelism, and
+* resubmission multiplies the per-job overhead, amplifying what job
+  grouping saves.
+
+The model: each *attempt* fails independently with ``probability``.
+A failing attempt is detected only after ``detection_delay`` (the user
+notices via job monitoring), then the middleware resubmits, up to
+``max_attempts`` total attempts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.distributions import Constant, Distribution, as_distribution
+
+__all__ = ["FaultModel"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-attempt failure model with bounded resubmission."""
+
+    probability: float = 0.0
+    detection_delay: Distribution = field(default_factory=lambda: Constant(0.0))
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    @classmethod
+    def none(cls) -> "FaultModel":
+        """No failures (ideal and model-validation testbeds)."""
+        return cls(probability=0.0, max_attempts=1)
+
+    @classmethod
+    def from_values(
+        cls,
+        probability: float,
+        detection_delay: "float | Distribution" = 0.0,
+        max_attempts: int = 3,
+    ) -> "FaultModel":
+        """Build coercing a bare delay number to a constant distribution."""
+        return cls(
+            probability=probability,
+            detection_delay=as_distribution(detection_delay),
+            max_attempts=max_attempts,
+        )
+
+    def attempt_fails(self, rng: np.random.Generator) -> bool:
+        """Sample whether one attempt fails."""
+        if self.probability == 0.0:
+            return False
+        return bool(rng.random() < self.probability)
+
+    def sample_detection_delay(self, rng: np.random.Generator) -> float:
+        """How long a failure goes unnoticed before resubmission."""
+        return self.detection_delay.sample(rng)
+
+    def expected_attempts(self) -> float:
+        """Expected number of attempts per job (truncated geometric)."""
+        p = self.probability
+        if p == 0.0:
+            return 1.0
+        n = self.max_attempts
+        # E[min(G, n)] for geometric G with success prob (1-p):
+        return sum(p ** (k - 1) for k in range(1, n + 1))

@@ -1,0 +1,83 @@
+"""Background multi-user load.
+
+EGEE is a "large scale and multi-user platform" (Section 3.5.4): the
+application's jobs compete with thousands of other users' jobs for the
+same batch queues.  That contention is the physical source of the
+queuing-time variability at the heart of the paper's analysis.
+
+:class:`BackgroundLoad` is a simulated process that injects dummy jobs
+straight into computing-element queues with exponential inter-arrival
+times.  The injected jobs occupy real worker slots, so the contention
+felt by application jobs is structural, not just an added constant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.grid.job import JobDescription, JobRecord
+from repro.grid.resources import ComputingElement
+from repro.sim.engine import Engine
+from repro.util.distributions import Distribution, as_distribution
+
+__all__ = ["BackgroundLoad"]
+
+
+class BackgroundLoad:
+    """Poisson stream of other-user jobs hitting the computing elements.
+
+    Parameters
+    ----------
+    interarrival:
+        Distribution of seconds between consecutive background
+        submissions (across the whole grid).
+    duration:
+        Distribution of background-job compute time.
+    horizon:
+        Stop injecting after this simulated time (None = forever).
+        Experiments set a horizon comfortably beyond the measured
+        workload so the load is stationary throughout.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        computing_elements: List[ComputingElement],
+        rng: np.random.Generator,
+        interarrival: "float | Distribution",
+        duration: "float | Distribution",
+        horizon: Optional[float] = None,
+    ) -> None:
+        if not computing_elements:
+            raise ValueError("background load needs at least one CE")
+        self.engine = engine
+        self.computing_elements = list(computing_elements)
+        self._rng = rng
+        self.interarrival = as_distribution(interarrival)
+        self.duration = as_distribution(duration)
+        self.horizon = horizon
+        self.injected = 0
+        engine.process(self._inject_loop(), name="background-load")
+
+    def _inject_loop(self):
+        while True:
+            gap = self.interarrival.sample(self._rng)
+            yield self.engine.timeout(gap)
+            if self.horizon is not None and self.engine.now >= self.horizon:
+                return
+            target = self.computing_elements[
+                int(self._rng.integers(len(self.computing_elements)))
+            ]
+            description = JobDescription(
+                name=f"background-{self.injected}",
+                command_line="other-vo-payload",
+                compute_time=float(self.duration.sample(self._rng)),
+                owner="background",
+            )
+            record = JobRecord(description)
+            # Background jobs bypass the broker: they model load arriving
+            # at the site from elsewhere, and we never await their completion.
+            target.submit(record)
+            self.injected += 1

@@ -1,0 +1,266 @@
+"""The middleware façade: how users (and services) talk to the grid.
+
+:class:`Grid` bundles the whole infrastructure — sites, broker, replica
+catalog, network, overhead/fault models — behind the two operations the
+service layer needs:
+
+* :meth:`Grid.submit` — submit a :class:`~repro.grid.job.JobDescription`
+  and get a :class:`SubmissionHandle` whose ``completion`` event fires
+  when the job is done (the LCG2 submit-then-poll cycle, collapsed into
+  an event the enactor can wait on), and
+* :meth:`Grid.add_input_file` — register input data on a storage
+  element (the equivalent of ``lcg-cr`` publishing a file under a GFN).
+
+The job lifecycle implemented by :meth:`Grid._run_job`, per attempt::
+
+    SUBMITTED --submission latency--> (at the broker)
+    --brokering latency, broker slot held--> MATCHED at some CE
+    [fault?] --detection delay--> FAILED, maybe resubmit
+    --CE batch queue (+ queue_extra residency)--> RUNNING
+    --stage-in + execute + stage-out--> done on CE
+    --completion notification--> DONE
+
+All timestamps land in the job's :class:`~repro.grid.job.JobRecord`,
+which the experiment harness mines for overhead/makespan statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.grid.broker import ResourceBroker
+from repro.grid.faults import FaultModel
+from repro.grid.job import JobDescription, JobFailedError, JobRecord, JobState
+from repro.grid.overhead import OverheadModel
+from repro.grid.resources import ComputingElement, Site
+from repro.grid.storage import LogicalFile, ReplicaCatalog, StorageElement
+from repro.grid.transfer import NetworkModel
+from repro.sim.engine import Engine, Event
+from repro.util.rng import RandomStreams
+
+__all__ = ["Grid", "SubmissionHandle"]
+
+
+class SubmissionHandle:
+    """What a submitter holds after :meth:`Grid.submit`.
+
+    ``completion`` succeeds with the :class:`JobRecord` when the job
+    reaches DONE, and fails with :class:`JobFailedError` if every
+    attempt failed.
+    """
+
+    def __init__(self, record: JobRecord, completion: Event) -> None:
+        self.record = record
+        self.completion = completion
+
+    @property
+    def job_id(self) -> int:
+        """The underlying job id."""
+        return self.record.job_id
+
+    def __repr__(self) -> str:
+        return f"<SubmissionHandle job={self.record.name!r} state={self.record.state.value}>"
+
+
+class Grid:
+    """Façade over the whole simulated infrastructure."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        streams: RandomStreams,
+        sites: List[Site],
+        overhead: OverheadModel,
+        network: Optional[NetworkModel] = None,
+        faults: Optional[FaultModel] = None,
+        broker_strategy: str = "least-loaded",
+        broker_concurrency: "int | float" = float("inf"),
+        overhead_load_coupling: float = 0.0,
+        name: str = "grid",
+    ) -> None:
+        if not sites:
+            raise ValueError("a grid needs at least one site")
+        self.engine = engine
+        self.streams = streams
+        self.name = name
+        self.sites = list(sites)
+        self.overhead = overhead
+        if not 0.0 <= overhead_load_coupling <= 1.0:
+            raise ValueError(
+                f"overhead_load_coupling must be in [0, 1], got {overhead_load_coupling}"
+            )
+        #: 0 = overheads independent of load; 1 = brokering/queue phases
+        #: fully proportional to grid utilization (see load_factor()).
+        self.overhead_load_coupling = overhead_load_coupling
+        self.network = network if network is not None else NetworkModel()
+        self.faults = faults if faults is not None else FaultModel.none()
+        self.catalog = ReplicaCatalog()
+        self.computing_elements: List[ComputingElement] = []
+        self._storage_by_site: Dict[str, StorageElement] = {}
+        for site in self.sites:
+            for ce in site.computing_elements:
+                ce.grid = self
+                self.computing_elements.append(ce)
+            self._storage_by_site[site.name] = site.storage_element
+        self.broker = ResourceBroker(
+            engine,
+            self.computing_elements,
+            rng=streams.get("broker"),
+            strategy=broker_strategy,
+            concurrency=broker_concurrency,
+        )
+        #: every record ever submitted through this façade, submission order
+        self.records: List[JobRecord] = []
+        self._in_flight = 0
+        total_slots = 0.0
+        for ce in self.computing_elements:
+            capacity = ce.total_slots
+            if capacity == float("inf"):
+                total_slots = float("inf")
+                break
+            total_slots += capacity
+        self._total_slots = total_slots
+
+    # -- data management -------------------------------------------------
+    @property
+    def default_site(self) -> Site:
+        """Where un-sited inputs are registered (first site by convention)."""
+        return self.sites[0]
+
+    def storage_at(self, site_name: str) -> Optional[StorageElement]:
+        """The SE at *site_name*, or None if that site has no storage."""
+        return self._storage_by_site.get(site_name)
+
+    def add_input_file(self, file: LogicalFile, site_name: Optional[str] = None) -> None:
+        """Register an input file replica on a storage element."""
+        target_site = site_name if site_name is not None else self.default_site.name
+        se = self.storage_at(target_site)
+        if se is None:
+            raise ValueError(f"no storage element at site {target_site!r}")
+        self.catalog.register(file, se)
+
+    def stage_in_time(self, gfn: str, site: str) -> float:
+        """Seconds to pull *gfn* from its closest replica to *site*."""
+        file = self.catalog.lookup(gfn)
+        replica = self.catalog.closest_replica(gfn, site)
+        return self.network.transfer_time(replica.site, site, file.size)
+
+    def stage_out_time(self, file: LogicalFile, site: str) -> float:
+        """Seconds to push a produced *file* from *site* to its SE.
+
+        Outputs go to the local SE when the site has one (LAN cost),
+        otherwise to the default site's SE (WAN cost).
+        """
+        se = self.storage_at(site)
+        target_site = se.site if se is not None else self.default_site.name
+        return self.network.transfer_time(site, target_site, file.size)
+
+    def register_output(self, file: LogicalFile, site: str) -> None:
+        """Register a freshly produced file on the chosen SE."""
+        se = self.storage_at(site)
+        if se is None:
+            se = self.default_site.storage_element
+        self.catalog.register(file, se)
+
+    # -- load-dependent overheads ------------------------------------------
+    def load_factor(self) -> float:
+        """Current utilization: jobs in flight over total worker slots.
+
+        Production-grid queue waits depend on how loaded the shared
+        infrastructure is: a lone sequentially-submitted job (the NOP
+        regime) waits far less than one of 750 simultaneous submissions
+        (the DP regime).  Capped at 1.0; infinite testbeds report 0.
+        """
+        if self._total_slots == float("inf") or self._total_slots <= 0:
+            return 0.0
+        return min(1.0, self._in_flight / self._total_slots)
+
+    def _overhead_scale(self) -> float:
+        """Multiplier for the load-sensitive overhead phases.
+
+        ``(1 - c) + c * load`` with c = ``overhead_load_coupling``:
+        the nominal (calibrated) overhead is what a fully loaded grid
+        pays; a quiet grid pays the ``1 - c`` floor.
+        """
+        c = self.overhead_load_coupling
+        if c == 0.0:
+            return 1.0
+        return (1.0 - c) + c * self.load_factor()
+
+    # -- job submission -----------------------------------------------------
+    def submit(self, description: JobDescription) -> SubmissionHandle:
+        """Submit a job; returns immediately with a handle."""
+        for gfn in description.input_files:
+            if not self.catalog.knows(gfn):
+                raise ValueError(
+                    f"job {description.name!r} references unregistered input {gfn!r}"
+                )
+        record = JobRecord(description)
+        self.records.append(record)
+        completion = self.engine.event(name=f"job:{description.name}")
+        self.engine.process(self._run_job(record, completion), name=f"job:{record.job_id}")
+        return SubmissionHandle(record, completion)
+
+    def _run_job(self, record: JobRecord, completion: Event):
+        engine = self.engine
+        rng = self.streams.get("overhead")
+        fault_rng = self.streams.get("faults")
+        self._in_flight += 1
+        try:
+            yield from self._attempts(record, completion, rng, fault_rng)
+        except Exception as exc:
+            # CE-level failures (e.g. a payload raising) must reach the
+            # submitter through the handle, not crash the simulation.
+            record.enter(JobState.FAILED, engine.now)
+            record.failure_reason = str(exc)
+            if not completion.triggered:
+                completion.fail(exc)
+        finally:
+            self._in_flight -= 1
+
+    def _attempts(self, record: JobRecord, completion: Event, rng, fault_rng):
+        engine = self.engine
+        last_error = "unknown"
+        for attempt in range(1, self.faults.max_attempts + 1):
+            record.attempts = attempt
+            record.enter(JobState.SUBMITTED, engine.now)
+            sample = self.overhead.sample(rng).under_load(self._overhead_scale())
+            if sample.submission > 0:
+                yield engine.timeout(sample.submission)
+
+            chosen = yield engine.process(
+                self.broker.match(record, sample.brokering), name="match"
+            )
+            record.enter(JobState.MATCHED, engine.now)
+
+            if self.faults.attempt_fails(fault_rng):
+                delay = self.faults.sample_detection_delay(fault_rng)
+                if delay > 0:
+                    yield engine.timeout(delay)
+                record.enter(JobState.FAILED, engine.now)
+                last_error = f"attempt {attempt} failed on {chosen.name}"
+                record.failure_reason = last_error
+                continue
+
+            done_on_ce = chosen.submit(record, queue_extra=sample.queue_extra)
+            yield done_on_ce
+            if sample.completion_notification > 0:
+                yield engine.timeout(sample.completion_notification)
+            record.enter(JobState.DONE, engine.now)
+            record.failure_reason = None
+            completion.succeed(record)
+            return
+
+        error = JobFailedError(record, f"{last_error} (all {record.attempts} attempts)")
+        completion.fail(error)
+
+    # -- reporting ------------------------------------------------------------
+    def completed_records(self) -> List[JobRecord]:
+        """Records of jobs that reached DONE."""
+        return [r for r in self.records if r.state is JobState.DONE]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Grid {self.name!r} sites={len(self.sites)} "
+            f"ces={len(self.computing_elements)} jobs={len(self.records)}>"
+        )

@@ -1,0 +1,136 @@
+"""Storage elements, logical files and the replica catalog.
+
+The paper's executable descriptors reference data by **Grid File Name**
+(GFN) and leave physical placement to the middleware (Figure 8: access
+``type="GFN"``).  We model:
+
+* :class:`LogicalFile` — a GFN plus a size (sizes drive transfer times;
+  the Bronze Standard images are 7.8 MB raw / ~2.3 MB compressed),
+* :class:`StorageElement` — a named store attached to a site,
+* :class:`ReplicaCatalog` — the GFN -> {storage elements} mapping with
+  registration and replica resolution.
+
+A catalog lookup chooses the replica closest to the requesting site
+(same site wins, then any remote replica deterministically by name) —
+the simulator's stand-in for the LCG replica-selection heuristics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.util.units import MEBIBYTE
+
+__all__ = ["LogicalFile", "StorageElement", "ReplicaCatalog", "UnknownFileError"]
+
+_file_counter = itertools.count(1)
+
+
+class UnknownFileError(KeyError):
+    """Raised when resolving a GFN the catalog has never seen."""
+
+
+@dataclass(frozen=True)
+class LogicalFile:
+    """A grid file: logical name (GFN) + size in bytes."""
+
+    gfn: str
+    size: float = 1 * MEBIBYTE
+
+    def __post_init__(self) -> None:
+        if not self.gfn:
+            raise ValueError("LogicalFile needs a non-empty GFN")
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+
+    @staticmethod
+    def fresh(prefix: str, size: float) -> "LogicalFile":
+        """Mint a unique GFN under *prefix* (for newly produced outputs)."""
+        return LogicalFile(gfn=f"gfn://{prefix}/{next(_file_counter):08d}", size=size)
+
+
+class StorageElement:
+    """A storage endpoint living at a site."""
+
+    def __init__(self, name: str, site: str) -> None:
+        if not name:
+            raise ValueError("StorageElement needs a name")
+        self.name = name
+        self.site = site
+        self._files: Set[str] = set()
+
+    def holds(self, gfn: str) -> bool:
+        """True if this SE has a replica of *gfn*."""
+        return gfn in self._files
+
+    def add(self, gfn: str) -> None:
+        """Record a replica of *gfn* on this SE."""
+        self._files.add(gfn)
+
+    @property
+    def file_count(self) -> int:
+        """Number of replicas stored here."""
+        return len(self._files)
+
+    def __repr__(self) -> str:
+        return f"<StorageElement {self.name!r} site={self.site!r} files={len(self._files)}>"
+
+
+class ReplicaCatalog:
+    """GFN -> replicas mapping plus file metadata."""
+
+    def __init__(self) -> None:
+        self._replicas: Dict[str, List[StorageElement]] = {}
+        self._meta: Dict[str, LogicalFile] = {}
+
+    def register(self, file: LogicalFile, element: StorageElement) -> None:
+        """Register (or add a replica of) *file* on *element*."""
+        known = self._meta.get(file.gfn)
+        if known is not None and known.size != file.size:
+            raise ValueError(
+                f"GFN {file.gfn!r} re-registered with a different size "
+                f"({known.size} vs {file.size})"
+            )
+        self._meta[file.gfn] = file
+        replicas = self._replicas.setdefault(file.gfn, [])
+        if element not in replicas:
+            replicas.append(element)
+        element.add(file.gfn)
+
+    def lookup(self, gfn: str) -> LogicalFile:
+        """Return the :class:`LogicalFile` metadata for *gfn*."""
+        try:
+            return self._meta[gfn]
+        except KeyError:
+            raise UnknownFileError(gfn) from None
+
+    def replicas(self, gfn: str) -> List[StorageElement]:
+        """All SEs holding *gfn* (registration order)."""
+        if gfn not in self._replicas:
+            raise UnknownFileError(gfn)
+        return list(self._replicas[gfn])
+
+    def closest_replica(self, gfn: str, site: str) -> StorageElement:
+        """Pick the replica to read from for a job running at *site*.
+
+        Same-site replicas win; otherwise the lexicographically first SE
+        name is used so that the choice is deterministic.
+        """
+        candidates = self.replicas(gfn)
+        local = [se for se in candidates if se.site == site]
+        if local:
+            return local[0]
+        return min(candidates, key=lambda se: se.name)
+
+    def knows(self, gfn: str) -> bool:
+        """True if *gfn* has been registered."""
+        return gfn in self._meta
+
+    def gfns(self) -> Iterable[str]:
+        """All registered GFNs (sorted, for deterministic iteration)."""
+        return sorted(self._meta)
+
+    def __len__(self) -> int:
+        return len(self._meta)

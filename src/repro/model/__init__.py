@@ -1,0 +1,45 @@
+"""Analytical performance models (Section 3.5) and metrics (Section 5.1).
+
+* :mod:`~repro.model.makespan` — closed-form workflow execution times
+  for the four execution policies: equations (1) to (4),
+* :mod:`~repro.model.speedup` — the asymptotic speed-ups of
+  Section 3.5.4 (constant execution times),
+* :mod:`~repro.model.metrics` — the speed-up, **y-intercept ratio** and
+  **slope ratio** metrics introduced for interpreting measurements on
+  production grids,
+* :mod:`~repro.model.probabilistic` — the stochastic extension sketched
+  in Section 5.4 (and reference [12]): expected makespans under random
+  per-job overheads, which explains *why* service parallelism keeps
+  paying off when data parallelism is already on.
+"""
+
+from repro.model.makespan import (
+    makespan_dp,
+    makespan_dsp,
+    makespan_sequential,
+    makespan_sp,
+    makespans,
+)
+from repro.model.metrics import ConfigurationFit, speedup, y_intercept_ratio, slope_ratio
+from repro.model.speedup import (
+    speedup_dp_given_sp,
+    speedup_dp_no_sp,
+    speedup_sp_given_dp,
+    speedup_sp_no_dp,
+)
+
+__all__ = [
+    "makespan_sequential",
+    "makespan_dp",
+    "makespan_sp",
+    "makespan_dsp",
+    "makespans",
+    "speedup_dp_no_sp",
+    "speedup_sp_no_dp",
+    "speedup_dp_given_sp",
+    "speedup_sp_given_dp",
+    "speedup",
+    "y_intercept_ratio",
+    "slope_ratio",
+    "ConfigurationFit",
+]

@@ -1,0 +1,111 @@
+"""The paper's analysis metrics (Section 5.1).
+
+Three metrics interpret execution-time measurements on a production
+grid:
+
+* **speed-up** — "the ratio of the execution time over the reference
+  execution time";
+* **y-intercept ratio** — the time curves against input-set size are
+  nearly straight lines; their y-intercept "denotes the time spent for
+  the processing of 0 data set and thus corresponds to the
+  incompressible amount of time required to access the infrastructure".
+  The ratio compares a reference configuration's intercept to the
+  analyzed one's (>1 = the optimization reduced the overhead);
+* **slope ratio** — the slope "measures the data scalability of the
+  grid"; its ratio works the same way (>1 = better scalability).
+
+Job grouping is expected to move (mostly) the y-intercept ratio, data
+parallelism (mostly) the slope ratio — which is exactly what Table 2
+shows and what benchmark E10 re-derives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.util.stats import LinearFit, linear_fit
+
+__all__ = ["speedup", "y_intercept_ratio", "slope_ratio", "ConfigurationFit", "fit_configuration"]
+
+
+def speedup(reference_time: float, optimized_time: float) -> float:
+    """Speed-up of *optimized* over *reference* (>1 = faster)."""
+    if reference_time < 0 or optimized_time <= 0:
+        raise ValueError(
+            f"need reference >= 0 and optimized > 0, got {reference_time}, {optimized_time}"
+        )
+    return reference_time / optimized_time
+
+
+def y_intercept_ratio(reference: LinearFit, analyzed: LinearFit) -> float:
+    """Reference intercept over analyzed intercept (>1 = overhead reduced)."""
+    if analyzed.intercept == 0:
+        return float("inf")
+    return reference.intercept / analyzed.intercept
+
+
+def slope_ratio(reference: LinearFit, analyzed: LinearFit) -> float:
+    """Reference slope over analyzed slope (>1 = scalability improved)."""
+    if analyzed.slope == 0:
+        return float("inf")
+    return reference.slope / analyzed.slope
+
+
+@dataclass(frozen=True)
+class ConfigurationFit:
+    """One configuration's regression line over the size sweep (Table 2 row)."""
+
+    label: str
+    sizes: tuple
+    times: tuple
+    fit: LinearFit
+
+    @property
+    def y_intercept(self) -> float:
+        """Seconds to process zero data sets (infrastructure access cost)."""
+        return self.fit.intercept
+
+    @property
+    def slope(self) -> float:
+        """Seconds per additional data set (data scalability)."""
+        return self.fit.slope
+
+
+def fit_configuration(
+    label: str, sizes: Sequence[float], times: Sequence[float]
+) -> ConfigurationFit:
+    """Regress measured times against data-set sizes for one configuration."""
+    return ConfigurationFit(
+        label=label,
+        sizes=tuple(float(s) for s in sizes),
+        times=tuple(float(t) for t in times),
+        fit=linear_fit(sizes, times),
+    )
+
+
+def ratios_table(
+    fits: Mapping[str, ConfigurationFit], pairs: Sequence[tuple]
+) -> "list[dict]":
+    """Compute (reference, analyzed) ratio rows, Section 5.2/5.3 style.
+
+    *pairs* is a sequence of ``(analyzed_label, reference_label)``;
+    each row carries the two ratios plus per-size speed-ups.
+    """
+    rows = []
+    for analyzed_label, reference_label in pairs:
+        analyzed = fits[analyzed_label]
+        reference = fits[reference_label]
+        speedups = tuple(
+            speedup(rt, at) for rt, at in zip(reference.times, analyzed.times)
+        )
+        rows.append(
+            {
+                "analyzed": analyzed_label,
+                "reference": reference_label,
+                "speedups": speedups,
+                "y_intercept_ratio": y_intercept_ratio(reference.fit, analyzed.fit),
+                "slope_ratio": slope_ratio(reference.fit, analyzed.fit),
+            }
+        )
+    return rows

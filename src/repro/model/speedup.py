@@ -1,0 +1,80 @@
+"""Asymptotic speed-ups under constant execution times (Section 3.5.4).
+
+With ``T_ij = T`` the makespans collapse to::
+
+    Σ      = n_D · n_W · T
+    Σ_DP   = Σ_DSP = n_W · T
+    Σ_SP   = (n_D + n_W − 1) · T
+
+giving the paper's four headline ratios:
+
+* ``S_DP   = Σ / Σ_DP            = n_D``      (DP alone)
+* ``S_SP   = Σ / Σ_SP            = n_D·n_W / (n_D + n_W − 1)``  (SP alone)
+* ``S_DSP  = Σ_SP / Σ_DSP        = (n_D + n_W − 1) / n_W``  (DP on top of SP)
+* ``S_SDP  = Σ_DP / Σ_DSP        = 1``        (SP on top of DP)
+
+The last line is the punchline the experiments overturn: **in theory**
+service parallelism adds nothing once data parallelism is on — but only
+under the constant-time hypothesis, which production-grid overhead
+variability violates (Sections 3.5.4 and 5.2).  The special cases
+(massively data-parallel, non-data-intensive) are provided too.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "speedup_dp_no_sp",
+    "speedup_sp_no_dp",
+    "speedup_dp_given_sp",
+    "speedup_sp_given_dp",
+    "constant_time_makespans",
+]
+
+
+def _check(n_w: int, n_d: int) -> None:
+    if n_w < 1:
+        raise ValueError(f"n_W must be >= 1, got {n_w}")
+    if n_d < 1:
+        raise ValueError(f"n_D must be >= 1, got {n_d}")
+
+
+def constant_time_makespans(n_w: int, n_d: int, T: float = 1.0) -> dict:
+    """The four makespans under T_ij = T (last paragraph of Section 3.5.4)."""
+    _check(n_w, n_d)
+    if T < 0:
+        raise ValueError(f"T must be >= 0, got {T}")
+    return {
+        "NOP": n_d * n_w * T,
+        "DP": n_w * T,
+        "SP": (n_d + n_w - 1) * T,
+        "SP+DP": n_w * T,
+    }
+
+
+def speedup_dp_no_sp(n_w: int, n_d: int) -> float:
+    """``S_DP = n_D``: data parallelism with service parallelism disabled."""
+    _check(n_w, n_d)
+    return float(n_d)
+
+
+def speedup_sp_no_dp(n_w: int, n_d: int) -> float:
+    """``S_SP = n_D n_W / (n_D + n_W − 1)``: service parallelism alone."""
+    _check(n_w, n_d)
+    return n_d * n_w / (n_d + n_w - 1)
+
+
+def speedup_dp_given_sp(n_w: int, n_d: int) -> float:
+    """``S_DSP = (n_D + n_W − 1) / n_W``: DP added on top of SP."""
+    _check(n_w, n_d)
+    return (n_d + n_w - 1) / n_w
+
+
+def speedup_sp_given_dp(n_w: int, n_d: int) -> float:
+    """``S_SDP = 1``: SP added on top of DP — *under constant times*.
+
+    Kept as a function (rather than a constant) for symmetry and
+    because benchmark E11 plots the measured value against this
+    theoretical floor as overhead variability grows.
+    """
+    _check(n_w, n_d)
+    return 1.0

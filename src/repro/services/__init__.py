@@ -1,0 +1,59 @@
+"""The application-service layer.
+
+The paper's central design choice is the **service-based approach**:
+application codes are wrapped behind standard invocation interfaces and
+the workflow enactor treats them as black boxes (Section 1).  This
+subpackage provides:
+
+* :mod:`~repro.services.base` — the abstract :class:`Service` contract
+  plus in-memory services for tests,
+* :mod:`~repro.services.descriptor` — the XML *executable descriptor*
+  of Figure 8 (name/access of the executable, sandboxed files, inputs
+  with command-line options, parameters, outputs),
+* :mod:`~repro.services.wrapper` — the **generic wrapper service** that
+  turns any descriptor + legacy program into a grid-submitting service
+  (the paper's answer to "(i) an extra level of complexity on the
+  application developer side"),
+* :mod:`~repro.services.composite` — the **virtual grouped service**
+  that composes several wrapped codes into a single grid job
+  (Section 3.6, Figure 7 bottom),
+* :mod:`~repro.services.invocation` — asynchronous call semantics
+  (Section 3.1: enactor-side threads because mainstream SOAP stacks
+  lacked async calls),
+* :mod:`~repro.services.soap` / :mod:`~repro.services.gridrpc` —
+  simulated transports reproducing the two standard interfaces the
+  prototype spoke (Web Services and GridRPC),
+* :mod:`~repro.services.registry` — a minimal service-discovery
+  registry (stand-in for myGrid's Feta).
+"""
+
+from repro.services.base import GridData, LocalService, Service, ServiceError
+from repro.services.batching import BatchingService
+from repro.services.composite import CompositeService
+from repro.services.descriptor import (
+    AccessMethod,
+    ExecutableDescriptor,
+    InputSpec,
+    OutputSpec,
+    SandboxSpec,
+    descriptor_from_xml,
+    descriptor_to_xml,
+)
+from repro.services.wrapper import GenericWrapperService
+
+__all__ = [
+    "Service",
+    "ServiceError",
+    "LocalService",
+    "GridData",
+    "GenericWrapperService",
+    "CompositeService",
+    "BatchingService",
+    "ExecutableDescriptor",
+    "AccessMethod",
+    "InputSpec",
+    "OutputSpec",
+    "SandboxSpec",
+    "descriptor_from_xml",
+    "descriptor_to_xml",
+]

@@ -1,0 +1,98 @@
+"""Simulated GridRPC programming interface.
+
+The GridRPC standard ([20] in the paper) defines handle-based
+asynchronous remote procedure calls: ``grpc_call_async`` returns a
+session handle immediately and ``grpc_wait``/``grpc_probe`` observe it.
+MOTEUR "is implementing an interface to both Web Services and GridRPC
+instrumented application code" — this module is that second interface.
+
+:class:`GridRpcClient` adapts the handle-based API onto our event-based
+services so the enactor (or a user) can drive services GridRPC-style.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Mapping, Optional
+
+from repro.services.base import Service, ServiceError
+from repro.sim.engine import Engine, Event
+
+__all__ = ["GridRpcClient", "SessionHandle", "SessionState"]
+
+
+class SessionState(Enum):
+    """GridRPC session lifecycle."""
+
+    RUNNING = "running"
+    DONE = "done"
+    ERROR = "error"
+
+
+_session_ids = itertools.count(1)
+
+
+@dataclass
+class SessionHandle:
+    """The opaque handle ``grpc_call_async`` hands back."""
+
+    session_id: int
+    service: str
+    event: Event = field(repr=False)
+
+    @property
+    def state(self) -> SessionState:
+        if not self.event.triggered:
+            return SessionState.RUNNING
+        return SessionState.DONE if self.event.ok else SessionState.ERROR
+
+
+class GridRpcClient:
+    """Handle-based async RPC facade over event-based services."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._sessions: Dict[int, SessionHandle] = {}
+
+    def call_async(self, service: Service, inputs: Mapping[str, Any]) -> SessionHandle:
+        """``grpc_call_async``: start the call, return its handle."""
+        event = service.invoke(inputs)
+        handle = SessionHandle(
+            session_id=next(_session_ids), service=service.name, event=event
+        )
+        self._sessions[handle.session_id] = handle
+        return handle
+
+    def probe(self, handle: SessionHandle) -> SessionState:
+        """``grpc_probe``: non-blocking state check."""
+        return handle.state
+
+    def wait(self, handle: SessionHandle) -> Event:
+        """``grpc_wait``: an event for use inside simulated processes.
+
+        GridRPC's blocking wait maps to yielding this event.
+        """
+        return handle.event
+
+    def wait_any(self, handles: "list[SessionHandle]") -> Event:
+        """``grpc_wait_any``: first of several sessions to finish."""
+        if not handles:
+            raise ServiceError("wait_any needs at least one handle")
+        return self.engine.any_of([h.event for h in handles])
+
+    def wait_all(self, handles: "list[SessionHandle]") -> Event:
+        """``grpc_wait_all``: all sessions finished."""
+        if not handles:
+            raise ServiceError("wait_all needs at least one handle")
+        return self.engine.all_of([h.event for h in handles])
+
+    def session(self, session_id: int) -> Optional[SessionHandle]:
+        """Look a session up by id (None if unknown)."""
+        return self._sessions.get(session_id)
+
+    @property
+    def open_sessions(self) -> int:
+        """Number of sessions still running."""
+        return sum(1 for h in self._sessions.values() if h.state is SessionState.RUNNING)

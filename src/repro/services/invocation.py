@@ -1,0 +1,79 @@
+"""Invocation semantics: asynchronous calls from the enactor.
+
+Section 3.1: "the calls made from the workflow enactor to these
+services need to be non-blocking for exploiting the potential
+parallelism.  [...] none of the major [web service] implementations do
+provide any asynchronous service calls for now.  As a consequence,
+asynchronous calls to web services need to be implemented at the
+workflow enactor level, by spawning independent system threads for each
+processor being executed."
+
+In the simulator a "system thread" is a simulated process; the two
+invokers below make the distinction explicit and measurable:
+
+* :class:`AsyncInvoker` — fire-and-collect; any number of outstanding
+  calls (the MOTEUR behaviour).
+* :class:`SyncInvoker` — one blocking call at a time per invoker (what a
+  naive client of a synchronous SOAP stack gets); kept for contrast in
+  tests and ablations, it serializes *everything* and therefore kills
+  even workflow parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.services.base import Service
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import Resource
+
+__all__ = ["AsyncInvoker", "SyncInvoker", "gather"]
+
+
+class AsyncInvoker:
+    """Non-blocking invocation: one simulated thread per call."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.calls_started = 0
+
+    def call(self, service: Service, inputs: Mapping[str, Any]) -> Event:
+        """Invoke *service*; returns the result event immediately."""
+        self.calls_started += 1
+        return service.invoke(inputs)
+
+
+class SyncInvoker:
+    """Blocking invocation: at most one call in flight.
+
+    ``call`` still returns an event (so callers compose), but calls are
+    admitted strictly one at a time in request order.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._lock = Resource(engine, 1, name="sync-invoker")
+        self.calls_started = 0
+
+    def call(self, service: Service, inputs: Mapping[str, Any]) -> Event:
+        """Queue a blocking invocation of *service*."""
+        self.calls_started += 1
+        done = self.engine.event(name=f"sync:{service.name}")
+        self.engine.process(self._serialized(service, dict(inputs), done))
+        return done
+
+    def _serialized(self, service: Service, inputs: Dict[str, Any], done: Event):
+        request = self._lock.request()
+        yield request
+        try:
+            outputs = yield service.invoke(inputs)
+            done.succeed(outputs)
+        except Exception as exc:
+            done.fail(exc)
+        finally:
+            self._lock.release(request)
+
+
+def gather(engine: Engine, events: List[Event]) -> Event:
+    """All-of over invocation events, preserving order of results."""
+    return engine.all_of(events)

@@ -1,0 +1,90 @@
+"""A minimal service registry.
+
+Stand-in for the semantic service-discovery layer the paper cites
+(Feta, [17]): enough structure for workflows to resolve services by
+name and for users to search by port signature, without pretending to
+do ontology reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.services.base import Service
+
+__all__ = ["ServiceRegistry", "ServiceEntry"]
+
+
+@dataclass
+class ServiceEntry:
+    """A registered service plus free-form metadata."""
+
+    service: Service
+    description: str = ""
+    tags: Mapping[str, str] = field(default_factory=dict)
+
+
+class ServiceRegistry:
+    """Name-indexed catalog of available application services."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ServiceEntry] = {}
+
+    def register(
+        self,
+        service: Service,
+        description: str = "",
+        tags: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Add *service*; re-registering the same name is an error."""
+        if service.name in self._entries:
+            raise ValueError(f"service {service.name!r} already registered")
+        self._entries[service.name] = ServiceEntry(
+            service=service, description=description, tags=dict(tags or {})
+        )
+
+    def unregister(self, name: str) -> None:
+        """Remove a service by name (KeyError if absent)."""
+        del self._entries[name]
+
+    def resolve(self, name: str) -> Service:
+        """Return the service registered under *name*."""
+        try:
+            return self._entries[name].service
+        except KeyError:
+            raise KeyError(f"no service named {name!r} in registry") from None
+
+    def find_by_ports(
+        self,
+        input_ports: Optional[Iterable[str]] = None,
+        output_ports: Optional[Iterable[str]] = None,
+    ) -> List[Service]:
+        """Services whose signature contains the requested port names."""
+        needed_in = set(input_ports or ())
+        needed_out = set(output_ports or ())
+        found = []
+        for name in sorted(self._entries):
+            service = self._entries[name].service
+            if needed_in <= set(service.input_ports) and needed_out <= set(service.output_ports):
+                found.append(service)
+        return found
+
+    def find_by_tag(self, key: str, value: Optional[str] = None) -> List[Service]:
+        """Services carrying a metadata tag (optionally with a value)."""
+        found = []
+        for name in sorted(self._entries):
+            entry = self._entries[name]
+            if key in entry.tags and (value is None or entry.tags[key] == value):
+                found.append(entry.service)
+        return found
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries

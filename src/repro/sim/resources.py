@@ -1,0 +1,140 @@
+"""Shared-resource primitives for the DES kernel.
+
+``Resource``
+    A counting semaphore with FIFO granting — models worker-node slots,
+    per-service concurrency caps (data parallelism off = capacity 1),
+    and middleware entry points.
+``Store``
+    An unbounded FIFO of items with blocking ``get`` — models batch
+    queues and message channels between simulated processes.
+
+Both grant strictly in request order, which keeps the simulator
+deterministic and makes the pipeline-order assumptions of the paper's
+equation (3) hold (a service processes data sets in arrival order).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """FIFO counting semaphore.
+
+    Usage inside a process generator::
+
+        req = resource.request()
+        yield req
+        try:
+            yield engine.timeout(work)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, engine: Engine, capacity: int | float, name: str = "") -> None:
+        if capacity != float("inf"):
+            if not isinstance(capacity, int) or capacity < 1:
+                raise ValueError(f"capacity must be a positive int or inf, got {capacity!r}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: Deque[Event] = deque()
+        self._granted: set[int] = set()  # ids of live grants, to catch bad releases
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a slot is granted."""
+        req = self.engine.event(name=f"request:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._granted.add(id(req))
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Event) -> None:
+        """Release the slot granted to *request*.
+
+        Releasing a request that was never granted (or already
+        released) raises, because silently tolerating it would mask
+        accounting bugs in the middleware model.
+        """
+        if id(request) not in self._granted:
+            if request in self._waiting:  # cancel a queued request
+                self._waiting.remove(request)
+                return
+            raise SimulationError(f"release of non-granted request on {self.name!r}")
+        self._granted.discard(id(request))
+        self._in_use -= 1
+        if self._waiting and self._in_use < self.capacity:
+            nxt = self._waiting.popleft()
+            self._in_use += 1
+            self._granted.add(id(nxt))
+            nxt.succeed(nxt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Resource {self.name!r} {self._in_use}/{self.capacity}"
+            f" queued={len(self._waiting)}>"
+        )
+
+
+class Store:
+    """Unbounded FIFO item store with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that succeeds with
+    the oldest item; pending gets are served in request order.
+    """
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def pending_gets(self) -> int:
+        """Number of get requests waiting for an item."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Deposit *item*, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event succeeding with the next item (FIFO)."""
+        evt = self.engine.event(name=f"get:{self.name}")
+        if self._items:
+            evt.succeed(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def peek_items(self) -> tuple:
+        """Snapshot of queued items, oldest first (for inspection/tests)."""
+        return tuple(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Store {self.name!r} items={len(self._items)} getters={len(self._getters)}>"

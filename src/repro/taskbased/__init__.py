@@ -1,0 +1,34 @@
+"""The task-based (global computing) baseline of Section 2.
+
+In the task-based strategy "the description of a task ... encompasses
+both the processing (binary code and command line parameters) and the
+data (static declaration)": every computation is spelled out ahead of
+time, one task per (processor, data combination), and a DAG manager
+(Condor DAGMan is the paper's emblematic example) executes the acyclic
+graph.
+
+This package exists for the comparisons the paper draws:
+
+* :mod:`~repro.taskbased.jdl` — static task descriptions rendered in a
+  classad-like job description language,
+* :mod:`~repro.taskbased.dag` — the **static expansion** of a service
+  workflow over an input data set, making the combinatorial explosion
+  of chained cross products measurable (Section 2.2), and the
+  structural impossibility of loops (Section 2.1) a raised exception,
+* :mod:`~repro.taskbased.dagman` — a DAGMan-like executor running the
+  expanded graph on the simulated grid.
+"""
+
+from repro.taskbased.dag import StaticDag, TaskInstance, expand_workflow
+from repro.taskbased.dagman import DagmanExecutor, DagRunResult
+from repro.taskbased.jdl import TaskDescription, render_jdl
+
+__all__ = [
+    "TaskDescription",
+    "render_jdl",
+    "StaticDag",
+    "TaskInstance",
+    "expand_workflow",
+    "DagmanExecutor",
+    "DagRunResult",
+]

@@ -1,0 +1,68 @@
+"""Static task descriptions and a classad-like JDL rendering.
+
+Task-based middlewares (GLOBUS, LCG2, gLite) take job description
+documents that statically name the executable, its arguments and its
+input/output files — "the user is responsible for providing the binary
+code to be executed and for writing down the precise invocation
+command line" (Section 2.1).  The contrast with the dynamic binding of
+the service approach is the point; the renderer exists so tests and
+examples can show what the users of the task-based approach actually
+maintain by hand, at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+__all__ = ["TaskDescription", "render_jdl"]
+
+
+@dataclass(frozen=True)
+class TaskDescription:
+    """One fully static computing task."""
+
+    name: str
+    executable: str
+    arguments: str = ""
+    input_files: Tuple[str, ...] = ()
+    output_files: Tuple[str, ...] = ()
+    requirements: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a task needs a name")
+        if not self.executable:
+            raise ValueError(f"task {self.name!r} needs an executable")
+
+
+def render_jdl(task: TaskDescription) -> str:
+    """Render in the LCG2/gLite classad-like JDL syntax.
+
+    >>> print(render_jdl(TaskDescription(
+    ...     name="crestLines-D0", executable="CrestLines.pl",
+    ...     arguments="-im1 f0.mhd -im2 r0.mhd -s 8",
+    ...     input_files=("f0.mhd", "r0.mhd"), output_files=("c0.crest",))))
+    [
+      JobName = "crestLines-D0";
+      Executable = "CrestLines.pl";
+      Arguments = "-im1 f0.mhd -im2 r0.mhd -s 8";
+      InputSandbox = {"f0.mhd", "r0.mhd"};
+      OutputSandbox = {"c0.crest"};
+    ]
+    """
+    lines = ["["]
+    lines.append(f'  JobName = "{task.name}";')
+    lines.append(f'  Executable = "{task.executable}";')
+    if task.arguments:
+        lines.append(f'  Arguments = "{task.arguments}";')
+    if task.input_files:
+        quoted = ", ".join(f'"{f}"' for f in task.input_files)
+        lines.append(f"  InputSandbox = {{{quoted}}};")
+    if task.output_files:
+        quoted = ", ".join(f'"{f}"' for f in task.output_files)
+        lines.append(f"  OutputSandbox = {{{quoted}}};")
+    for key in sorted(task.requirements):
+        lines.append(f"  {key} = {task.requirements[key]};")
+    lines.append("]")
+    return "\n".join(lines)

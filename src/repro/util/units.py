@@ -1,0 +1,67 @@
+"""Time and data-size units.
+
+The simulator's base units are **seconds** for time and **bytes** for
+data sizes.  These constants and formatters keep magic numbers out of
+the rest of the code base and make calibration tables readable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "KIBIBYTE",
+    "MEBIBYTE",
+    "GIBIBYTE",
+    "format_duration",
+    "format_size",
+]
+
+SECOND = 1.0
+MINUTE = 60.0 * SECOND
+HOUR = 60.0 * MINUTE
+DAY = 24.0 * HOUR
+
+KIBIBYTE = 1024
+MEBIBYTE = 1024 * KIBIBYTE
+GIBIBYTE = 1024 * MEBIBYTE
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a compact human-readable form.
+
+    >>> format_duration(32855)
+    '9h07m35s'
+    >>> format_duration(59.5)
+    '59.5s'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.1f}s"
+    total = int(round(seconds))
+    hours, rem = divmod(total, int(HOUR))
+    minutes, secs = divmod(rem, int(MINUTE))
+    if hours:
+        return f"{hours}h{minutes:02d}m{secs:02d}s"
+    return f"{minutes}m{secs:02d}s"
+
+
+def format_size(num_bytes: float) -> str:
+    """Render a byte count with binary prefixes.
+
+    >>> format_size(7.8 * MEBIBYTE)
+    '7.8 MiB'
+    >>> format_size(512)
+    '512 B'
+    """
+    if num_bytes < 0:
+        return "-" + format_size(-num_bytes)
+    if num_bytes < KIBIBYTE:
+        return f"{int(num_bytes)} B"
+    for unit, name in ((GIBIBYTE, "GiB"), (MEBIBYTE, "MiB"), (KIBIBYTE, "KiB")):
+        if num_bytes >= unit:
+            return f"{num_bytes / unit:.1f} {name}"
+    raise AssertionError("unreachable")

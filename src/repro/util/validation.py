@@ -1,0 +1,41 @@
+"""Small argument-validation helpers.
+
+Consistent error messages across the code base; all raise standard
+exception types so callers do not need repro-specific exception
+handling for plain misuse.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["require_positive", "require_non_negative", "require_in", "require_type"]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return *value* if strictly positive, else raise ``ValueError``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return *value* if >= 0, else raise ``ValueError``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in(value: Any, options: tuple, name: str) -> Any:
+    """Return *value* if it is one of *options*, else raise ``ValueError``."""
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options!r}, got {value!r}")
+    return value
+
+
+def require_type(value: Any, types: type | tuple[type, ...], name: str) -> Any:
+    """Return *value* if it is an instance of *types*, else raise ``TypeError``."""
+    if not isinstance(value, types):
+        expected = types.__name__ if isinstance(types, type) else "/".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value

@@ -1,0 +1,120 @@
+"""Canned workflow shapes used across tests, examples and benchmarks.
+
+* :func:`chain_workflow` — a linear pipeline of ``n`` services (the
+  shape behind the model equations on the critical path),
+* :func:`figure1_workflow` — the paper's Figure 1: P1 feeding P2 and
+  P3 in parallel branches (used by the Figure 4/5 execution diagrams),
+* :func:`figure2_workflow` — the paper's Figure 2: the optimization
+  loop where P2's input merges the source with P3's loop-back output,
+* :func:`diamond_workflow` — fan-out/fan-in, for grouping-boundary and
+  synchronization tests.
+
+All builders take a service *factory* so callers decide what stands
+behind each processor (local stub, grid-wrapped code, ...):
+``factory(name, inputs, outputs) -> Service``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.graph import Workflow
+
+__all__ = [
+    "ServiceFactory",
+    "chain_workflow",
+    "figure1_workflow",
+    "figure2_workflow",
+    "diamond_workflow",
+]
+
+ServiceFactory = Callable[[str, Tuple[str, ...], Tuple[str, ...]], object]
+
+
+def chain_workflow(factory: ServiceFactory, length: int, name: str = "chain") -> Workflow:
+    """``source -> P1 -> P2 -> ... -> Pn -> sink`` (each P has ports x -> y)."""
+    if length < 1:
+        raise ValueError(f"chain length must be >= 1, got {length}")
+    builder = WorkflowBuilder(name).source("input")
+    previous = "input:output"
+    for i in range(1, length + 1):
+        pname = f"P{i}"
+        builder.service(pname, factory(pname, ("x",), ("y",)))
+        builder.connect(previous, f"{pname}:x")
+        previous = f"{pname}:y"
+    builder.sink("result")
+    builder.connect(previous, "result:input")
+    return builder.build()
+
+
+def figure1_workflow(factory: ServiceFactory, name: str = "figure1") -> Workflow:
+    """The paper's Figure 1: P1 -> {P2, P3}, two parallel branches.
+
+    P2 and P3 "may be executed in parallel" — the canonical workflow-
+    parallelism example, and the workflow behind the execution diagrams
+    of Figures 4 and 5.
+    """
+    return (
+        WorkflowBuilder(name)
+        .source("source")
+        .service("P1", factory("P1", ("x",), ("y",)))
+        .service("P2", factory("P2", ("x",), ("y",)))
+        .service("P3", factory("P3", ("x",), ("y",)))
+        .sink("sink2")
+        .sink("sink3")
+        .connect("source:output", "P1:x")
+        .connect("P1:y", "P2:x")
+        .connect("P1:y", "P3:x")
+        .connect("P2:y", "sink2:input")
+        .connect("P3:y", "sink3:input")
+        .build()
+    )
+
+
+def figure2_workflow(factory: ServiceFactory, name: str = "figure2") -> Workflow:
+    """The paper's Figure 2: a service-based workflow with a loop.
+
+    ``P1`` computes the initial value of the convergence criterion;
+    ``P2``'s input port **merges** P1's output with ``P3``'s loop-back
+    port ("an input port can collect data from different sources");
+    ``P3`` emits on its ``loop`` port to iterate one more time or on
+    its ``done`` port to exit — "an optimization loop converging after
+    a number of iterations determined at the execution time".
+    Task-based DAG managers cannot express this shape (no loops in a
+    DAG).
+    """
+    return (
+        WorkflowBuilder(name)
+        .source("source")
+        .service("P1", factory("P1", ("x",), ("y",)))
+        .service("P2", factory("P2", ("x",), ("y",)))
+        .service("P3", factory("P3", ("x",), ("loop", "done")))
+        .sink("sink")
+        .connect("source:output", "P1:x")
+        .connect("P1:y", "P2:x")  # initial criterion value
+        .connect("P2:y", "P3:x")
+        .connect("P3:loop", "P2:x")  # the loop-back arrow merges into P2:x
+        .connect("P3:done", "sink:input")
+        .build()
+    )
+
+
+def diamond_workflow(factory: ServiceFactory, name: str = "diamond") -> Workflow:
+    """``source -> A -> {B, C} -> D -> sink`` with D dot-joining B and C."""
+    return (
+        WorkflowBuilder(name)
+        .source("source")
+        .service("A", factory("A", ("x",), ("y",)))
+        .service("B", factory("B", ("x",), ("y",)))
+        .service("C", factory("C", ("x",), ("y",)))
+        .service("D", factory("D", ("left", "right"), ("y",)))
+        .sink("sink")
+        .connect("source:output", "A:x")
+        .connect("A:y", "B:x")
+        .connect("A:y", "C:x")
+        .connect("B:y", "D:left")
+        .connect("C:y", "D:right")
+        .connect("D:y", "sink:input")
+        .build()
+    )

@@ -1,0 +1,88 @@
+"""Workflow rendering: Graphviz DOT export and text summaries.
+
+The paper presents its workflows as figures (Figures 1, 2 and 9);
+users of the library need the same view of theirs.  ``to_dot``
+produces a Graphviz document with the paper's visual conventions —
+sources and sinks as plain ellipses, services as boxes,
+synchronization processors double-boxed (the Figure 9 double square),
+coordination constraints dashed — and ``summarize`` prints the compact
+text inventory used by examples and reports.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workflow.analysis import find_cycles, services_on_critical_path
+from repro.workflow.graph import ProcessorKind, Workflow
+
+__all__ = ["to_dot", "summarize"]
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(workflow: Workflow, include_ports: bool = False) -> str:
+    """Render *workflow* as a Graphviz DOT document.
+
+    With ``include_ports=True`` edges are labelled
+    ``source_port -> target_port``; otherwise edges are bare (closer to
+    the paper's figures).
+    """
+    lines: List[str] = [f'digraph "{_dot_escape(workflow.name)}" {{']
+    lines.append("  rankdir=TB;")
+    for name, processor in workflow.processors.items():
+        label = _dot_escape(name)
+        if processor.kind is ProcessorKind.SERVICE:
+            peripheries = 2 if processor.synchronization else 1
+            extra = ""
+            if processor.iteration_strategy != "dot":
+                extra = f"\\n[{processor.iteration_strategy}]"
+            lines.append(
+                f'  "{label}" [shape=box, peripheries={peripheries}, '
+                f'label="{label}{extra}"];'
+            )
+        else:
+            lines.append(f'  "{label}" [shape=ellipse];')
+    for link in workflow.links:
+        attrs = ""
+        if include_ports:
+            attrs = f' [label="{_dot_escape(link.source.port)} -> {_dot_escape(link.target.port)}"]'
+        lines.append(
+            f'  "{_dot_escape(link.source.processor)}" -> '
+            f'"{_dot_escape(link.target.processor)}"{attrs};'
+        )
+    for before, after in workflow.coordination_constraints:
+        lines.append(
+            f'  "{_dot_escape(before)}" -> "{_dot_escape(after)}" [style=dashed];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def summarize(workflow: Workflow) -> str:
+    """A compact text inventory of the workflow."""
+    sources = [p.name for p in workflow.sources()]
+    sinks = [p.name for p in workflow.sinks()]
+    services = [p.name for p in workflow.services()]
+    sync = [p.name for p in workflow.services() if p.synchronization]
+    cycles = find_cycles(workflow)
+    lines = [
+        f"workflow {workflow.name!r}:",
+        f"  sources:  {', '.join(sources) or '-'}",
+        f"  services: {', '.join(services) or '-'}",
+        f"  sinks:    {', '.join(sinks) or '-'}",
+        f"  links:    {len(workflow.links)}",
+    ]
+    if sync:
+        lines.append(f"  synchronization barriers: {', '.join(sync)}")
+    if workflow.coordination_constraints:
+        constraints = ", ".join(f"{b}->{a}" for b, a in workflow.coordination_constraints)
+        lines.append(f"  coordination constraints: {constraints}")
+    if cycles:
+        rendered = "; ".join(" -> ".join(cycle) for cycle in cycles)
+        lines.append(f"  loops: {rendered}")
+    else:
+        lines.append(f"  critical path: {services_on_critical_path(workflow)} services (n_W)")
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Scufl-dialect workflow documents.
+
+MOTEUR adopted "the Simple Concept Unified Flow Language (Scufl) used
+by the Taverna workbench" (Section 4.1) including its *coordination
+constraints* — control links that "enforce an order of execution
+between two services even if there is no data dependency between
+them", which the paper reuses to mark synchronization barriers.
+
+We implement a compact XML dialect carrying exactly the model of
+:mod:`repro.workflow.graph`:
+
+.. code-block:: xml
+
+    <scufl name="bronze-standard">
+      <processor name="crestLines" kind="service" service="crestLines"
+                 iteration="dot" synchronization="false">
+        <inport name="floating_image"/> <inport name="reference_image"/>
+        <inport name="scale"/>
+        <outport name="crest_reference"/> <outport name="crest_floating"/>
+      </processor>
+      <processor name="floatingImage" kind="source">
+        <outport name="output"/>
+      </processor>
+      <link source="floatingImage:output" sink="crestLines:floating_image"/>
+      <coordination from="crestMatch" to="MultiTransfoTest"/>
+    </scufl>
+
+Documents are symbolic: processors carry a ``service`` *reference*
+resolved against a :class:`~repro.services.registry.ServiceRegistry` at
+enactment time (`bind_services`).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.services.registry import ServiceRegistry
+from repro.workflow.graph import (
+    Link,
+    PortRef,
+    Processor,
+    ProcessorKind,
+    Workflow,
+    WorkflowError,
+)
+
+__all__ = ["workflow_from_scufl", "workflow_to_scufl", "bind_services", "ScuflError"]
+
+
+class ScuflError(WorkflowError):
+    """Malformed Scufl document."""
+
+
+_BOOL = {"true": True, "false": False, "1": True, "0": False}
+
+
+def _parse_bool(text: Optional[str], default: bool = False) -> bool:
+    if text is None:
+        return default
+    try:
+        return _BOOL[text.strip().lower()]
+    except KeyError:
+        raise ScuflError(f"expected boolean, got {text!r}") from None
+
+
+def workflow_from_scufl(text: str) -> Workflow:
+    """Parse a Scufl-dialect document into a symbolic workflow."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ScuflError(f"not well-formed XML: {exc}") from exc
+    if root.tag != "scufl":
+        raise ScuflError(f"expected <scufl> root, got <{root.tag}>")
+    workflow = Workflow(name=root.get("name", "scufl-workflow"))
+
+    for node in root.findall("processor"):
+        name = node.get("name")
+        if not name:
+            raise ScuflError("<processor> is missing its 'name' attribute")
+        kind_text = node.get("kind", "service")
+        try:
+            kind = ProcessorKind(kind_text)
+        except ValueError:
+            raise ScuflError(
+                f"processor {name!r}: unknown kind {kind_text!r}"
+            ) from None
+        inports = tuple(p.get("name") for p in node.findall("inport"))
+        outports = tuple(p.get("name") for p in node.findall("outport"))
+        if any(p is None for p in inports) or any(p is None for p in outports):
+            raise ScuflError(f"processor {name!r}: port without a name")
+        workflow.add_processor(
+            Processor(
+                name=name,
+                kind=kind,
+                input_ports=inports,
+                output_ports=outports,
+                service_ref=node.get("service") if kind is ProcessorKind.SERVICE else None,
+                iteration_strategy=node.get("iteration", "dot"),
+                synchronization=_parse_bool(node.get("synchronization")),
+                groupable=_parse_bool(node.get("groupable"), default=True),
+            )
+        )
+
+    for node in root.findall("link"):
+        source = node.get("source")
+        sink = node.get("sink")
+        if not source or not sink:
+            raise ScuflError("<link> needs 'source' and 'sink' attributes")
+        workflow.add_link(source, sink)
+
+    for node in root.findall("coordination"):
+        before = node.get("from")
+        after = node.get("to")
+        if not before or not after:
+            raise ScuflError("<coordination> needs 'from' and 'to' attributes")
+        workflow.add_coordination_constraint(before, after)
+
+    return workflow
+
+
+def workflow_to_scufl(workflow: Workflow) -> str:
+    """Serialize a workflow (symbolic or bound) to the Scufl dialect."""
+    root = ET.Element("scufl", {"name": workflow.name})
+    for name, processor in workflow.processors.items():
+        attrs = {"name": name, "kind": processor.kind.value}
+        if processor.kind is ProcessorKind.SERVICE:
+            service_ref = processor.service_ref
+            if service_ref is None and processor.service is not None:
+                service_ref = processor.service.name
+            if service_ref is not None:
+                attrs["service"] = service_ref
+            attrs["iteration"] = processor.iteration_strategy
+            if processor.synchronization:
+                attrs["synchronization"] = "true"
+            if not processor.groupable:
+                attrs["groupable"] = "false"
+        node = ET.SubElement(root, "processor", attrs)
+        for port in processor.effective_input_ports():
+            ET.SubElement(node, "inport", {"name": port})
+        for port in processor.effective_output_ports():
+            ET.SubElement(node, "outport", {"name": port})
+    for link in workflow.links:
+        ET.SubElement(root, "link", {"source": str(link.source), "sink": str(link.target)})
+    for before, after in workflow.coordination_constraints:
+        ET.SubElement(root, "coordination", {"from": before, "to": after})
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def bind_services(workflow: Workflow, registry: ServiceRegistry) -> Workflow:
+    """Resolve every ``service_ref`` against *registry*; returns a bound copy.
+
+    The bound services' ports must match the symbolic declaration —
+    mismatches are configuration errors and raise.
+    """
+    bound = Workflow(name=workflow.name)
+    for name, processor in workflow.processors.items():
+        if processor.kind is ProcessorKind.SERVICE and processor.service is None:
+            if processor.service_ref is None:
+                raise WorkflowError(f"processor {name!r} has no service_ref to bind")
+            service = registry.resolve(processor.service_ref)
+            if tuple(service.input_ports) != tuple(processor.input_ports) or tuple(
+                service.output_ports
+            ) != tuple(processor.output_ports):
+                raise WorkflowError(
+                    f"processor {name!r}: service {service.name!r} ports "
+                    f"({service.input_ports} -> {service.output_ports}) do not match "
+                    f"declaration ({processor.input_ports} -> {processor.output_ports})"
+                )
+            bound.add_processor(processor.with_service(service))
+        else:
+            bound.add_processor(processor)
+    for link in workflow.links:
+        bound.add_link(link.source, link.target)
+    bound.coordination_constraints = list(workflow.coordination_constraints)
+    return bound

@@ -1,0 +1,92 @@
+"""Structural workflow validation.
+
+``validate_workflow`` returns a list of :class:`ValidationIssue` —
+errors make the workflow unenactable, warnings flag suspicious-but-
+legal structure (e.g. an unconnected input port, which would simply
+never fire).  The enactor refuses workflows with errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.workflow.analysis import find_cycles
+from repro.workflow.graph import ProcessorKind, Workflow
+
+__all__ = ["ValidationIssue", "validate_workflow", "require_valid"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding: severity ('error'|'warning'), subject, message."""
+
+    severity: str
+    processor: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.processor}: {self.message}"
+
+
+def validate_workflow(workflow: Workflow) -> List[ValidationIssue]:
+    """Run all structural checks; see module docstring."""
+    issues: List[ValidationIssue] = []
+
+    def error(processor: str, message: str) -> None:
+        issues.append(ValidationIssue("error", processor, message))
+
+    def warning(processor: str, message: str) -> None:
+        issues.append(ValidationIssue("warning", processor, message))
+
+    if not workflow.processors:
+        error("<workflow>", "workflow has no processors")
+        return issues
+
+    for name, processor in workflow.processors.items():
+        if processor.kind is ProcessorKind.SERVICE:
+            if processor.service is None and processor.service_ref is None:
+                error(name, "service processor bound to neither a service nor a service_ref")
+            if not processor.effective_input_ports() and not processor.synchronization:
+                warning(name, "service with no input ports will fire exactly once")
+            # Unconnected ports.
+            for port in processor.effective_input_ports():
+                if not workflow.links_into(name, port):
+                    warning(name, f"input port {port!r} is not fed by any link")
+            for port in processor.effective_output_ports():
+                if not workflow.links_out_of(name, port):
+                    warning(name, f"output port {port!r} feeds nothing")
+        elif processor.kind is ProcessorKind.SOURCE:
+            if not workflow.links_out_of(name):
+                warning(name, "source feeds nothing")
+        elif processor.kind is ProcessorKind.SINK:
+            if not workflow.links_into(name):
+                warning(name, "sink receives nothing")
+
+    # Synchronization processors must not sit on a cycle: a barrier that
+    # waits for its own output stream can never fire.
+    cycles = find_cycles(workflow)
+    if cycles:
+        on_cycle = {name for cycle in cycles for name in cycle}
+        for name in sorted(on_cycle):
+            if workflow.processor(name).synchronization:
+                error(
+                    name,
+                    "synchronization processor lies on a cycle "
+                    f"({' -> '.join(next(c for c in cycles if name in c))})",
+                )
+
+    # Coordination constraints referencing sources/sinks are suspicious.
+    for before, after in workflow.coordination_constraints:
+        if workflow.processor(after).kind is not ProcessorKind.SERVICE:
+            warning(after, "coordination constraint targets a non-service processor")
+
+    return issues
+
+
+def require_valid(workflow: Workflow) -> None:
+    """Raise ``ValueError`` listing every error-severity issue, if any."""
+    errors = [i for i in validate_workflow(workflow) if i.severity == "error"]
+    if errors:
+        details = "; ".join(str(i) for i in errors)
+        raise ValueError(f"workflow {workflow.name!r} is invalid: {details}")

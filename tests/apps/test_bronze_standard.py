@@ -1,0 +1,132 @@
+"""Tests for the assembled Bronze Standard application (Figure 9)."""
+
+import pytest
+
+from repro.apps.bronze_standard import BronzeStandardApplication
+from repro.core import OptimizationConfig
+from repro.util.rng import RandomStreams
+from repro.workflow.analysis import sequential_chains, services_on_critical_path
+from repro.workflow.validation import validate_workflow
+
+CONSTANT_TIMINGS = {
+    "crestLines": 10.0,
+    "crestMatch": 10.0,
+    "Baladin": 10.0,
+    "Yasmina": 10.0,
+    "PFMatchICP": 10.0,
+    "PFRegister": 10.0,
+}
+
+
+@pytest.fixture
+def app(engine, ideal_grid, streams):
+    return BronzeStandardApplication(
+        engine, ideal_grid, streams, timings=CONSTANT_TIMINGS, mtt_time=5.0
+    )
+
+
+class TestWorkflowShape:
+    def test_nw_is_five(self, app):
+        # Section 5.1: "For our application, n_W is 5"
+        assert services_on_critical_path(app.workflow) == 5
+
+    def test_paper_groups_form(self, app):
+        assert sequential_chains(app.workflow) == [
+            ["crestLines", "crestMatch"],
+            ["PFMatchICP", "PFRegister"],
+        ]
+
+    def test_mtt_is_synchronization_barrier(self, app):
+        assert app.workflow.processor("MultiTransfoTest").synchronization
+
+    def test_two_outputs(self, app):
+        assert [s.name for s in app.workflow.sinks()] == [
+            "accuracy_rotation", "accuracy_translation"
+        ]
+
+    def test_validates_cleanly(self, app):
+        issues = validate_workflow(app.workflow)
+        assert [i for i in issues if i.severity == "error"] == []
+
+    def test_four_sources(self, app):
+        assert [s.name for s in app.workflow.sources()] == [
+            "referenceImage", "floatingImage", "scale", "methodToTest"
+        ]
+
+
+class TestDataset:
+    def test_paper_image_sizes(self, app):
+        dataset = app.build_dataset(3)
+        item = dataset.items("floatingImage")[0]
+        assert item.size == 256 * 256 * 60 * 2
+
+    def test_scale_replicated_per_pair(self, app):
+        dataset = app.build_dataset(5)
+        assert dataset.size("scale") == 5
+        assert all(i.value == 8 for i in dataset.items("scale"))
+
+    def test_one_method_item(self, app):
+        dataset = app.build_dataset(3, method_to_test="Baladin")
+        items = dataset.items("methodToTest")
+        assert len(items) == 1 and items[0].value == "Baladin"
+
+    def test_pair_count_enforced(self, app):
+        with pytest.raises(ValueError):
+            app.build_dataset(10, pairs=app.database.generate_pairs(2))
+
+
+class TestEnactment:
+    def test_six_jobs_per_pair(self, app, ideal_grid):
+        app.enact(OptimizationConfig.sp_dp(), n_pairs=4)
+        assert len(ideal_grid.records) == 4 * BronzeStandardApplication.jobs_per_pair()
+
+    def test_grouping_drops_to_four_jobs_per_pair(self, app, ideal_grid):
+        result = app.enact(OptimizationConfig.sp_dp_jg(), n_pairs=4)
+        assert [g.name for g in result.groups] == [
+            "crestLines+crestMatch", "PFMatchICP+PFRegister"
+        ]
+        assert len(ideal_grid.records) == 4 * 4
+
+    def test_accuracy_outputs_produced(self, app):
+        result = app.enact(OptimizationConfig.sp_dp(), n_pairs=6)
+        rotation = result.output_values("accuracy_rotation")
+        translation = result.output_values("accuracy_translation")
+        assert len(rotation) == 1 and rotation[0] > 0
+        assert len(translation) == 1 and translation[0] > 0
+
+    def test_constant_time_makespan_matches_model(self, app):
+        # ideal grid + constant 10s services: SP+DP pipeline floor is
+        # the critical path (5 services minus the local MTT).
+        result = app.enact(OptimizationConfig.sp_dp(), n_pairs=3)
+        # crestLines(10) + crestMatch(10) + PFMatchICP(10) + PFRegister(10) + MTT(5)
+        assert result.makespan == pytest.approx(45.0)
+
+    def test_accuracy_independent_of_optimization(self, engine, streams):
+        # Optimizations change *when* jobs run, never *what* they compute.
+        from repro.grid.testbeds import ideal_testbed
+        from repro.sim.engine import Engine
+
+        values = []
+        for config in (OptimizationConfig.nop(), OptimizationConfig.sp_dp_jg()):
+            eng = Engine()
+            grid = ideal_testbed(eng)
+            app = BronzeStandardApplication(
+                eng, grid, RandomStreams(77), timings=CONSTANT_TIMINGS, mtt_time=5.0
+            )
+            result = app.enact(config, n_pairs=5)
+            values.append(
+                (
+                    result.output_values("accuracy_rotation")[0],
+                    result.output_values("accuracy_translation")[0],
+                )
+            )
+        assert values[0] == pytest.approx(values[1])
+
+    def test_method_to_test_selects_method(self, app):
+        result = app.enact(OptimizationConfig.sp_dp(), n_pairs=4, method_to_test="Baladin")
+        assert result.output_values("accuracy_rotation")[0] > 0
+
+    def test_invocation_count(self, app):
+        result = app.enact(OptimizationConfig.sp_dp(), n_pairs=3)
+        # 6 services x 3 pairs + 1 MTT
+        assert result.invocation_count == 19

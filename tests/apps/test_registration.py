@@ -1,0 +1,172 @@
+"""Tests for the simulated registration algorithm services."""
+
+import pytest
+
+from repro.apps.imaging import ImageDatabase
+from repro.apps.registration import (
+    DEFAULT_PROFILES,
+    CrestData,
+    MatchedPointSet,
+    RegistrationResult,
+    build_registration_services,
+)
+from repro.services.base import GridData
+from repro.util.rng import RandomStreams
+
+
+@pytest.fixture
+def services(engine, ideal_grid, streams):
+    return build_registration_services(engine, ideal_grid, streams)
+
+
+@pytest.fixture
+def pair(streams):
+    return ImageDatabase(streams).generate_pairs(1)[0]
+
+
+def registered_image_data(grid, pair):
+    from repro.grid.storage import LogicalFile
+
+    floating = LogicalFile(pair.floating.gfn, pair.floating.size_bytes)
+    reference = LogicalFile(pair.reference.gfn, pair.reference.size_bytes)
+    grid.add_input_file(floating)
+    grid.add_input_file(reference)
+    return GridData(pair, floating), GridData(pair, reference)
+
+
+class TestServiceConstruction:
+    def test_six_services(self, services):
+        assert set(services) == {
+            "crestLines", "crestMatch", "Baladin", "Yasmina", "PFMatchICP", "PFRegister"
+        }
+
+    def test_ports_match_figure9(self, services):
+        assert services["crestLines"].input_ports == (
+            "floating_image", "reference_image", "scale"
+        )
+        assert services["crestLines"].output_ports == ("crest_reference", "crest_floating")
+        assert services["crestMatch"].output_ports == ("transform",)
+        assert services["PFMatchICP"].output_ports == ("matched_points",)
+        assert services["PFRegister"].input_ports == ("matched_points",)
+
+    def test_crestlines_has_figure8_sandboxes(self, services):
+        names = [s.value for s in services["crestLines"].descriptor.sandboxes]
+        assert names == ["Convert8bits.pl", "copy", "cmatch"]
+
+    def test_timings_override(self, engine, ideal_grid, streams):
+        services = build_registration_services(
+            engine, ideal_grid, streams, timings={"crestLines": 42.0}
+        )
+        assert services["crestLines"].compute_model.mean() == 42.0
+        # others keep their defaults
+        assert services["Baladin"].compute_model.mean() == pytest.approx(
+            DEFAULT_PROFILES["Baladin"].compute_time.mean()
+        )
+
+
+class TestExecution:
+    def test_crestlines_produces_crest_data(self, engine, ideal_grid, services, pair):
+        floating, reference = registered_image_data(ideal_grid, pair)
+        outputs = engine.run(
+            until=services["crestLines"].invoke(
+                {"floating_image": floating, "reference_image": reference, "scale": 8}
+            )
+        )
+        crest = outputs["crest_reference"].value
+        assert isinstance(crest, CrestData)
+        assert crest.pair is pair
+        assert crest.role == "reference"
+        assert crest.n_points > 0
+
+    def test_crestmatch_estimates_near_truth(self, engine, ideal_grid, services, pair):
+        crest_ref = GridData(CrestData(pair, "reference", 2000))
+        crest_flo = GridData(CrestData(pair, "floating", 2000))
+        outputs = engine.run(
+            until=services["crestMatch"].invoke(
+                {"crest_reference": crest_ref, "crest_floating": crest_flo}
+            )
+        )
+        result = outputs["transform"].value
+        assert isinstance(result, RegistrationResult)
+        assert result.method == "crestMatch"
+        assert result.pair_id == pair.pair_id
+        assert result.transform.rotation_distance_deg(pair.true_transform) < 3.0
+        assert result.transform.translation_distance(pair.true_transform) < 10.0
+
+    def test_intensity_methods_use_init(self, engine, ideal_grid, services, pair):
+        floating, reference = registered_image_data(ideal_grid, pair)
+        init = GridData(RegistrationResult("crestMatch", pair.pair_id, pair.true_transform))
+        for method in ("Baladin", "Yasmina"):
+            outputs = engine.run(
+                until=services[method].invoke(
+                    {
+                        "floating_image": floating,
+                        "reference_image": reference,
+                        "init_transform": init,
+                    }
+                )
+            )
+            result = outputs["transform"].value
+            assert result.method == method
+            assert result.transform.rotation_distance_deg(pair.true_transform) < 2.0
+
+    def test_pf_pipeline(self, engine, ideal_grid, services, pair):
+        floating, reference = registered_image_data(ideal_grid, pair)
+        init = GridData(RegistrationResult("crestMatch", pair.pair_id, pair.true_transform))
+        match_out = engine.run(
+            until=services["PFMatchICP"].invoke(
+                {
+                    "floating_image": floating,
+                    "reference_image": reference,
+                    "init_transform": init,
+                }
+            )
+        )
+        matches = match_out["matched_points"].value
+        assert isinstance(matches, MatchedPointSet)
+        register_out = engine.run(
+            until=services["PFRegister"].invoke({"matched_points": match_out["matched_points"]})
+        )
+        result = register_out["transform"].value
+        assert result.method == "PFRegister"
+        assert result.pair_id == pair.pair_id
+
+    def test_estimates_are_stochastic_but_seeded(self, engine, ideal_grid, pair):
+        def estimate(seed):
+            from repro.sim.engine import Engine
+            from repro.grid.testbeds import ideal_testbed
+
+            eng = Engine()
+            grid = ideal_testbed(eng)
+            services = build_registration_services(eng, grid, RandomStreams(seed))
+            crest = GridData(CrestData(pair, "reference", 100))
+            crest2 = GridData(CrestData(pair, "floating", 100))
+            out = eng.run(
+                until=services["crestMatch"].invoke(
+                    {"crest_reference": crest, "crest_floating": crest2}
+                )
+            )
+            return out["transform"].value.transform
+
+        a = estimate(1)
+        b = estimate(1)
+        c = estimate(2)
+        assert a.is_close(b, 1e-12, 1e-12)
+        assert not a.is_close(c, 1e-9, 1e-9)
+
+    def test_bad_image_value_rejected(self, engine, ideal_grid, services):
+        from repro.services.base import ServiceError
+
+        with pytest.raises(ServiceError, match="ImagePair"):
+            engine.run(
+                until=services["crestLines"].invoke(
+                    {"floating_image": GridData("not an image"),
+                     "reference_image": GridData("nope"), "scale": 8}
+                )
+            )
+
+    def test_compact_reprs(self, pair):
+        result = RegistrationResult("Baladin", 3, pair.true_transform)
+        assert repr(result) == "Baladin#3"
+        assert "crest(" in repr(CrestData(pair, "reference", 10))
+        assert "matches(" in repr(MatchedPointSet(pair, 5))

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.testbeds import cluster_testbed, egee_like_testbed, ideal_testbed
+from repro.services.base import LocalService
+from repro.sim.engine import Engine
+from repro.util.rng import RandomStreams
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh simulation engine."""
+    return Engine()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams."""
+    return RandomStreams(seed=1234)
+
+
+@pytest.fixture
+def ideal_grid(engine):
+    """Zero-overhead, infinite-capacity grid."""
+    return ideal_testbed(engine)
+
+
+@pytest.fixture
+def cluster_grid(engine, streams):
+    """Low-latency single-site cluster."""
+    return cluster_testbed(engine, streams)
+
+
+@pytest.fixture
+def egee_grid(engine, streams):
+    """Small EGEE-like grid (no background load for determinism)."""
+    return egee_like_testbed(
+        engine, streams, n_sites=3, workers_per_ce=8, with_background_load=False
+    )
+
+
+@pytest.fixture
+def local_factory(engine):
+    """Service factory producing constant-duration local stubs.
+
+    ``factory(name, inputs, outputs)`` -> LocalService with duration 1s,
+    which is what the workflow patterns module expects.
+    """
+
+    def factory(name, inputs, outputs):
+        return LocalService(engine, name, tuple(inputs), tuple(outputs), duration=1.0)
+
+    return factory

@@ -1,0 +1,92 @@
+"""Tests for the paper-style execution diagrams (Figures 4-6)."""
+
+import pytest
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.core.diagrams import diagram_rows, execution_diagram, infer_cell_width
+from repro.core.trace import ExecutionTrace, TraceEvent
+from repro.workflow.patterns import figure1_workflow
+
+
+def enact_figure1(engine, local_factory, config):
+    workflow = figure1_workflow(local_factory)
+    enactor = MoteurEnactor(engine, workflow, config)
+    return enactor.run({"source": [0, 1, 2]})
+
+
+class TestFigure4:
+    """Data-parallel execution diagram of the Figure 1 workflow."""
+
+    def test_matches_paper(self, engine, local_factory):
+        result = enact_figure1(engine, local_factory, OptimizationConfig.dp())
+        rows = diagram_rows(result.trace, cell=1.0)
+        assert rows["P1"] == ["D0 D1 D2", "X"]
+        assert rows["P2"] == ["X", "D0 D1 D2"]
+        assert rows["P3"] == ["X", "D0 D1 D2"]
+
+    def test_makespan_is_two_slots(self, engine, local_factory):
+        result = enact_figure1(engine, local_factory, OptimizationConfig.dp())
+        assert result.makespan == 2.0
+
+
+class TestFigure5:
+    """Service-parallel execution diagram of the Figure 1 workflow."""
+
+    def test_matches_paper(self, engine, local_factory):
+        result = enact_figure1(engine, local_factory, OptimizationConfig.sp())
+        rows = diagram_rows(result.trace, cell=1.0)
+        assert rows["P1"] == ["D0", "D1", "D2", "X"]
+        assert rows["P2"] == ["X", "D0", "D1", "D2"]
+        assert rows["P3"] == ["X", "D0", "D1", "D2"]
+
+    def test_makespan_is_four_slots(self, engine, local_factory):
+        result = enact_figure1(engine, local_factory, OptimizationConfig.sp())
+        assert result.makespan == 4.0
+
+
+class TestRendering:
+    def test_reverse_puts_last_processor_on_top(self, engine, local_factory):
+        result = enact_figure1(engine, local_factory, OptimizationConfig.dp())
+        text = execution_diagram(result.trace, cell=1.0)
+        lines = text.splitlines()
+        assert lines[0].startswith("P3") or lines[0].lstrip().startswith("P3")
+        assert lines[-1].lstrip().startswith("P1")
+
+    def test_no_reverse(self, engine, local_factory):
+        result = enact_figure1(engine, local_factory, OptimizationConfig.dp())
+        text = execution_diagram(result.trace, cell=1.0, reverse=False)
+        assert text.splitlines()[0].lstrip().startswith("P1")
+
+    def test_long_event_repeats_label(self):
+        # Figure 6 visual: a 3-slot job shows D1 D1 D1.
+        trace = ExecutionTrace()
+        trace.add(TraceEvent("P", "D1", 0.0, 3.0))
+        rows = diagram_rows(trace, cell=1.0)
+        assert rows["P"] == ["D1", "D1", "D1"]
+
+    def test_idle_cells_are_crosses(self):
+        trace = ExecutionTrace()
+        trace.add(TraceEvent("P", "D0", 0.0, 1.0))
+        trace.add(TraceEvent("P", "D1", 2.0, 3.0))
+        rows = diagram_rows(trace, cell=1.0)
+        assert rows["P"] == ["D0", "X", "D1"]
+
+    def test_infer_cell_width(self):
+        trace = ExecutionTrace()
+        trace.add(TraceEvent("P", "D0", 0.0, 2.0))
+        trace.add(TraceEvent("P", "D1", 2.0, 8.0))
+        assert infer_cell_width(trace) == 2.0
+
+    def test_infer_cell_width_empty(self):
+        assert infer_cell_width(ExecutionTrace()) == 1.0
+
+    def test_invalid_cell_rejected(self):
+        trace = ExecutionTrace()
+        trace.add(TraceEvent("P", "D0", 0.0, 1.0))
+        with pytest.raises(ValueError):
+            diagram_rows(trace, cell=0.0)
+
+    def test_explicit_processor_selection(self, engine, local_factory):
+        result = enact_figure1(engine, local_factory, OptimizationConfig.dp())
+        rows = diagram_rows(result.trace, processors=["P1"], cell=1.0)
+        assert list(rows) == ["P1"]

@@ -1,0 +1,176 @@
+"""Enactor scenario tests: fan-out, merges, multi-sink, stream shapes."""
+
+import pytest
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.services.base import LocalService
+from repro.workflow.builder import WorkflowBuilder
+
+
+class TestFanOut:
+    def test_one_output_port_feeds_many_consumers(self, engine):
+        producer = LocalService(engine, "producer", ("x",), ("y",),
+                                function=lambda x: {"y": x * 10}, duration=1.0)
+        left = LocalService(engine, "left", ("x",), ("y",),
+                            function=lambda x: {"y": x + 1}, duration=1.0)
+        right = LocalService(engine, "right", ("x",), ("y",),
+                             function=lambda x: {"y": x + 2}, duration=1.0)
+        workflow = (
+            WorkflowBuilder()
+            .source("s")
+            .service("producer", producer)
+            .service("left", left)
+            .service("right", right)
+            .sink("lout").sink("rout")
+            .connect("s:output", "producer:x")
+            .connect("producer:y", "left:x")
+            .connect("producer:y", "right:x")
+            .connect("left:y", "lout:input")
+            .connect("right:y", "rout:input")
+            .build()
+        )
+        result = MoteurEnactor(engine, workflow, OptimizationConfig.sp_dp()).run(
+            {"s": [1, 2]}
+        )
+        assert sorted(result.output_values("lout")) == [11, 21]
+        assert sorted(result.output_values("rout")) == [12, 22]
+
+    def test_one_port_to_two_ports_of_same_consumer(self, engine):
+        combine = LocalService(engine, "combine", ("a", "b"), ("y",),
+                               function=lambda a, b: {"y": a + b}, duration=1.0)
+        workflow = (
+            WorkflowBuilder()
+            .source("s")
+            .service("combine", combine)
+            .sink("out")
+            .connect("s:output", "combine:a")
+            .connect("s:output", "combine:b")
+            .connect("combine:y", "out:input")
+            .build()
+        )
+        result = MoteurEnactor(engine, workflow, OptimizationConfig.sp_dp()).run(
+            {"s": [3, 5]}
+        )
+        # item i pairs with itself on both ports (lineage-matched)
+        assert sorted(result.output_values("out")) == [6, 10]
+
+
+class TestMerges:
+    def test_two_sources_merge_into_one_port(self, engine):
+        # "an input port can collect data from different sources"
+        double = LocalService(engine, "double", ("x",), ("y",),
+                              function=lambda x: {"y": 2 * x}, duration=1.0)
+        workflow = (
+            WorkflowBuilder()
+            .source("a")
+            .source("b")
+            .service("double", double)
+            .sink("out")
+            .connect("a:output", "double:x")
+            .connect("b:output", "double:x")
+            .connect("double:y", "out:input")
+            .build()
+        )
+        result = MoteurEnactor(engine, workflow, OptimizationConfig.sp_dp()).run(
+            {"a": [1, 2], "b": [10]}
+        )
+        assert sorted(result.output_values("out")) == [2, 4, 20]
+
+    def test_merged_streams_count_toward_barrier(self, engine):
+        # With SP off, the downstream barrier must wait for BOTH sources'
+        # streams to drain through the merge.
+        double = LocalService(engine, "double", ("x",), ("y",),
+                              function=lambda x: {"y": 2 * x}, duration=1.0)
+        total = LocalService(engine, "total", ("v",), ("sum",),
+                             function=lambda v: {"sum": sum(v)}, duration=1.0)
+        workflow = (
+            WorkflowBuilder()
+            .source("a")
+            .source("b")
+            .service("double", double)
+            .service("total", total, synchronization=True)
+            .sink("out")
+            .connect("a:output", "double:x")
+            .connect("b:output", "double:x")
+            .connect("double:y", "total:v")
+            .connect("total:sum", "out:input")
+            .build()
+        )
+        result = MoteurEnactor(engine, workflow, OptimizationConfig.nop()).run(
+            {"a": [1, 2], "b": [3]}
+        )
+        assert result.output_values("out") == [12]  # (1+2+3)*2
+
+
+class TestStreamShapes:
+    def test_unbalanced_dot_leaves_extras_unprocessed(self, engine):
+        combine = LocalService(engine, "combine", ("a", "b"), ("y",),
+                               function=lambda a, b: {"y": (a, b)}, duration=1.0)
+        workflow = (
+            WorkflowBuilder()
+            .source("A").source("B")
+            .service("combine", combine)
+            .sink("out")
+            .connect("A:output", "combine:a")
+            .connect("B:output", "combine:b")
+            .connect("combine:y", "out:input")
+            .build()
+        )
+        result = MoteurEnactor(engine, workflow, OptimizationConfig.sp_dp()).run(
+            {"A": list(range(10)), "B": [0]}
+        )
+        assert len(result.output_values("out")) == 1
+        assert result.invocation_count == 1
+
+    def test_single_item_through_long_chain(self, engine):
+        from repro.workflow.patterns import chain_workflow
+
+        def factory(name, inputs, outputs):
+            return LocalService(engine, name, inputs, outputs,
+                                function=lambda x: {"y": x + 1}, duration=2.0)
+
+        workflow = chain_workflow(factory, 10)
+        result = MoteurEnactor(engine, workflow, OptimizationConfig.sp_dp()).run(
+            {"input": [0]}
+        )
+        assert result.output_values("result") == [10]
+        assert result.makespan == 20.0
+
+    def test_wide_fanout_workflow_parallelism(self, engine):
+        builder = WorkflowBuilder().source("s")
+        for i in range(20):
+            builder.service(
+                f"branch{i}",
+                LocalService(engine, f"branch{i}", ("x",), ("y",), duration=5.0),
+            )
+            builder.sink(f"out{i}")
+            builder.connect("s:output", f"branch{i}:x")
+            builder.connect(f"branch{i}:y", f"out{i}:input")
+        workflow = builder.build()
+        result = MoteurEnactor(engine, workflow, OptimizationConfig.nop()).run({"s": [0]})
+        # 20 branches, all concurrent even in NOP (workflow parallelism)
+        assert result.makespan == 5.0
+
+
+class TestEnactmentEmbedding:
+    def test_two_enactments_share_one_engine(self, engine):
+        def build(tag):
+            service = LocalService(engine, f"svc-{tag}", ("x",), ("y",),
+                                   function=lambda x: {"y": x}, duration=10.0)
+            return (
+                WorkflowBuilder(f"wf-{tag}")
+                .source("s").service("svc", service).sink("out")
+                .connect("s:output", "svc:x").connect("svc:y", "out:input")
+                .build()
+            )
+
+        first = MoteurEnactor(engine, build("a"), OptimizationConfig.sp_dp())
+        second = MoteurEnactor(engine, build("b"), OptimizationConfig.sp_dp())
+        done_a = first.enact({"s": [1, 2]})
+        done_b = second.enact({"s": [3]})
+        result_a = engine.run(until=done_a)
+        result_b = engine.run(until=done_b)
+        assert sorted(result_a.output_values("out")) == [1, 2]
+        assert result_b.output_values("out") == [3]
+        # concurrent enactments overlapped in simulated time
+        assert engine.now == 10.0

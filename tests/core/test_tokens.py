@@ -1,0 +1,40 @@
+"""Tests for data tokens and the NO_DATA sentinel."""
+
+import pickle
+
+from repro.core.provenance import HistoryTree
+from repro.core.tokens import NO_DATA, DataToken, NoData
+from repro.services.base import GridData
+
+
+class TestNoData:
+    def test_singleton(self):
+        assert NoData() is NO_DATA
+        assert NoData() is NoData()
+
+    def test_repr(self):
+        assert repr(NO_DATA) == "NO_DATA"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NO_DATA)) is NO_DATA
+
+
+class TestDataToken:
+    def test_label_delegates_to_history(self):
+        token = DataToken(GridData(value=5), HistoryTree.leaf("S", 3))
+        assert token.label == "D3"
+
+    def test_value_shortcut(self):
+        token = DataToken(GridData(value="payload"), HistoryTree.leaf("S", 0))
+        assert token.value == "payload"
+
+    def test_repr(self):
+        token = DataToken(GridData(value=1), HistoryTree.leaf("S", 7))
+        assert "D7" in repr(token)
+
+    def test_frozen(self):
+        import pytest
+
+        token = DataToken(GridData(value=1), HistoryTree.leaf("S", 0))
+        with pytest.raises(AttributeError):
+            token.data = GridData(value=2)

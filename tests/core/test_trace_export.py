@@ -1,0 +1,69 @@
+"""Tests for execution-trace export and SP ordering guarantees."""
+
+import pytest
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.core.trace import ExecutionTrace, TraceEvent
+from repro.services.base import LocalService
+from repro.workflow.patterns import chain_workflow
+
+
+class TestExport:
+    def test_to_rows(self):
+        trace = ExecutionTrace()
+        trace.add(TraceEvent("P1", "D0", 1.0, 3.0, kind="invocation", job_ids=(7,)))
+        rows = trace.to_rows()
+        assert rows == [
+            {
+                "processor": "P1",
+                "label": "D0",
+                "start": 1.0,
+                "end": 3.0,
+                "duration": 2.0,
+                "kind": "invocation",
+                "job_ids": [7],
+            }
+        ]
+
+    def test_to_csv(self):
+        trace = ExecutionTrace()
+        trace.add(TraceEvent("P1", "D0", 1.0, 3.0, job_ids=(7, 8)))
+        trace.add(TraceEvent("P2", "D0", 3.0, 4.0))
+        csv = trace.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "processor,label,start,end,duration,kind,job_ids"
+        assert lines[1] == "P1,D0,1.0,3.0,2.0,invocation,7;8"
+        assert lines[2].startswith("P2,D0,3.0,4.0,1.0,invocation,")
+
+    def test_empty_trace_exports(self):
+        trace = ExecutionTrace()
+        assert trace.to_rows() == []
+        assert trace.to_csv() == "processor,label,start,end,duration,kind,job_ids"
+
+
+class TestServiceParallelOrdering:
+    def test_sp_processes_items_in_definition_order(self, engine):
+        """Equation (3)'s hidden assumption: each service consumes its
+        stream in item order; the enactor's FIFO gates guarantee it."""
+
+        def factory(name, inputs, outputs):
+            return LocalService(engine, name, inputs, outputs,
+                                function=lambda x: {"y": x}, duration=2.0)
+
+        workflow = chain_workflow(factory, 3)
+        result = MoteurEnactor(engine, workflow, OptimizationConfig.sp()).run(
+            {"input": list(range(5))}
+        )
+        for processor in ("P1", "P2", "P3"):
+            labels = [e.label for e in result.trace.for_processor(processor)]
+            assert labels == [f"D{i}" for i in range(5)], processor
+
+    def test_rows_match_events(self, engine):
+        def factory(name, inputs, outputs):
+            return LocalService(engine, name, inputs, outputs, duration=1.0)
+
+        workflow = chain_workflow(factory, 2)
+        result = MoteurEnactor(engine, workflow, OptimizationConfig.sp_dp()).run(
+            {"input": [0, 1]}
+        )
+        assert len(result.trace.to_rows()) == len(result.trace.events) == 4

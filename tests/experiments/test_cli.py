@@ -1,0 +1,52 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.sizes == [12, 66, 126]
+        assert args.seed == 42
+
+    def test_bronze_options(self):
+        args = build_parser().parse_args(
+            ["bronze", "--pairs", "4", "--config", "DP", "--seed", "7"]
+        )
+        assert args.pairs == 4 and args.config == "DP" and args.seed == 7
+
+
+class TestCommands:
+    def test_diagrams(self, capsys):
+        assert main(["diagrams"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Figure 5" in out and "Figure 6" in out
+        assert "D0 D1 D2" in out
+
+    def test_bronze_small(self, capsys):
+        assert main(["bronze", "--pairs", "3", "--config", "SP+DP"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "accuracy" in out
+        assert "jobs: 18" in out
+
+    def test_bronze_with_grouping_reports_groups(self, capsys):
+        assert main(["bronze", "--pairs", "2", "--config", "SP+DP+JG"]) == 0
+        out = capsys.readouterr().out
+        assert "crestLines+crestMatch" in out
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit, match="unknown configuration"):
+            main(["bronze", "--pairs", "2", "--config", "TURBO"])
+
+    def test_table1_tiny_sweep(self, capsys):
+        assert main(["table1", "--sizes", "2", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "ordering preserved" in out

@@ -1,0 +1,93 @@
+"""Tests for the experiment harness (scaled-down sweeps)."""
+
+import pytest
+
+from repro.core import OptimizationConfig
+from repro.experiments.calibration import PAPER_SIZES, PAPER_TABLE1, PAPER_TABLE2
+from repro.experiments.harness import run_configuration, run_sweep
+from repro.grid.testbeds import ideal_testbed
+
+
+def ideal_factory(engine, streams):
+    return ideal_testbed(engine, streams)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    """A fast sweep: two configs, two sizes, real EGEE-like grid."""
+    return run_sweep(
+        configs=[OptimizationConfig.nop(), OptimizationConfig.sp_dp()],
+        sizes=(4, 8),
+        seed=7,
+    )
+
+
+class TestRunConfiguration:
+    def test_row_contents(self):
+        row = run_configuration(OptimizationConfig.sp_dp(), 3, seed=1,
+                                grid_factory=ideal_factory)
+        assert row.config_label == "SP+DP"
+        assert row.n_pairs == 3
+        assert row.jobs_submitted == 18
+        assert row.jobs_completed == 18
+        assert row.makespan > 0
+        assert row.mean_overhead == pytest.approx(0.0, abs=1e-9)  # ideal grid
+        assert row.accuracy_rotation > 0
+        assert row.hours == pytest.approx(row.makespan / 3600.0)
+
+    def test_same_seed_reproducible(self):
+        a = run_configuration(OptimizationConfig.dp(), 3, seed=5, grid_factory=ideal_factory)
+        b = run_configuration(OptimizationConfig.dp(), 3, seed=5, grid_factory=ideal_factory)
+        assert a.makespan == b.makespan
+        assert a.accuracy_rotation == b.accuracy_rotation
+
+    def test_different_seed_differs(self):
+        a = run_configuration(OptimizationConfig.dp(), 4, seed=5)
+        b = run_configuration(OptimizationConfig.dp(), 4, seed=6)
+        assert a.makespan != b.makespan
+
+
+class TestSweep:
+    def test_cell_lookup(self, small_sweep):
+        row = small_sweep.cell("NOP", 4)
+        assert row.config_label == "NOP" and row.n_pairs == 4
+        with pytest.raises(KeyError):
+            small_sweep.cell("NOP", 999)
+
+    def test_table1_layout(self, small_sweep):
+        table = small_sweep.table1()
+        assert set(table) == {"NOP", "SP+DP"}
+        assert set(table["NOP"]) == {4, 8}
+
+    def test_table2_fits(self, small_sweep):
+        fits = small_sweep.table2()
+        assert set(fits) == {"NOP", "SP+DP"}
+        assert fits["NOP"].slope > fits["SP+DP"].slope
+
+    def test_optimized_faster_than_nop(self, small_sweep):
+        for size in (4, 8):
+            assert small_sweep.cell("SP+DP", size).makespan < small_sweep.cell("NOP", size).makespan
+
+    def test_times_grow_with_size(self, small_sweep):
+        # Only NOP is guaranteed monotone at tiny sizes: its makespan
+        # accumulates every job serially.  Parallel configurations are
+        # dominated by a max over stochastic overheads, which can
+        # shrink between 4 and 8 pairs on a lucky draw.
+        times = small_sweep.times("NOP")
+        assert times[0] < times[1]
+
+
+class TestPaperData:
+    def test_table1_complete(self):
+        assert set(PAPER_TABLE1) == {"NOP", "JG", "SP", "DP", "SP+DP", "SP+DP+JG"}
+        for row in PAPER_TABLE1.values():
+            assert set(row) == set(PAPER_SIZES)
+
+    def test_table2_complete(self):
+        assert set(PAPER_TABLE2) == set(PAPER_TABLE1)
+
+    def test_paper_ordering_at_every_size(self):
+        order = ["NOP", "JG", "SP", "DP", "SP+DP", "SP+DP+JG"]
+        for size in PAPER_SIZES:
+            times = [PAPER_TABLE1[label][size] for label in order]
+            assert all(a > b for a, b in zip(times, times[1:]))

@@ -1,0 +1,92 @@
+"""Tests for report formatting and shape checks."""
+
+import pytest
+
+from repro.core import OptimizationConfig
+from repro.experiments.harness import ExperimentRow, SweepResult
+from repro.experiments.reporting import (
+    SECTION52_PAIRS,
+    check_ordering,
+    format_ratios,
+    format_table1,
+    format_table2,
+    paper_comparison,
+)
+
+
+def synthetic_sweep():
+    """A sweep with hand-made, paper-shaped numbers."""
+    labels = ("NOP", "JG", "SP", "DP", "SP+DP", "SP+DP+JG")
+    sizes = (12, 66, 126)
+    base = {
+        "NOP": (20000, 910), "JG": (11000, 890), "SP": (6400, 900),
+        "DP": (15000, 140), "SP+DP": (6600, 90), "SP+DP+JG": (4300, 80),
+    }
+    sweep = SweepResult(sizes=sizes, config_labels=labels)
+    for label in labels:
+        intercept, slope = base[label]
+        for size in sizes:
+            sweep.rows.append(
+                ExperimentRow(
+                    config_label=label, n_pairs=size,
+                    makespan=intercept + slope * size,
+                    jobs_submitted=size * 6, jobs_completed=size * 6,
+                    invocations=size * 6 + 1, mean_overhead=600.0,
+                    accuracy_rotation=0.2, accuracy_translation=0.4,
+                )
+            )
+    return sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return synthetic_sweep()
+
+
+class TestFormatting:
+    def test_table1_contains_all_cells(self, sweep):
+        text = format_table1(sweep)
+        assert "NOP" in text and "SP+DP+JG" in text
+        assert "12 pairs" in text and "126 pairs" in text
+
+    def test_table1_hours_mode(self, sweep):
+        assert "h)" in format_table1(sweep, with_hours=True)
+
+    def test_table2_lists_fits(self, sweep):
+        text = format_table2(sweep.table2())
+        assert "y-intercept" in text and "slope" in text
+
+    def test_ratios_table(self, sweep):
+        text = format_ratios(sweep.table2(), SECTION52_PAIRS)
+        assert "DP vs NOP" in text
+        assert "SP+DP+JG vs SP+DP" in text
+
+    def test_paper_comparison_includes_both(self, sweep):
+        text = paper_comparison(sweep)
+        assert "paper (s)" in text and "measured (s)" in text
+        assert "32855" in text  # the paper's NOP@12 cell
+
+
+class TestShapeChecks:
+    def test_ordering_detected(self, sweep):
+        verdict = check_ordering(sweep)
+        assert verdict == {12: True, 66: True, 126: True}
+
+    def test_ordering_violation_detected(self):
+        sweep = synthetic_sweep()
+        # corrupt one cell: make SP slower than NOP at 12
+        for row in sweep.rows:
+            if row.config_label == "NOP" and row.n_pairs == 12:
+                sweep.rows.remove(row)
+                sweep.rows.append(
+                    ExperimentRow("NOP", 12, 1.0, 0, 0, 0, 0.0, 0.0, 0.0)
+                )
+                break
+        verdict = check_ordering(sweep)
+        assert verdict[12] is False
+        assert verdict[66] is True
+
+    def test_synthetic_fits_recover_parameters(self, sweep):
+        fits = sweep.table2()
+        assert fits["DP"].y_intercept == pytest.approx(15000, rel=1e-6)
+        assert fits["DP"].slope == pytest.approx(140, rel=1e-6)

@@ -1,0 +1,95 @@
+"""Tests for batch-queue scheduling policies."""
+
+import pytest
+
+from repro.grid.batch import FairSharePolicy, FifoPolicy, ShortestJobFirstPolicy
+from repro.grid.job import JobDescription, JobRecord
+from repro.grid.resources import QueueEntry
+
+
+def entry(engine, name, owner="user", compute=1.0):
+    record = JobRecord(JobDescription(name=name, owner=owner, compute_time=compute))
+    return QueueEntry(record=record, completion=engine.event())
+
+
+def drain(policy, count):
+    out = []
+    for _ in range(count):
+        got = policy.get()
+        assert got.triggered, "expected an entry to be available"
+        out.append(got.value.record.name)
+    return out
+
+
+class TestFifo:
+    def test_arrival_order(self, engine):
+        policy = FifoPolicy(engine)
+        for i in range(4):
+            policy.put(entry(engine, f"j{i}"))
+        assert drain(policy, 4) == ["j0", "j1", "j2", "j3"]
+
+    def test_blocking_get_wakes_on_put(self, engine):
+        policy = FifoPolicy(engine)
+        got = policy.get()
+        assert not got.triggered
+        policy.put(entry(engine, "late"))
+        assert got.triggered and got.value.record.name == "late"
+
+    def test_double_pending_get_rejected(self, engine):
+        policy = FifoPolicy(engine)
+        policy.get()
+        with pytest.raises(RuntimeError):
+            policy.get()
+
+    def test_len(self, engine):
+        policy = FifoPolicy(engine)
+        policy.put(entry(engine, "a"))
+        policy.put(entry(engine, "b"))
+        assert len(policy) == 2
+
+
+class TestFairShare:
+    def test_round_robin_over_owners(self, engine):
+        policy = FairSharePolicy(engine)
+        for i in range(3):
+            policy.put(entry(engine, f"alice{i}", owner="alice"))
+        for i in range(3):
+            policy.put(entry(engine, f"bob{i}", owner="bob"))
+        order = drain(policy, 6)
+        assert order == ["alice0", "bob0", "alice1", "bob1", "alice2", "bob2"]
+
+    def test_fifo_within_owner(self, engine):
+        policy = FairSharePolicy(engine)
+        for i in range(3):
+            policy.put(entry(engine, f"j{i}", owner="solo"))
+        assert drain(policy, 3) == ["j0", "j1", "j2"]
+
+    def test_heavy_user_cannot_starve_light_user(self, engine):
+        policy = FairSharePolicy(engine)
+        for i in range(10):
+            policy.put(entry(engine, f"heavy{i}", owner="background"))
+        policy.put(entry(engine, "light", owner="app"))
+        order = drain(policy, 3)
+        assert "light" in order  # served within the first rotation
+
+    def test_owner_exhaustion_removes_from_rotation(self, engine):
+        policy = FairSharePolicy(engine)
+        policy.put(entry(engine, "a0", owner="a"))
+        policy.put(entry(engine, "b0", owner="b"))
+        policy.put(entry(engine, "b1", owner="b"))
+        assert drain(policy, 3) == ["a0", "b0", "b1"]
+
+
+class TestShortestJobFirst:
+    def test_picks_smallest_expected_time(self, engine):
+        policy = ShortestJobFirstPolicy(engine)
+        policy.put(entry(engine, "long", compute=100.0))
+        policy.put(entry(engine, "short", compute=1.0))
+        policy.put(entry(engine, "medium", compute=10.0))
+        assert drain(policy, 3) == ["short", "medium", "long"]
+
+    def test_arrival_breaks_ties(self, engine):
+        policy = ShortestJobFirstPolicy(engine)
+        policy.put(entry(engine, "first", compute=5.0))
+        policy.put(entry(engine, "second", compute=5.0))
+        assert drain(policy, 2) == ["first", "second"]

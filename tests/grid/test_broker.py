@@ -1,0 +1,100 @@
+"""Tests for the resource broker."""
+
+import pytest
+
+from repro.grid.broker import ResourceBroker
+from repro.grid.job import JobDescription, JobRecord
+from repro.grid.resources import ComputingElement, WorkerNode
+from repro.util.rng import RandomStreams
+
+
+def make_ces(engine, count, slots=1):
+    return [
+        ComputingElement(
+            engine, f"ce{i}", f"site{i}", workers=[WorkerNode(f"w{i}", slots=slots)]
+        )
+        for i in range(count)
+    ]
+
+
+def match_one(engine, broker, delay=0.0):
+    record = JobRecord(JobDescription(name="j"))
+    proc = engine.process(broker.match(record, delay))
+    return engine.run(until=proc)
+
+
+class TestRanking:
+    def test_least_loaded_prefers_idle_ce(self, engine, streams):
+        ces = make_ces(engine, 3)
+        # load up ce0 and ce1
+        ces[0].submit(JobRecord(JobDescription(name="busy0", compute_time=1000.0)))
+        ces[1].submit(JobRecord(JobDescription(name="busy1", compute_time=1000.0)))
+        engine.run(until=0.1)
+        broker = ResourceBroker(engine, ces, rng=streams.get("b"), strategy="least-loaded")
+        assert match_one(engine, broker).name == "ce2"
+
+    def test_least_loaded_ties_break_by_name(self, engine, streams):
+        ces = make_ces(engine, 3)
+        broker = ResourceBroker(engine, ces, rng=streams.get("b"), strategy="least-loaded")
+        assert match_one(engine, broker).name == "ce0"
+
+    def test_round_robin_cycles(self, engine, streams):
+        ces = make_ces(engine, 3)
+        broker = ResourceBroker(engine, ces, rng=streams.get("b"), strategy="round-robin")
+        chosen = [match_one(engine, broker).name for _ in range(6)]
+        assert chosen == ["ce0", "ce1", "ce2", "ce0", "ce1", "ce2"]
+
+    def test_random_is_reproducible(self, engine):
+        ces = make_ces(engine, 4)
+        s1 = RandomStreams(seed=5)
+        broker1 = ResourceBroker(engine, ces, rng=s1.get("b"), strategy="random")
+        picks1 = [match_one(engine, broker1).name for _ in range(10)]
+        s2 = RandomStreams(seed=5)
+        broker2 = ResourceBroker(engine, ces, rng=s2.get("b"), strategy="random")
+        picks2 = [match_one(engine, broker2).name for _ in range(10)]
+        assert picks1 == picks2
+        assert len(set(picks1)) > 1
+
+    def test_unknown_strategy_rejected(self, engine, streams):
+        ces = make_ces(engine, 1)
+        with pytest.raises(ValueError, match="ranking strategy"):
+            ResourceBroker(engine, ces, rng=streams.get("b"), strategy="magic")
+
+    def test_needs_at_least_one_ce(self, engine, streams):
+        with pytest.raises(ValueError):
+            ResourceBroker(engine, [], rng=streams.get("b"))
+
+
+class TestBrokerConcurrency:
+    def test_matchmaking_delay_applies(self, engine, streams):
+        ces = make_ces(engine, 1)
+        broker = ResourceBroker(engine, ces, rng=streams.get("b"))
+        match_one(engine, broker, delay=30.0)
+        assert engine.now == 30.0
+
+    def test_finite_concurrency_serializes_matchmaking(self, engine, streams):
+        ces = make_ces(engine, 1)
+        broker = ResourceBroker(engine, ces, rng=streams.get("b"), concurrency=1)
+        procs = [
+            engine.process(broker.match(JobRecord(JobDescription(name=f"j{i}")), 10.0))
+            for i in range(3)
+        ]
+        engine.run(until=engine.all_of(procs))
+        assert engine.now == 30.0  # 3 x 10s strictly serialized
+
+    def test_infinite_concurrency_overlaps(self, engine, streams):
+        ces = make_ces(engine, 1)
+        broker = ResourceBroker(engine, ces, rng=streams.get("b"))
+        procs = [
+            engine.process(broker.match(JobRecord(JobDescription(name=f"j{i}")), 10.0))
+            for i in range(3)
+        ]
+        engine.run(until=engine.all_of(procs))
+        assert engine.now == 10.0
+
+    def test_matchmaking_counter(self, engine, streams):
+        ces = make_ces(engine, 2)
+        broker = ResourceBroker(engine, ces, rng=streams.get("b"))
+        for _ in range(4):
+            match_one(engine, broker)
+        assert broker.matchmaking_count == 4

@@ -1,0 +1,47 @@
+"""Tests for failure injection and resubmission."""
+
+import numpy as np
+import pytest
+
+from repro.grid.faults import FaultModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestFaultModel:
+    def test_none_never_fails(self, rng):
+        model = FaultModel.none()
+        assert not any(model.attempt_fails(rng) for _ in range(1000))
+        assert model.expected_attempts() == 1.0
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultModel(probability=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(probability=-0.1)
+
+    def test_max_attempts_bounds(self):
+        with pytest.raises(ValueError):
+            FaultModel(probability=0.1, max_attempts=0)
+
+    def test_failure_rate_matches_probability(self, rng):
+        model = FaultModel.from_values(probability=0.3)
+        failures = sum(model.attempt_fails(rng) for _ in range(20000))
+        assert failures / 20000 == pytest.approx(0.3, abs=0.02)
+
+    def test_detection_delay_sampled(self, rng):
+        model = FaultModel.from_values(probability=0.5, detection_delay=42.0)
+        assert model.sample_detection_delay(rng) == 42.0
+
+    def test_expected_attempts_truncated_geometric(self):
+        model = FaultModel.from_values(probability=0.5, max_attempts=3)
+        # 1 + 0.5 + 0.25
+        assert model.expected_attempts() == pytest.approx(1.75)
+
+    def test_expected_attempts_monotone_in_probability(self):
+        low = FaultModel.from_values(probability=0.05, max_attempts=3)
+        high = FaultModel.from_values(probability=0.5, max_attempts=3)
+        assert high.expected_attempts() > low.expected_attempts()

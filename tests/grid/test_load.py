@@ -1,0 +1,56 @@
+"""Tests for the background multi-user load generator."""
+
+import pytest
+
+from repro.grid.load import BackgroundLoad
+from repro.grid.job import JobDescription, JobRecord
+from repro.grid.resources import ComputingElement, WorkerNode
+
+
+def make_ce(engine, slots=2):
+    return ComputingElement(engine, "ce0", "s0", workers=[WorkerNode("w0", slots=slots)])
+
+
+class TestBackgroundLoad:
+    def test_injects_at_expected_rate(self, engine, streams):
+        ce = make_ce(engine)
+        load = BackgroundLoad(
+            engine, [ce], rng=streams.get("bg"), interarrival=10.0, duration=1.0
+        )
+        engine.run(until=1000.0)
+        assert load.injected == pytest.approx(100, abs=2)
+
+    def test_horizon_stops_injection(self, engine, streams):
+        ce = make_ce(engine)
+        load = BackgroundLoad(
+            engine, [ce], rng=streams.get("bg"),
+            interarrival=10.0, duration=1.0, horizon=100.0,
+        )
+        engine.run(until=1000.0)
+        assert load.injected <= 11
+
+    def test_background_jobs_occupy_slots(self, engine, streams):
+        ce = make_ce(engine, slots=1)
+        BackgroundLoad(
+            engine, [ce], rng=streams.get("bg"), interarrival=1.0, duration=500.0
+        )
+        # Submit an application job after the background has filled the slot.
+        def app(eng):
+            yield eng.timeout(5.0)
+            completion = ce.submit(JobRecord(JobDescription(name="app", compute_time=1.0)))
+            record = yield completion
+            return eng.now
+
+        proc = engine.process(app(engine))
+        finished_at = engine.run(until=proc)
+        assert finished_at > 10.0  # had to wait behind background work
+
+    def test_requires_a_ce(self, engine, streams):
+        with pytest.raises(ValueError):
+            BackgroundLoad(engine, [], rng=streams.get("bg"), interarrival=1.0, duration=1.0)
+
+    def test_background_owner_tag(self, engine, streams):
+        ce = make_ce(engine)
+        BackgroundLoad(engine, [ce], rng=streams.get("bg"), interarrival=5.0, duration=1.0)
+        engine.run(until=50.0)
+        assert ce.completed > 0

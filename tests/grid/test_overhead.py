@@ -1,0 +1,56 @@
+"""Tests for the stochastic overhead model."""
+
+import numpy as np
+import pytest
+
+from repro.grid.overhead import OverheadModel, OverheadSample
+from repro.util.distributions import Constant, TruncatedNormal
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestOverheadModel:
+    def test_zero_model_samples_zero(self, rng):
+        sample = OverheadModel.zero().sample(rng)
+        assert sample.total == 0.0
+
+    def test_from_values_coerces_numbers(self, rng):
+        model = OverheadModel.from_values(submission=10.0, brokering=20.0)
+        sample = model.sample(rng)
+        assert sample.submission == 10.0
+        assert sample.brokering == 20.0
+        assert sample.total == 30.0
+
+    def test_total_mean_adds_phases(self):
+        model = OverheadModel.from_values(
+            submission=60.0, brokering=150.0, queue_extra=360.0, completion_notification=30.0
+        )
+        assert model.total_mean() == pytest.approx(600.0)
+
+    def test_stochastic_phases_vary(self, rng):
+        model = OverheadModel(queue_extra=TruncatedNormal(mu=100, sigma=50, floor=0))
+        totals = {model.sample(rng).total for _ in range(10)}
+        assert len(totals) > 1
+
+
+class TestOverheadSampleUnderLoad:
+    def test_scales_only_load_sensitive_phases(self):
+        sample = OverheadSample(
+            submission=10.0, brokering=100.0, queue_extra=200.0, completion_notification=5.0
+        )
+        scaled = sample.under_load(0.5)
+        assert scaled.submission == 10.0
+        assert scaled.brokering == 50.0
+        assert scaled.queue_extra == 100.0
+        assert scaled.completion_notification == 5.0
+
+    def test_scale_one_is_identity(self):
+        sample = OverheadSample(1.0, 2.0, 3.0, 4.0)
+        assert sample.under_load(1.0) == sample
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadSample(1.0, 2.0, 3.0, 4.0).under_load(-0.1)

@@ -1,0 +1,115 @@
+"""Tests for worker nodes and computing elements."""
+
+import pytest
+
+from repro.grid.job import JobDescription, JobRecord, JobState
+from repro.grid.resources import ComputingElement, Site, WorkerNode
+from repro.grid.storage import StorageElement
+
+
+def submit_and_run(engine, ce, names, compute=10.0, queue_extra=0.0):
+    completions = [
+        ce.submit(JobRecord(JobDescription(name=n, compute_time=compute)), queue_extra)
+        for n in names
+    ]
+    records = engine.run(until=engine.all_of(completions))
+    return records
+
+
+class TestWorkerNode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerNode(name="w", slots=0)
+        with pytest.raises(ValueError):
+            WorkerNode(name="w", speed=0.0)
+
+    def test_defaults(self):
+        node = WorkerNode(name="w")
+        assert node.slots == 1 and node.speed == 1.0
+
+
+class TestComputingElement:
+    def test_requires_workers_or_infinite(self, engine):
+        with pytest.raises(ValueError):
+            ComputingElement(engine, "ce", "site")
+
+    def test_single_slot_serializes(self, engine):
+        ce = ComputingElement(
+            engine, "ce", "site", workers=[WorkerNode("w0", slots=1)]
+        )
+        records = submit_and_run(engine, ce, ["a", "b", "c"], compute=10.0)
+        assert engine.now == 30.0
+        assert all(r.execution_time == 10.0 for r in records)
+
+    def test_parallel_slots(self, engine):
+        ce = ComputingElement(
+            engine, "ce", "site", workers=[WorkerNode("w0", slots=2), WorkerNode("w1", slots=2)]
+        )
+        submit_and_run(engine, ce, [f"j{i}" for i in range(4)], compute=10.0)
+        assert engine.now == 10.0
+
+    def test_infinite_ce_runs_everything_at_once(self, engine):
+        ce = ComputingElement(engine, "ce", "site", infinite=True)
+        submit_and_run(engine, ce, [f"j{i}" for i in range(100)], compute=5.0)
+        assert engine.now == 5.0
+
+    def test_worker_speed_scales_duration(self, engine):
+        ce = ComputingElement(
+            engine, "ce", "site", workers=[WorkerNode("fast", speed=2.0)]
+        )
+        records = submit_and_run(engine, ce, ["j"], compute=10.0)
+        assert records[0].execution_time == 5.0
+        assert engine.now == 5.0
+
+    def test_queue_extra_delays_dispatch_without_holding_slot(self, engine):
+        ce = ComputingElement(engine, "ce", "site", workers=[WorkerNode("w0")])
+        delayed = ce.submit(
+            JobRecord(JobDescription(name="delayed", compute_time=1.0)), queue_extra=50.0
+        )
+        prompt = ce.submit(
+            JobRecord(JobDescription(name="prompt", compute_time=1.0)), queue_extra=0.0
+        )
+        record = engine.run(until=prompt)
+        assert engine.now == 1.0  # the prompt job did not wait behind the delayed one
+        engine.run(until=delayed)
+        assert engine.now == 51.0
+
+    def test_records_worker_and_ce(self, engine):
+        ce = ComputingElement(engine, "ce-x", "site-y", workers=[WorkerNode("wn-7")])
+        records = submit_and_run(engine, ce, ["j"])
+        assert records[0].computing_element == "ce-x"
+        assert records[0].worker_node == "wn-7"
+        assert records[0].state is JobState.RUNNING or records[0].timestamps[JobState.RUNNING]
+
+    def test_load_estimate(self, engine):
+        ce = ComputingElement(engine, "ce", "site", workers=[WorkerNode("w0")])
+        assert ce.load_estimate() == 0.0
+        ce.submit(JobRecord(JobDescription(name="a", compute_time=100.0)))
+        ce.submit(JobRecord(JobDescription(name="b", compute_time=100.0)))
+        engine.run(until=1.0)
+        assert ce.load_estimate() == pytest.approx(2.0)  # 1 running + 1 queued over 1 slot
+
+    def test_infinite_ce_load_estimate_zero(self, engine):
+        ce = ComputingElement(engine, "ce", "site", infinite=True)
+        ce.submit(JobRecord(JobDescription(name="a", compute_time=100.0)))
+        engine.run(until=1.0)
+        assert ce.load_estimate() == 0.0
+
+    def test_completed_counter(self, engine):
+        ce = ComputingElement(engine, "ce", "site", workers=[WorkerNode("w0")])
+        submit_and_run(engine, ce, ["a", "b"])
+        assert ce.completed == 2
+
+    def test_payload_runs_on_completion(self, engine):
+        ce = ComputingElement(engine, "ce", "site", infinite=True)
+        completion = ce.submit(
+            JobRecord(JobDescription(name="p", compute_time=1.0, payload=lambda: {"v": 9}))
+        )
+        record = engine.run(until=completion)
+        assert record.result == {"v": 9}
+
+
+class TestSite:
+    def test_requires_a_ce(self):
+        with pytest.raises(ValueError):
+            Site(name="s", computing_elements=[], storage_element=StorageElement("se", "s"))

@@ -1,0 +1,89 @@
+"""Tests for the canned testbeds."""
+
+import pytest
+
+from repro.grid.job import JobDescription
+from repro.grid.testbeds import cluster_testbed, egee_like_testbed, ideal_testbed
+from repro.util.rng import RandomStreams
+
+
+class TestIdeal:
+    def test_unlimited_parallelism(self, engine):
+        grid = ideal_testbed(engine)
+        handles = [grid.submit(JobDescription(name=f"j{i}", compute_time=50.0))
+                   for i in range(500)]
+        engine.run(until=engine.all_of([h.completion for h in handles]))
+        assert engine.now == 50.0  # hypothesis H2: all 500 at once
+
+    def test_zero_everything(self, engine):
+        grid = ideal_testbed(engine)
+        handle = grid.submit(JobDescription(name="j", compute_time=0.0))
+        record = engine.run(until=handle.completion)
+        assert record.makespan == 0.0
+
+
+class TestCluster:
+    def test_low_constant_overhead(self, engine, streams):
+        grid = cluster_testbed(engine, streams, workers=4, slots_per_worker=1)
+        handle = grid.submit(JobDescription(name="j", compute_time=10.0))
+        record = engine.run(until=handle.completion)
+        assert record.overhead == pytest.approx(1.5)  # 1.0 submit + 0.5 broker
+
+    def test_finite_capacity_queues(self, engine, streams):
+        grid = cluster_testbed(engine, streams, workers=2, slots_per_worker=1)
+        handles = [grid.submit(JobDescription(name=f"j{i}", compute_time=10.0))
+                   for i in range(4)]
+        engine.run(until=engine.all_of([h.completion for h in handles]))
+        # 4 jobs on 2 slots: two waves (+ tiny constant overheads)
+        assert 20.0 <= engine.now < 25.0
+
+
+class TestEgeeLike:
+    def test_worker_heterogeneity(self, engine):
+        grid = egee_like_testbed(
+            engine, RandomStreams(1), n_sites=2, workers_per_ce=5,
+            with_background_load=False,
+        )
+        speeds = {
+            worker.speed
+            for ce in grid.computing_elements
+            for worker in ce.workers
+        }
+        assert len(speeds) > 1
+        assert all(0.7 <= s <= 1.3 for s in speeds)
+
+    def test_homogeneous_option(self, engine):
+        grid = egee_like_testbed(
+            engine, RandomStreams(1), n_sites=1, workers_per_ce=5,
+            heterogeneous_workers=False, with_background_load=False,
+        )
+        speeds = {w.speed for ce in grid.computing_elements for w in ce.workers}
+        assert speeds == {1.0}
+
+    def test_site_count(self, engine):
+        grid = egee_like_testbed(
+            engine, RandomStreams(1), n_sites=7, workers_per_ce=2,
+            with_background_load=False,
+        )
+        assert len(grid.sites) == 7
+        assert len(grid.computing_elements) == 7
+
+    def test_every_site_has_storage(self, engine):
+        grid = egee_like_testbed(
+            engine, RandomStreams(1), n_sites=3, workers_per_ce=2,
+            with_background_load=False,
+        )
+        for site in grid.sites:
+            assert grid.storage_at(site.name) is not None
+
+    def test_overhead_calibration_respected(self, engine):
+        grid = egee_like_testbed(
+            engine, RandomStreams(1), n_sites=2, workers_per_ce=4,
+            overhead_mean=600.0, overhead_sigma=300.0,
+            with_background_load=False,
+        )
+        assert grid.overhead.total_mean() == pytest.approx(600.0, rel=0.15)
+
+    def test_invalid_site_count_rejected(self, engine):
+        with pytest.raises(ValueError):
+            egee_like_testbed(engine, RandomStreams(1), n_sites=0)

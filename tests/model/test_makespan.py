@@ -1,0 +1,105 @@
+"""Tests for the closed-form makespan equations (1)-(4)."""
+
+import numpy as np
+import pytest
+
+from repro.model.makespan import (
+    makespan_dp,
+    makespan_dsp,
+    makespan_sequential,
+    makespan_sp,
+    makespans,
+    sp_start_matrix,
+)
+
+
+class TestSequential:
+    def test_sums_everything(self):
+        T = [[1.0, 2.0], [3.0, 4.0]]
+        assert makespan_sequential(T) == 10.0
+
+
+class TestDataParallel:
+    def test_sum_of_row_maxima(self):
+        T = [[1.0, 5.0], [3.0, 2.0]]
+        assert makespan_dp(T) == 8.0  # 5 + 3
+
+
+class TestServiceParallel:
+    def test_constant_times_closed_form(self):
+        # (n_D + n_W - 1) * T
+        n_w, n_d, T = 4, 6, 2.0
+        matrix = np.full((n_w, n_d), T)
+        assert makespan_sp(matrix) == pytest.approx((n_d + n_w - 1) * T)
+
+    def test_single_service_is_sum(self):
+        T = [[2.0, 3.0, 4.0]]
+        assert makespan_sp(T) == 9.0
+
+    def test_single_item_is_sum(self):
+        T = [[2.0], [3.0], [4.0]]
+        assert makespan_sp(T) == 9.0
+
+    def test_start_matrix_borders(self):
+        T = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        m = sp_start_matrix(T)
+        assert m[0, 0] == 0.0
+        assert m[0, 1] == 1.0  # after T[0,0]
+        assert m[0, 2] == 3.0  # after T[0,0]+T[0,1]
+        assert m[1, 0] == 1.0  # after T[0,0]
+
+    def test_recursion_interior(self):
+        T = np.array([[2.0, 1.0], [1.0, 3.0]])
+        m = sp_start_matrix(T)
+        # m[1,1] = max(T[0,1] + m[0,1], T[1,0] + m[1,0])
+        assert m[1, 1] == max(1.0 + 2.0, 1.0 + 2.0)
+
+    def test_figure6_example(self):
+        # P1: D0 twice as long; P2: D1 three times as long.
+        T = np.array([[2.0, 1.0, 1.0], [1.0, 3.0, 1.0]])
+        # SP-only pipeline: P1 0-2 (D0), 2-3 (D1), 3-4 (D2);
+        # P2: D0 at 2-3, D1 at 3-6, D2 at 6-7.
+        assert makespan_sp(T) == 7.0
+
+
+class TestDataServiceParallel:
+    def test_max_of_column_sums(self):
+        T = [[1.0, 5.0], [3.0, 2.0]]
+        assert makespan_dsp(T) == 7.0  # item 1: 5+2
+
+
+class TestMakespans:
+    def test_keys_match_paper_labels(self):
+        result = makespans([[1.0]])
+        assert set(result) == {"NOP", "DP", "SP", "SP+DP"}
+
+    def test_degenerate_single_cell(self):
+        result = makespans([[7.0]])
+        assert all(v == 7.0 for v in result.values())
+
+    def test_massively_data_parallel_case(self):
+        # Section 3.5.4: n_W = 1 -> DP = DSP = max, NOP = SP = sum.
+        T = [[3.0, 1.0, 4.0, 1.0, 5.0]]
+        result = makespans(T)
+        assert result["DP"] == result["SP+DP"] == 5.0
+        assert result["NOP"] == result["SP"] == 14.0
+
+    def test_non_data_intensive_case(self):
+        # Section 3.5.4: n_D = 1 -> all equal.
+        T = [[3.0], [1.0], [4.0]]
+        result = makespans(T)
+        assert len(set(result.values())) == 1
+
+
+class TestValidation:
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            makespan_sequential([1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            makespan_dp(np.zeros((0, 3)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            makespan_sp([[1.0, -1.0]])

@@ -1,0 +1,92 @@
+"""Tests for the paper's speed-up / y-intercept / slope metrics."""
+
+import pytest
+
+from repro.model.metrics import (
+    fit_configuration,
+    ratios_table,
+    slope_ratio,
+    speedup,
+    y_intercept_ratio,
+)
+from repro.experiments.calibration import PAPER_SIZES, PAPER_TABLE1
+
+
+def paper_fit(label):
+    sizes = list(PAPER_SIZES)
+    times = [PAPER_TABLE1[label][s] for s in sizes]
+    return fit_configuration(label, sizes, times)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100.0, 50.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(100.0, 0.0)
+        with pytest.raises(ValueError):
+            speedup(-1.0, 10.0)
+
+    def test_paper_dp_speedups(self):
+        # Section 5.2: "speed-ups of 1.86, 2.89 and 3.92"
+        expected = [1.86, 2.89, 3.92]
+        for size, value in zip(PAPER_SIZES, expected):
+            measured = speedup(PAPER_TABLE1["NOP"][size], PAPER_TABLE1["DP"][size])
+            assert measured == pytest.approx(value, abs=0.01)
+
+    def test_paper_sp_on_dp_speedups(self):
+        # Section 5.2: "2.26, 2.17 and 1.90"
+        expected = [2.26, 2.17, 1.90]
+        for size, value in zip(PAPER_SIZES, expected):
+            measured = speedup(PAPER_TABLE1["DP"][size], PAPER_TABLE1["SP+DP"][size])
+            assert measured == pytest.approx(value, abs=0.01)
+
+    def test_paper_headline_speedup_of_nine(self):
+        # Abstract: "an execution time speed up of approximately 9"
+        measured = speedup(PAPER_TABLE1["NOP"][126], PAPER_TABLE1["SP+DP+JG"][126])
+        assert measured == pytest.approx(9.2, abs=0.1)
+
+
+class TestRegressionMetrics:
+    def test_fits_recover_paper_table2(self):
+        from repro.experiments.calibration import PAPER_TABLE2
+
+        for label, (intercept, slope) in PAPER_TABLE2.items():
+            fit = paper_fit(label)
+            # Table 2 values are the regressions of Table 1's rows.
+            assert fit.y_intercept == pytest.approx(intercept, rel=0.05), label
+            assert fit.slope == pytest.approx(slope, rel=0.05), label
+
+    def test_paper_dp_slope_ratio(self):
+        # Section 5.2: DP vs NOP "slope ratio of 6.18"
+        ratio = slope_ratio(paper_fit("NOP").fit, paper_fit("DP").fit)
+        assert ratio == pytest.approx(6.18, abs=0.15)
+
+    def test_paper_jg_y_intercept_ratio(self):
+        # Section 5.3: JG vs NOP "y-intercept ratio of 1.87"
+        ratio = y_intercept_ratio(paper_fit("NOP").fit, paper_fit("JG").fit)
+        assert ratio == pytest.approx(1.87, abs=0.05)
+
+    def test_paper_jg_slope_ratio_near_one(self):
+        # Section 5.3: "slope ratio of 0.98" — grouping does not touch
+        # the data scalability.
+        ratio = slope_ratio(paper_fit("NOP").fit, paper_fit("JG").fit)
+        assert ratio == pytest.approx(0.98, abs=0.03)
+
+    def test_zero_denominators_give_inf(self):
+        from repro.util.stats import LinearFit
+
+        flat = LinearFit(intercept=0.0, slope=0.0, r_squared=1.0)
+        ref = LinearFit(intercept=10.0, slope=5.0, r_squared=1.0)
+        assert y_intercept_ratio(ref, flat) == float("inf")
+        assert slope_ratio(ref, flat) == float("inf")
+
+
+class TestRatiosTable:
+    def test_section_52_style_rows(self):
+        fits = {label: paper_fit(label) for label in PAPER_TABLE1}
+        rows = ratios_table(fits, [("DP", "NOP"), ("SP+DP", "DP")])
+        assert rows[0]["analyzed"] == "DP"
+        assert rows[0]["slope_ratio"] == pytest.approx(6.18, abs=0.15)
+        assert rows[1]["speedups"][0] == pytest.approx(2.26, abs=0.01)

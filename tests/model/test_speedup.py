@@ -1,0 +1,63 @@
+"""Tests for the asymptotic speed-ups of Section 3.5.4."""
+
+import pytest
+
+from repro.model.makespan import makespans
+from repro.model.speedup import (
+    constant_time_makespans,
+    speedup_dp_given_sp,
+    speedup_dp_no_sp,
+    speedup_sp_given_dp,
+    speedup_sp_no_dp,
+)
+
+
+class TestClosedForms:
+    def test_s_dp_equals_n_d(self):
+        assert speedup_dp_no_sp(5, 12) == 12.0
+        assert speedup_dp_no_sp(5, 126) == 126.0
+
+    def test_s_sp(self):
+        # n_D n_W / (n_D + n_W - 1)
+        assert speedup_sp_no_dp(5, 12) == pytest.approx(60 / 16)
+
+    def test_s_dsp(self):
+        assert speedup_dp_given_sp(5, 12) == pytest.approx(16 / 5)
+
+    def test_s_sdp_is_one(self):
+        assert speedup_sp_given_dp(5, 12) == 1.0
+
+    def test_paper_nw5_values(self):
+        # For the Bronze Standard (n_W = 5), theoretical S_DP at the
+        # paper's sizes.
+        for n_d in (12, 66, 126):
+            assert speedup_dp_no_sp(5, n_d) == n_d
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup_dp_no_sp(0, 1)
+        with pytest.raises(ValueError):
+            speedup_sp_no_dp(1, 0)
+
+
+class TestConsistencyWithMatrixModel:
+    @pytest.mark.parametrize("n_w,n_d", [(1, 1), (2, 3), (5, 12), (3, 7)])
+    def test_constant_makespans_agree(self, n_w, n_d):
+        T = 2.5
+        closed = constant_time_makespans(n_w, n_d, T)
+        matrix = [[T] * n_d for _ in range(n_w)]
+        computed = makespans(matrix)
+        for key in closed:
+            assert closed[key] == pytest.approx(computed[key]), key
+
+    def test_speedups_derive_from_makespans(self):
+        n_w, n_d = 5, 12
+        span = constant_time_makespans(n_w, n_d)
+        assert span["NOP"] / span["DP"] == pytest.approx(speedup_dp_no_sp(n_w, n_d))
+        assert span["NOP"] / span["SP"] == pytest.approx(speedup_sp_no_dp(n_w, n_d))
+        assert span["SP"] / span["SP+DP"] == pytest.approx(speedup_dp_given_sp(n_w, n_d))
+        assert span["DP"] / span["SP+DP"] == pytest.approx(speedup_sp_given_dp(n_w, n_d))
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            constant_time_makespans(1, 1, -1.0)

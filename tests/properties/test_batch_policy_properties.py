@@ -1,0 +1,124 @@
+"""Property-based tests for batch-queue policies and batching services."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.batch import FairSharePolicy, FifoPolicy
+from repro.grid.job import JobDescription, JobRecord
+from repro.grid.resources import QueueEntry
+from repro.sim.engine import Engine
+
+
+def entries(engine, specs):
+    """specs: list of (name, owner)."""
+    return [
+        QueueEntry(
+            record=JobRecord(JobDescription(name=name, owner=owner)),
+            completion=engine.event(),
+        )
+        for name, owner in specs
+    ]
+
+
+owners = st.sampled_from(["alice", "bob", "carol"])
+job_lists = st.lists(owners, min_size=1, max_size=30).map(
+    lambda sequence: [(f"j{i}-{owner}", owner) for i, owner in enumerate(sequence)]
+)
+
+
+class TestFifoProperties:
+    @given(job_lists)
+    def test_exact_arrival_order(self, specs):
+        engine = Engine()
+        policy = FifoPolicy(engine)
+        for entry in entries(engine, specs):
+            policy.put(entry)
+        drained = [policy.get().value.record.name for _ in specs]
+        assert drained == [name for name, _ in specs]
+
+
+class TestFairShareProperties:
+    @given(job_lists)
+    def test_serves_everything_exactly_once(self, specs):
+        engine = Engine()
+        policy = FairSharePolicy(engine)
+        for entry in entries(engine, specs):
+            policy.put(entry)
+        drained = [policy.get().value.record.name for _ in specs]
+        assert sorted(drained) == sorted(name for name, _ in specs)
+
+    @given(job_lists)
+    def test_fifo_within_each_owner(self, specs):
+        engine = Engine()
+        policy = FairSharePolicy(engine)
+        for entry in entries(engine, specs):
+            policy.put(entry)
+        drained = [policy.get().value.record for _ in specs]
+        per_owner_positions = {}
+        for record in drained:
+            per_owner_positions.setdefault(record.description.owner, []).append(
+                record.name
+            )
+        for owner, served in per_owner_positions.items():
+            submitted = [name for name, o in specs if o == owner]
+            assert served == submitted
+
+    @given(job_lists)
+    def test_no_owner_waits_more_than_one_rotation(self, specs):
+        """Among the first k picks (k = number of distinct owners with
+        queued work), every owner appears — the starvation-freedom bound."""
+        engine = Engine()
+        policy = FairSharePolicy(engine)
+        for entry in entries(engine, specs):
+            policy.put(entry)
+        distinct = {owner for _, owner in specs}
+        first_picks = [
+            policy.get().value.record.description.owner
+            for _ in range(len(distinct))
+        ]
+        assert set(first_picks) == distinct
+
+
+class TestBatchingProperties:
+    @given(
+        st.integers(1, 16),
+        st.integers(1, 24),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_job_count_is_ceiling_division(self, batch_size, items):
+        from repro.grid.middleware import Grid
+        from repro.grid.overhead import OverheadModel
+        from repro.grid.resources import ComputingElement, Site
+        from repro.grid.storage import StorageElement
+        from repro.grid.transfer import NetworkModel
+        from repro.services.base import GridData
+        from repro.services.batching import BatchingService
+        from repro.services.descriptor import (
+            AccessMethod, ExecutableDescriptor, InputSpec, OutputSpec,
+        )
+        from repro.services.wrapper import GenericWrapperService
+        from repro.util.rng import RandomStreams
+
+        engine = Engine()
+        ce = ComputingElement(engine, "ce", "s0", infinite=True)
+        grid = Grid(
+            engine,
+            RandomStreams(seed=0),
+            sites=[Site("s0", [ce], StorageElement("se", "s0"))],
+            overhead=OverheadModel.zero(),
+            network=NetworkModel.instantaneous(),
+        )
+        descriptor = ExecutableDescriptor(
+            name="t", access=AccessMethod("URL", "http://h"), value="t",
+            inputs=(InputSpec("x", "-i", AccessMethod("GFN")),),
+            outputs=(OutputSpec("y", "-o"),),
+        )
+        inner = GenericWrapperService(
+            engine, grid, descriptor, program=lambda x: {"y": x}, compute_time=1.0
+        )
+        service = BatchingService(engine, inner, batch_size=batch_size)
+        events = [service.invoke({"x": GridData(i)}) for i in range(items)]
+        service.flush()
+        results = engine.run(until=engine.all_of(events))
+        assert len(grid.records) == -(-items // batch_size)  # ceil
+        assert [r["y"].value for r in results] == list(range(items))

@@ -1,0 +1,84 @@
+"""Property-based tests for composite (grouped) services."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.middleware import Grid
+from repro.grid.overhead import OverheadModel
+from repro.grid.resources import ComputingElement, Site
+from repro.grid.storage import StorageElement
+from repro.grid.transfer import NetworkModel
+from repro.services.base import GridData
+from repro.services.composite import CompositeService
+from repro.services.descriptor import (
+    AccessMethod,
+    ExecutableDescriptor,
+    InputSpec,
+    OutputSpec,
+)
+from repro.services.wrapper import GenericWrapperService
+from repro.sim.engine import Engine
+from repro.util.rng import RandomStreams
+
+
+def build_chain(engine, grid, computes):
+    stages = []
+    for index, compute in enumerate(computes):
+        descriptor = ExecutableDescriptor(
+            name=f"S{index}",
+            access=AccessMethod("URL", "http://host"),
+            value=f"S{index}",
+            inputs=(InputSpec("x", "-i", AccessMethod("GFN")),),
+            outputs=(OutputSpec("y", "-o"),),
+        )
+        stages.append(
+            GenericWrapperService(
+                engine, grid, descriptor,
+                program=lambda x: {"y": (x or 0) + 1}, compute_time=compute,
+            )
+        )
+    links = {(i, "x"): (i - 1, "y") for i in range(1, len(stages))}
+    return CompositeService(engine, stages, internal_links=links)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=1, max_size=6),
+    st.floats(0.0, 200.0, allow_nan=False),
+)
+def test_grouped_chain_costs_one_overhead_plus_summed_compute(computes, overhead):
+    engine = Engine()
+    ce = ComputingElement(engine, "ce", "s0", infinite=True)
+    grid = Grid(
+        engine,
+        RandomStreams(seed=0),
+        sites=[Site("s0", [ce], StorageElement("se", "s0"))],
+        overhead=OverheadModel.from_values(submission=overhead),
+        network=NetworkModel.instantaneous(),
+    )
+    composite = build_chain(engine, grid, computes)
+    outputs = engine.run(until=composite.invoke({"x": GridData(0)}))
+    # single job
+    assert len(grid.records) == 1
+    # exactly one overhead + the summed stage computes
+    assert abs(engine.now - (overhead + sum(computes))) < 1e-6
+    # the data product is the full chain's computation
+    assert outputs["y"].value == len(computes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 6))
+def test_composite_exposes_exactly_head_inputs_and_tail_outputs(length):
+    engine = Engine()
+    ce = ComputingElement(engine, "ce", "s0", infinite=True)
+    grid = Grid(
+        engine,
+        RandomStreams(seed=0),
+        sites=[Site("s0", [ce], StorageElement("se", "s0"))],
+        overhead=OverheadModel.zero(),
+        network=NetworkModel.instantaneous(),
+    )
+    composite = build_chain(engine, grid, [1.0] * length)
+    assert composite.input_ports == ("x",)
+    assert composite.output_ports == ("y",)
+    assert composite.name == "+".join(f"S{i}" for i in range(length))

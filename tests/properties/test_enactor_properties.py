@@ -1,0 +1,96 @@
+"""Property-based tests: the enactor equals the analytical model.
+
+For any random T_ij matrix (services x items) on the ideal substrate,
+the enacted makespan of each policy must be exactly the corresponding
+closed form — this is the strongest validation of the execution
+semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.model.makespan import makespans
+from repro.services.base import LocalService
+from repro.sim.engine import Engine
+from repro.workflow.patterns import chain_workflow
+
+matrices = st.lists(
+    st.lists(st.floats(0.0, 20.0, allow_nan=False), min_size=1, max_size=5),
+    min_size=1,
+    max_size=4,
+).filter(lambda rows: len({len(r) for r in rows}) == 1)
+
+
+def enact(times, label, config):
+    engine = Engine()
+
+    def factory(name, inputs, outputs):
+        index = int(name[1:]) - 1
+
+        def duration(inputs_dict):
+            return float(times[index][inputs_dict["x"].value])
+
+        return LocalService(
+            engine, name, inputs, outputs,
+            function=lambda x: {"y": x}, duration=duration,
+        )
+
+    workflow = chain_workflow(factory, len(times))
+    result = MoteurEnactor(engine, workflow, config).run(
+        {"input": list(range(len(times[0])))}
+    )
+    return result.makespan
+
+
+POLICIES = [
+    ("NOP", OptimizationConfig.nop()),
+    ("DP", OptimizationConfig.dp()),
+    ("SP", OptimizationConfig.sp()),
+    ("SP+DP", OptimizationConfig.sp_dp()),
+]
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices)
+def test_simulator_equals_model_all_policies(times):
+    expected = makespans(times)
+    for label, config in POLICIES:
+        measured = enact(times, label, config)
+        assert abs(measured - expected[label]) < 1e-6, (label, times)
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrices)
+def test_policy_dominance_in_simulation(times):
+    nop = enact(times, "NOP", OptimizationConfig.nop())
+    dp = enact(times, "DP", OptimizationConfig.dp())
+    sp = enact(times, "SP", OptimizationConfig.sp())
+    dsp = enact(times, "SP+DP", OptimizationConfig.sp_dp())
+    assert dsp <= dp + 1e-9 <= nop + 1e-9
+    assert dsp <= sp + 1e-9 <= nop + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.floats(0.1, 20.0, allow_nan=False), min_size=1, max_size=8),
+)
+def test_values_preserved_regardless_of_policy(durations):
+    """Optimizations must never change computed results, only timing."""
+    outputs = []
+    for _, config in POLICIES:
+        engine = Engine()
+
+        def factory(name, inputs, outputs_):
+            return LocalService(
+                engine, name, inputs, outputs_,
+                function=lambda x: {"y": x * 2 + 1},
+                duration=lambda d: durations[d["x"].value % len(durations)],
+            )
+
+        workflow = chain_workflow(factory, 2)
+        result = MoteurEnactor(engine, workflow, config).run(
+            {"input": list(range(len(durations)))}
+        )
+        outputs.append(sorted(result.output_values("result")))
+    assert all(o == outputs[0] for o in outputs)

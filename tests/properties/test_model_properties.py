@@ -1,0 +1,92 @@
+"""Property-based tests for the analytical makespan model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.model.makespan import (
+    makespan_dp,
+    makespan_dsp,
+    makespan_sequential,
+    makespan_sp,
+    sp_start_matrix,
+)
+
+time_matrices = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 8)),
+    elements=st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestOrderings:
+    @given(time_matrices)
+    def test_dsp_fastest_nop_slowest(self, T):
+        nop = makespan_sequential(T)
+        dp = makespan_dp(T)
+        sp = makespan_sp(T)
+        dsp = makespan_dsp(T)
+        tol = 1e-9 + 1e-9 * max(1.0, nop)  # fp summation-order slack
+        assert dsp <= dp + tol <= nop + 2 * tol
+        assert dsp <= sp + tol <= nop + 2 * tol
+
+    @given(time_matrices)
+    def test_all_bounded_below_by_heaviest_item(self, T):
+        floor = float(np.asarray(T).sum(axis=0).max())
+        for value in (makespan_sequential(T), makespan_dp(T), makespan_sp(T)):
+            assert value >= floor - 1e-9
+
+    @given(time_matrices)
+    def test_dsp_equals_heaviest_item(self, T):
+        assert makespan_dsp(T) == float(np.asarray(T).sum(axis=0).max())
+
+
+class TestSpRecursion:
+    @given(time_matrices)
+    def test_sp_start_times_monotone(self, T):
+        m = sp_start_matrix(np.asarray(T))
+        # a service starts item j+1 no earlier than item j
+        assert (np.diff(m, axis=1) >= -1e-9).all()
+        # item j starts at service i+1 no earlier than at service i
+        assert (np.diff(m, axis=0) >= -1e-9).all()
+
+    @given(time_matrices)
+    def test_sp_between_dsp_and_nop(self, T):
+        assert makespan_dsp(T) - 1e-9 <= makespan_sp(T) <= makespan_sequential(T) + 1e-9
+
+    @given(
+        st.integers(1, 6), st.integers(1, 8),
+        st.floats(0.1, 50.0, allow_nan=False),
+    )
+    def test_constant_time_closed_form(self, n_w, n_d, T):
+        matrix = np.full((n_w, n_d), T)
+        assert abs(makespan_sp(matrix) - (n_d + n_w - 1) * T) < 1e-6 * max(1.0, T)
+
+    @given(time_matrices)
+    def test_sp_simulated_by_explicit_pipeline(self, T):
+        """Cross-check equation (3) against a direct pipeline simulation."""
+        arr = np.asarray(T)
+        n_w, n_d = arr.shape
+        finish = np.zeros((n_w, n_d))
+        for i in range(n_w):
+            for j in range(n_d):
+                ready = finish[i - 1, j] if i > 0 else 0.0
+                free = finish[i, j - 1] if j > 0 else 0.0
+                finish[i, j] = max(ready, free) + arr[i, j]
+        assert abs(makespan_sp(arr) - finish[-1, -1]) < 1e-9
+
+
+class TestScaling:
+    @given(time_matrices, st.floats(0.1, 10.0, allow_nan=False))
+    def test_linear_in_time_scale(self, T, scale):
+        arr = np.asarray(T)
+        for fn in (makespan_sequential, makespan_dp, makespan_sp, makespan_dsp):
+            assert abs(fn(arr * scale) - scale * fn(arr)) < 1e-6 * max(1.0, fn(arr) * scale)
+
+    @given(time_matrices)
+    def test_adding_a_service_never_speeds_up(self, T):
+        arr = np.asarray(T)
+        extended = np.vstack([arr, np.full((1, arr.shape[1]), 1.0)])
+        for fn in (makespan_sequential, makespan_dp, makespan_sp, makespan_dsp):
+            assert fn(extended) >= fn(arr) - 1e-9

@@ -1,0 +1,114 @@
+"""Property-based round-trip tests for the XML dialects."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.services.descriptor import (
+    AccessMethod,
+    ExecutableDescriptor,
+    InputSpec,
+    OutputSpec,
+    SandboxSpec,
+    descriptor_from_xml,
+    descriptor_to_xml,
+)
+from repro.workflow.datasets import DataItem, InputDataSet, dataset_from_xml, dataset_to_xml
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_-"),
+    min_size=1,
+    max_size=12,
+)
+options = st.one_of(st.none(), names.map(lambda n: f"-{n}"))
+accesses = st.one_of(
+    st.none(),
+    st.builds(
+        AccessMethod,
+        type=st.sampled_from(["URL", "GFN", "local"]),
+        path=st.one_of(st.none(), names.map(lambda n: f"http://{n}")),
+    ),
+)
+
+
+@st.composite
+def descriptors(draw):
+    input_names = draw(st.lists(names, min_size=0, max_size=4, unique=True))
+    output_names = draw(
+        st.lists(names, min_size=1, max_size=3, unique=True).filter(
+            lambda outs: not set(outs) & set(input_names)
+        )
+    )
+    inputs = tuple(
+        InputSpec(name=n, option=draw(options), access=draw(accesses)) for n in input_names
+    )
+    outputs = tuple(
+        OutputSpec(
+            name=n,
+            option=draw(options),
+            access=draw(accesses) or AccessMethod("GFN"),
+        )
+        for n in output_names
+    )
+    sandboxes = tuple(
+        SandboxSpec(
+            name=draw(names),
+            access=AccessMethod("URL", "http://host"),
+            value=draw(names),
+        )
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    return ExecutableDescriptor(
+        name=draw(names),
+        access=AccessMethod("URL", "http://server"),
+        value=draw(names),
+        inputs=inputs,
+        outputs=outputs,
+        sandboxes=sandboxes,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(descriptors())
+def test_descriptor_round_trip(descriptor):
+    text = descriptor_to_xml(descriptor)
+    again = descriptor_from_xml(text)
+    assert again == descriptor
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.dictionaries(
+        names,
+        st.lists(
+            st.one_of(
+                st.builds(
+                    DataItem,
+                    value=st.text(min_size=1, max_size=8, alphabet="abc123"),
+                ),
+                st.builds(
+                    DataItem,
+                    gfn=names.map(lambda n: f"gfn://{n}"),
+                    size=st.floats(0, 1e9, allow_nan=False),
+                ),
+            ),
+            min_size=0,
+            max_size=5,
+        ),
+        min_size=0,
+        max_size=4,
+    )
+)
+def test_dataset_round_trip(contents):
+    dataset = InputDataSet("prop")
+    for input_name, items in contents.items():
+        for item in items:
+            dataset.add(input_name, item)
+    again = dataset_from_xml(dataset_to_xml(dataset))
+    for input_name in dataset.input_names():
+        original = dataset.items(input_name)
+        parsed = again.items(input_name)
+        assert [i.gfn for i in original] == [i.gfn for i in parsed]
+        assert [
+            str(i.value) if i.value is not None else None for i in original
+        ] == [i.value for i in parsed]
+        assert [i.size for i in original] == [i.size for i in parsed]

@@ -1,0 +1,67 @@
+"""Tests for the GridRPC-style client facade."""
+
+import pytest
+
+from repro.services.base import LocalService, ServiceError
+from repro.services.gridrpc import GridRpcClient, SessionState
+
+
+@pytest.fixture
+def service(engine):
+    return LocalService(
+        engine, "svc", ("x",), ("y",), function=lambda x: {"y": x + 1}, duration=5.0
+    )
+
+
+class TestGridRpcClient:
+    def test_call_async_returns_running_handle(self, engine, service):
+        client = GridRpcClient(engine)
+        handle = client.call_async(service, {"x": 1})
+        assert client.probe(handle) is SessionState.RUNNING
+        assert client.open_sessions == 1
+
+    def test_wait_yields_outputs(self, engine, service):
+        client = GridRpcClient(engine)
+        handle = client.call_async(service, {"x": 1})
+        outputs = engine.run(until=client.wait(handle))
+        assert outputs["y"].value == 2
+        assert client.probe(handle) is SessionState.DONE
+
+    def test_wait_any_returns_first(self, engine, service):
+        fast = LocalService(engine, "fast", ("x",), ("y",), duration=1.0)
+        client = GridRpcClient(engine)
+        handles = [client.call_async(service, {"x": 1}), client.call_async(fast, {"x": 2})]
+        engine.run(until=client.wait_any(handles))
+        assert engine.now == 1.0
+
+    def test_wait_all(self, engine, service):
+        client = GridRpcClient(engine)
+        handles = [client.call_async(service, {"x": i}) for i in range(3)]
+        engine.run(until=client.wait_all(handles))
+        assert engine.now == 5.0
+        assert client.open_sessions == 0
+
+    def test_error_state(self, engine):
+        def boom(x):
+            raise RuntimeError("bad")
+
+        bad = LocalService(engine, "bad", ("x",), ("y",), function=boom)
+        client = GridRpcClient(engine)
+        handle = client.call_async(bad, {"x": 1})
+        with pytest.raises(ServiceError):
+            engine.run(until=client.wait(handle))
+        assert client.probe(handle) is SessionState.ERROR
+
+    def test_session_lookup(self, engine, service):
+        client = GridRpcClient(engine)
+        handle = client.call_async(service, {"x": 1})
+        assert client.session(handle.session_id) is handle
+        assert client.session(10**9) is None
+
+    def test_wait_any_empty_rejected(self, engine):
+        with pytest.raises(ServiceError):
+            GridRpcClient(engine).wait_any([])
+
+    def test_wait_all_empty_rejected(self, engine):
+        with pytest.raises(ServiceError):
+            GridRpcClient(engine).wait_all([])

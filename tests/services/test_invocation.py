@@ -1,0 +1,59 @@
+"""Tests for asynchronous vs synchronous invocation semantics."""
+
+import pytest
+
+from repro.services.base import LocalService, ServiceError
+from repro.services.invocation import AsyncInvoker, SyncInvoker, gather
+
+
+@pytest.fixture
+def slow_service(engine):
+    return LocalService(engine, "slow", ("x",), ("y",), function=lambda x: {"y": x}, duration=10.0)
+
+
+class TestAsyncInvoker:
+    def test_calls_overlap(self, engine, slow_service):
+        invoker = AsyncInvoker(engine)
+        events = [invoker.call(slow_service, {"x": i}) for i in range(5)]
+        results = engine.run(until=gather(engine, events))
+        assert engine.now == 10.0  # all five in parallel
+        assert [r["y"].value for r in results] == [0, 1, 2, 3, 4]
+        assert invoker.calls_started == 5
+
+    def test_returns_immediately(self, engine, slow_service):
+        invoker = AsyncInvoker(engine)
+        event = invoker.call(slow_service, {"x": 1})
+        assert not event.triggered  # non-blocking: nothing ran yet
+
+
+class TestSyncInvoker:
+    def test_calls_serialize(self, engine, slow_service):
+        invoker = SyncInvoker(engine)
+        events = [invoker.call(slow_service, {"x": i}) for i in range(3)]
+        results = engine.run(until=gather(engine, events))
+        assert engine.now == 30.0  # strictly one at a time
+        assert [r["y"].value for r in results] == [0, 1, 2]
+
+    def test_sync_slower_than_async_kills_parallelism(self, engine):
+        # The Section 3.1 point: without async calls there is no
+        # parallelism to exploit, period.
+        s1 = LocalService(engine, "a", ("x",), ("y",), duration=5.0)
+        s2 = LocalService(engine, "b", ("x",), ("y",), duration=5.0)
+        sync = SyncInvoker(engine)
+        events = [sync.call(s1, {"x": 1}), sync.call(s2, {"x": 1})]
+        engine.run(until=gather(engine, events))
+        assert engine.now == 10.0  # even *different* services serialize
+
+    def test_failure_propagates_and_releases_lock(self, engine):
+        def boom(x):
+            raise RuntimeError("bad")
+
+        bad = LocalService(engine, "bad", ("x",), ("y",), function=boom)
+        good = LocalService(engine, "good", ("x",), ("y",), duration=1.0)
+        invoker = SyncInvoker(engine)
+        bad_event = invoker.call(bad, {"x": 1})
+        good_event = invoker.call(good, {"x": 1})
+        with pytest.raises(ServiceError):
+            engine.run(until=bad_event)
+        engine.run(until=good_event)  # lock was released despite the failure
+        assert good_event.ok

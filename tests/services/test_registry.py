@@ -1,0 +1,62 @@
+"""Tests for the service registry."""
+
+import pytest
+
+from repro.services.base import LocalService
+from repro.services.registry import ServiceRegistry
+
+
+@pytest.fixture
+def registry(engine):
+    reg = ServiceRegistry()
+    reg.register(
+        LocalService(engine, "crestLines", ("img",), ("crest",)),
+        description="crest line extraction",
+        tags={"domain": "imaging"},
+    )
+    reg.register(
+        LocalService(engine, "crestMatch", ("crest",), ("transform",)),
+        tags={"domain": "imaging", "kind": "registration"},
+    )
+    reg.register(LocalService(engine, "stats", ("values",), ("mean",)))
+    return reg
+
+
+class TestRegistry:
+    def test_resolve(self, registry):
+        assert registry.resolve("crestLines").name == "crestLines"
+
+    def test_resolve_unknown_raises(self, registry):
+        with pytest.raises(KeyError, match="no service"):
+            registry.resolve("nope")
+
+    def test_duplicate_registration_rejected(self, registry, engine):
+        with pytest.raises(ValueError, match="already"):
+            registry.register(LocalService(engine, "stats", ("x",), ("y",)))
+
+    def test_unregister(self, registry):
+        registry.unregister("stats")
+        assert "stats" not in registry
+        assert len(registry) == 2
+
+    def test_find_by_ports(self, registry):
+        found = registry.find_by_ports(input_ports=["crest"])
+        assert [s.name for s in found] == ["crestMatch"]
+
+    def test_find_by_output_ports(self, registry):
+        found = registry.find_by_ports(output_ports=["transform"])
+        assert [s.name for s in found] == ["crestMatch"]
+
+    def test_find_by_ports_empty_query_returns_all(self, registry):
+        assert len(registry.find_by_ports()) == 3
+
+    def test_find_by_tag(self, registry):
+        assert len(registry.find_by_tag("domain")) == 2
+        assert [s.name for s in registry.find_by_tag("kind", "registration")] == ["crestMatch"]
+
+    def test_names_sorted(self, registry):
+        assert registry.names() == ["crestLines", "crestMatch", "stats"]
+
+    def test_contains(self, registry):
+        assert "crestLines" in registry
+        assert "zzz" not in registry

@@ -1,0 +1,71 @@
+"""Tests for the simulated SOAP transport."""
+
+import pytest
+
+from repro.grid.storage import LogicalFile
+from repro.services.base import GridData, LocalService
+from repro.services.soap import SoapBinding, build_envelope, parse_envelope
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        envelope = build_envelope("register", {"image": "gfn://a", "scale": 8})
+        args = parse_envelope(envelope)
+        assert args == {"image": "gfn://a", "scale": "8"}
+
+    def test_grid_data_serialized_by_gfn(self):
+        envelope = build_envelope(
+            "op", {"f": GridData(file=LogicalFile("gfn://f0")), "v": GridData(value=3)}
+        )
+        args = parse_envelope(envelope)
+        assert args == {"f": "gfn://f0", "v": "3"}
+
+    def test_none_becomes_empty(self):
+        args = parse_envelope(build_envelope("op", {"x": None}))
+        assert args == {"x": ""}
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            parse_envelope(
+                '<e xmlns:s="http://schemas.xmlsoap.org/soap/envelope/"/>'
+            )
+
+    def test_looks_like_soap(self):
+        envelope = build_envelope("op", {"x": 1})
+        assert "Envelope" in envelope and "Body" in envelope
+
+
+class TestSoapBinding:
+    def test_adds_transport_latency(self, engine):
+        inner = LocalService(engine, "svc", ("x",), ("y",), duration=10.0)
+        bound = SoapBinding(engine, inner, round_trip_latency=2.0)
+        engine.run(until=bound.invoke({"x": 1}))
+        assert engine.now > 12.0  # work + latency + marshalling
+
+    def test_preserves_outputs(self, engine):
+        inner = LocalService(
+            engine, "svc", ("x",), ("y",), function=lambda x: {"y": x * 3}
+        )
+        bound = SoapBinding(engine, inner)
+        outputs = engine.run(until=bound.invoke({"x": 4}))
+        assert outputs["y"].value == 12
+
+    def test_counts_envelopes(self, engine):
+        inner = LocalService(engine, "svc", ("x",), ("y",))
+        bound = SoapBinding(engine, inner)
+        engine.run(until=bound.invoke({"x": 1}))
+        engine.run(until=bound.invoke({"x": 2}))
+        assert bound.envelopes_sent == 2
+
+    def test_parameter_validation(self, engine):
+        inner = LocalService(engine, "svc", ("x",), ("y",))
+        with pytest.raises(ValueError):
+            SoapBinding(engine, inner, round_trip_latency=-1.0)
+        with pytest.raises(ValueError):
+            SoapBinding(engine, inner, marshalling_rate=0.0)
+
+    def test_same_ports_as_inner(self, engine):
+        inner = LocalService(engine, "svc", ("a", "b"), ("c",))
+        bound = SoapBinding(engine, inner)
+        assert bound.input_ports == inner.input_ports
+        assert bound.output_ports == inner.output_ports

@@ -1,0 +1,156 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim.engine import SimulationError
+from repro.sim.resources import Resource, Store
+
+
+def run_workers(engine, resource, count, duration):
+    finished = []
+
+    def worker(eng, wid):
+        req = resource.request()
+        yield req
+        try:
+            yield eng.timeout(duration)
+            finished.append((wid, eng.now))
+        finally:
+            resource.release(req)
+
+    for i in range(count):
+        engine.process(worker(engine, i))
+    engine.run()
+    return finished
+
+
+class TestResource:
+    def test_capacity_one_serializes(self, engine):
+        res = Resource(engine, 1)
+        finished = run_workers(engine, res, 3, 10.0)
+        assert [t for _, t in finished] == [10.0, 20.0, 30.0]
+
+    def test_capacity_two_pairs_up(self, engine):
+        res = Resource(engine, 2)
+        finished = run_workers(engine, res, 4, 10.0)
+        assert [t for _, t in finished] == [10.0, 10.0, 20.0, 20.0]
+
+    def test_infinite_capacity_all_parallel(self, engine):
+        res = Resource(engine, float("inf"))
+        finished = run_workers(engine, res, 50, 10.0)
+        assert all(t == 10.0 for _, t in finished)
+
+    def test_fifo_grant_order(self, engine):
+        res = Resource(engine, 1)
+        finished = run_workers(engine, res, 5, 1.0)
+        assert [wid for wid, _ in finished] == [0, 1, 2, 3, 4]
+
+    def test_in_use_and_queue_length(self, engine):
+        res = Resource(engine, 1)
+        first = res.request()
+        second = res.request()
+        assert res.in_use == 1
+        assert res.queue_length == 1
+        assert first.triggered and not second.triggered
+
+    def test_release_wakes_next(self, engine):
+        res = Resource(engine, 1)
+        first = res.request()
+        second = res.request()
+        res.release(first)
+        assert second.triggered
+        assert res.in_use == 1
+
+    def test_release_ungranted_raises(self, engine):
+        res = Resource(engine, 1)
+        stranger = engine.event()
+        with pytest.raises(SimulationError):
+            res.release(stranger)
+
+    def test_double_release_raises(self, engine):
+        res = Resource(engine, 1)
+        req = res.request()
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_cancel_queued_request(self, engine):
+        res = Resource(engine, 1)
+        res.request()
+        queued = res.request()
+        res.release(queued)  # cancels the queued request
+        assert res.queue_length == 0
+
+    def test_invalid_capacity_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Resource(engine, 0)
+        with pytest.raises(ValueError):
+            Resource(engine, 1.5)
+
+
+class TestStore:
+    def test_put_then_get(self, engine):
+        store = Store(engine)
+        store.put("x")
+        got = store.get()
+        assert got.triggered and got.value == "x"
+
+    def test_get_blocks_until_put(self, engine):
+        store = Store(engine)
+        got = store.get()
+        assert not got.triggered
+        store.put(1)
+        assert got.triggered and got.value == 1
+
+    def test_fifo_item_order(self, engine):
+        store = Store(engine)
+        for i in range(5):
+            store.put(i)
+        values = [store.get().value for _ in range(5)]
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_fifo_getter_order(self, engine):
+        store = Store(engine)
+        getters = [store.get() for _ in range(3)]
+        store.put("a")
+        store.put("b")
+        assert getters[0].value == "a"
+        assert getters[1].value == "b"
+        assert not getters[2].triggered
+
+    def test_len_and_pending(self, engine):
+        store = Store(engine)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        store.get()
+        assert len(store) == 1
+        store.get()
+        store.get()
+        assert store.pending_gets == 1
+
+    def test_peek_items_snapshot(self, engine):
+        store = Store(engine)
+        store.put("a")
+        store.put("b")
+        assert store.peek_items() == ("a", "b")
+
+    def test_producer_consumer_timing(self, engine):
+        store = Store(engine)
+        seen = []
+
+        def consumer(eng):
+            for _ in range(3):
+                item = yield store.get()
+                seen.append((item, eng.now))
+
+        def producer(eng):
+            for i in range(3):
+                yield eng.timeout(2.0)
+                store.put(i)
+
+        engine.process(consumer(engine))
+        engine.process(producer(engine))
+        engine.run()
+        assert seen == [(0, 2.0), (1, 4.0), (2, 6.0)]

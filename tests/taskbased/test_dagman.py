@@ -1,0 +1,74 @@
+"""Tests for the DAGMan-like executor."""
+
+import pytest
+
+from repro.taskbased.dag import expand_workflow
+from repro.taskbased.dagman import DagmanExecutor
+from repro.workflow.patterns import chain_workflow, figure1_workflow
+
+
+class TestDagman:
+    def test_runs_whole_dag(self, engine, ideal_grid, local_factory):
+        workflow = chain_workflow(local_factory, 2)
+        dag = expand_workflow(workflow, {"input": [0, 1, 2]})
+        executor = DagmanExecutor(
+            engine, ideal_grid, durations={"P1": 10.0, "P2": 20.0}
+        )
+        result = executor.run(dag)
+        assert result.task_count == 6
+        assert len(result.job_ids) == 6
+        assert len(ideal_grid.completed_records()) == 6
+
+    def test_dependencies_respected(self, engine, ideal_grid, local_factory):
+        workflow = chain_workflow(local_factory, 2)
+        dag = expand_workflow(workflow, {"input": [0]})
+        executor = DagmanExecutor(engine, ideal_grid, durations={"P1": 10.0, "P2": 20.0})
+        result = executor.run(dag)
+        # serial chain on an ideal grid: 10 + 20
+        assert result.makespan == pytest.approx(30.0)
+
+    def test_parallelism_is_explicit_in_the_graph(self, engine, ideal_grid, local_factory):
+        # In the task-based approach DP and SP are "included in the
+        # workflow parallelism": all three items of stage 1 run at once.
+        workflow = chain_workflow(local_factory, 2)
+        dag = expand_workflow(workflow, {"input": [0, 1, 2]})
+        executor = DagmanExecutor(engine, ideal_grid, durations={"P1": 10.0, "P2": 20.0})
+        result = executor.run(dag)
+        assert result.makespan == pytest.approx(30.0)  # same as a single item
+
+    def test_branches_overlap(self, engine, ideal_grid, local_factory):
+        workflow = figure1_workflow(local_factory)
+        dag = expand_workflow(workflow, {"source": [0]})
+        executor = DagmanExecutor(
+            engine, ideal_grid, durations={"P1": 5.0, "P2": 10.0, "P3": 10.0}
+        )
+        result = executor.run(dag)
+        assert result.makespan == pytest.approx(15.0)
+
+    def test_throttle_limits_concurrency(self, engine, ideal_grid, local_factory):
+        workflow = chain_workflow(local_factory, 1)
+        dag = expand_workflow(workflow, {"input": list(range(4))})
+        executor = DagmanExecutor(
+            engine, ideal_grid, durations={"P1": 10.0}, max_concurrent=2
+        )
+        result = executor.run(dag)
+        assert result.makespan == pytest.approx(20.0)  # 4 jobs, 2 at a time
+
+    def test_missing_duration_profile_raises(self, engine, ideal_grid, local_factory):
+        workflow = chain_workflow(local_factory, 1)
+        dag = expand_workflow(workflow, {"input": [0]})
+        executor = DagmanExecutor(engine, ideal_grid, durations={})
+        with pytest.raises(KeyError, match="no duration profile"):
+            executor.run(dag)
+
+    def test_invalid_throttle_rejected(self, engine, ideal_grid):
+        with pytest.raises(ValueError):
+            DagmanExecutor(engine, ideal_grid, durations={}, max_concurrent=0)
+
+    def test_empty_dag_completes(self, engine, ideal_grid, local_factory):
+        workflow = chain_workflow(local_factory, 1)
+        dag = expand_workflow(workflow, {"input": []})
+        executor = DagmanExecutor(engine, ideal_grid, durations={"P1": 1.0})
+        result = executor.run(dag)
+        assert result.task_count == 0
+        assert result.makespan == 0.0

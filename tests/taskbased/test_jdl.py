@@ -1,0 +1,37 @@
+"""Tests for static task descriptions and JDL rendering."""
+
+import pytest
+
+from repro.taskbased.jdl import TaskDescription, render_jdl
+
+
+class TestTaskDescription:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskDescription(name="", executable="x")
+        with pytest.raises(ValueError):
+            TaskDescription(name="t", executable="")
+
+
+class TestRenderJdl:
+    def test_full_render(self):
+        task = TaskDescription(
+            name="crestLines-D0",
+            executable="CrestLines.pl",
+            arguments="-im1 f0.mhd -im2 r0.mhd -s 8",
+            input_files=("f0.mhd", "r0.mhd"),
+            output_files=("c0.crest",),
+            requirements={"Rank": "-other.GlueCEStateEstimatedResponseTime"},
+        )
+        text = render_jdl(task)
+        assert 'JobName = "crestLines-D0";' in text
+        assert 'Executable = "CrestLines.pl";' in text
+        assert 'InputSandbox = {"f0.mhd", "r0.mhd"};' in text
+        assert 'OutputSandbox = {"c0.crest"};' in text
+        assert "Rank = -other.GlueCEStateEstimatedResponseTime;" in text
+        assert text.startswith("[") and text.endswith("]")
+
+    def test_minimal_render(self):
+        text = render_jdl(TaskDescription(name="t", executable="/bin/true"))
+        assert "Arguments" not in text
+        assert "InputSandbox" not in text

@@ -1,0 +1,27 @@
+"""Run the documented examples embedded in docstrings.
+
+Modules whose docstrings carry runnable examples are exercised here so
+the documentation cannot rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro.taskbased.jdl
+import repro.util.rng
+import repro.util.stats
+import repro.util.units
+
+MODULES = [
+    repro.util.units,
+    repro.util.rng,
+    repro.taskbased.jdl,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"

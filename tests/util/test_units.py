@@ -1,0 +1,62 @@
+"""Tests for unit constants and formatters."""
+
+import pytest
+
+from repro.util.units import (
+    GIBIBYTE,
+    HOUR,
+    KIBIBYTE,
+    MEBIBYTE,
+    MINUTE,
+    format_duration,
+    format_size,
+)
+
+
+class TestConstants:
+    def test_time_hierarchy(self):
+        assert MINUTE == 60.0
+        assert HOUR == 3600.0
+
+    def test_size_hierarchy(self):
+        assert MEBIBYTE == 1024 * KIBIBYTE
+        assert GIBIBYTE == 1024 * MEBIBYTE
+
+
+class TestFormatDuration:
+    def test_sub_minute(self):
+        assert format_duration(59.5) == "59.5s"
+
+    def test_minutes(self):
+        assert format_duration(125) == "2m05s"
+
+    def test_hours(self):
+        assert format_duration(32855) == "9h07m35s"
+
+    def test_zero(self):
+        assert format_duration(0) == "0.0s"
+
+    def test_negative(self):
+        assert format_duration(-90) == "-1m30s"
+
+    def test_paper_total_experiment_duration(self):
+        # "a total running time of 9 days and 8 hours"
+        nine_days_eight_hours = (9 * 24 + 8) * HOUR
+        assert format_duration(nine_days_eight_hours) == "224h00m00s"
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(512) == "512 B"
+
+    def test_kibibytes(self):
+        assert format_size(2048) == "2.0 KiB"
+
+    def test_paper_image_size(self):
+        assert format_size(7.8 * MEBIBYTE) == "7.8 MiB"
+
+    def test_gibibytes(self):
+        assert format_size(3 * GIBIBYTE) == "3.0 GiB"
+
+    def test_negative(self):
+        assert format_size(-1024) == "-1.0 KiB"

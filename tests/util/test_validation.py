@@ -1,0 +1,53 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    require_in,
+    require_non_negative,
+    require_positive,
+    require_type,
+)
+
+
+class TestRequirePositive:
+    def test_passes_through(self):
+        assert require_positive(1.5, "x") == 1.5
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive(0, "x")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            require_positive(-2, "x")
+
+
+class TestRequireNonNegative:
+    def test_zero_ok(self):
+        assert require_non_negative(0, "x") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            require_non_negative(-0.1, "x")
+
+
+class TestRequireIn:
+    def test_member_ok(self):
+        assert require_in("dot", ("dot", "cross"), "strategy") == "dot"
+
+    def test_non_member_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            require_in("zip", ("dot", "cross"), "strategy")
+
+
+class TestRequireType:
+    def test_instance_ok(self):
+        assert require_type(3, int, "n") == 3
+
+    def test_tuple_of_types(self):
+        assert require_type(3.5, (int, float), "n") == 3.5
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="n must be int"):
+            require_type("3", int, "n")

@@ -1,0 +1,65 @@
+"""Tests for the canned workflow patterns."""
+
+import pytest
+
+from repro.workflow.patterns import (
+    chain_workflow,
+    diamond_workflow,
+    figure1_workflow,
+    figure2_workflow,
+)
+from repro.workflow.validation import validate_workflow
+
+
+class TestChain:
+    def test_structure(self, local_factory):
+        wf = chain_workflow(local_factory, 3)
+        assert [p.name for p in wf.services()] == ["P1", "P2", "P3"]
+        assert len(wf.links) == 4
+        assert wf.is_dag()
+
+    def test_length_one(self, local_factory):
+        wf = chain_workflow(local_factory, 1)
+        assert len(wf.links) == 2
+
+    def test_invalid_length(self, local_factory):
+        with pytest.raises(ValueError):
+            chain_workflow(local_factory, 0)
+
+    def test_validates_cleanly(self, local_factory):
+        issues = validate_workflow(chain_workflow(local_factory, 5))
+        assert not [i for i in issues if i.severity == "error"]
+
+
+class TestFigure1:
+    def test_branches(self, local_factory):
+        wf = figure1_workflow(local_factory)
+        assert wf.successors("P1") == ["P2", "P3"]
+        assert wf.is_dag()
+
+    def test_two_sinks(self, local_factory):
+        wf = figure1_workflow(local_factory)
+        assert [s.name for s in wf.sinks()] == ["sink2", "sink3"]
+
+
+class TestFigure2:
+    def test_has_loop(self, local_factory):
+        wf = figure2_workflow(local_factory)
+        assert not wf.is_dag()
+
+    def test_loop_back_merges_into_same_port(self, local_factory):
+        wf = figure2_workflow(local_factory)
+        feeders = {link.source.processor for link in wf.links_into("P2", "x")}
+        assert feeders == {"P1", "P3"}
+
+    def test_conditional_output_ports(self, local_factory):
+        wf = figure2_workflow(local_factory)
+        assert wf.processor("P3").output_ports == ("loop", "done")
+
+
+class TestDiamond:
+    def test_fan_out_fan_in(self, local_factory):
+        wf = diamond_workflow(local_factory)
+        assert wf.successors("A") == ["B", "C"]
+        assert wf.predecessors("D") == ["B", "C"]
+        assert wf.is_dag()

@@ -1,0 +1,97 @@
+"""Tests for workflow rendering."""
+
+import pytest
+
+from repro.workflow.patterns import chain_workflow, figure2_workflow
+from repro.workflow.render import summarize, to_dot
+
+
+class TestDot:
+    def test_chain_structure(self, local_factory):
+        workflow = chain_workflow(local_factory, 2)
+        dot = to_dot(workflow)
+        assert dot.startswith('digraph "chain"')
+        assert '"P1" [shape=box' in dot
+        assert '"input" [shape=ellipse];' in dot
+        assert '"P1" -> "P2";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_port_labels_optional(self, local_factory):
+        workflow = chain_workflow(local_factory, 2)
+        assert "label=" not in to_dot(workflow).split("\n", 2)[2].split('"P1" [')[0]
+        detailed = to_dot(workflow, include_ports=True)
+        assert 'label="y -> x"' in detailed
+
+    def test_sync_double_boxed(self, engine):
+        from repro.services.base import LocalService
+        from repro.workflow.builder import WorkflowBuilder
+
+        workflow = (
+            WorkflowBuilder()
+            .source("s")
+            .service("stat", LocalService(engine, "stat", ("x",), ("y",)),
+                     synchronization=True)
+            .sink("k")
+            .connect("s:output", "stat:x")
+            .connect("stat:y", "k:input")
+            .build()
+        )
+        assert "peripheries=2" in to_dot(workflow)
+
+    def test_cross_strategy_annotated(self, engine):
+        from repro.services.base import LocalService
+        from repro.workflow.builder import WorkflowBuilder
+
+        workflow = (
+            WorkflowBuilder()
+            .source("a").source("b")
+            .service("x", LocalService(engine, "x", ("a", "b"), ("y",)),
+                     iteration_strategy="cross")
+            .sink("k")
+            .connect("a:output", "x:a").connect("b:output", "x:b")
+            .connect("x:y", "k:input")
+            .build()
+        )
+        assert "[cross]" in to_dot(workflow)
+
+    def test_coordination_dashed(self, engine):
+        from repro.services.base import LocalService
+        from repro.workflow.builder import WorkflowBuilder
+
+        workflow = (
+            WorkflowBuilder()
+            .service("a", LocalService(engine, "a", ("x",), ("y",)))
+            .service("b", LocalService(engine, "b", ("x",), ("y",)))
+            .coordinate("a", "b")
+            .build()
+        )
+        assert '"a" -> "b" [style=dashed];' in to_dot(workflow)
+
+    def test_bronze_standard_renders(self, engine, ideal_grid, streams):
+        from repro.apps.bronze_standard import BronzeStandardApplication
+
+        app = BronzeStandardApplication(engine, ideal_grid, streams)
+        dot = to_dot(app.workflow)
+        assert '"MultiTransfoTest" [shape=box, peripheries=2' in dot
+        assert dot.count("->") == len(app.workflow.links)
+
+
+class TestSummarize:
+    def test_chain_summary(self, local_factory):
+        text = summarize(chain_workflow(local_factory, 3))
+        assert "sources:  input" in text
+        assert "services: P1, P2, P3" in text
+        assert "critical path: 3 services" in text
+
+    def test_loop_summary(self, local_factory):
+        text = summarize(figure2_workflow(local_factory))
+        assert "loops:" in text
+        assert "P2" in text and "P3" in text
+
+    def test_bronze_summary(self, engine, ideal_grid, streams):
+        from repro.apps.bronze_standard import BronzeStandardApplication
+
+        app = BronzeStandardApplication(engine, ideal_grid, streams)
+        text = summarize(app.workflow)
+        assert "synchronization barriers: MultiTransfoTest" in text
+        assert "critical path: 5 services" in text

@@ -1,0 +1,129 @@
+"""Tests for the Scufl-dialect workflow documents."""
+
+import pytest
+
+from repro.services.base import LocalService
+from repro.services.registry import ServiceRegistry
+from repro.workflow.graph import ProcessorKind, WorkflowError
+from repro.workflow.patterns import chain_workflow, figure2_workflow
+from repro.workflow.scufl import (
+    ScuflError,
+    bind_services,
+    workflow_from_scufl,
+    workflow_to_scufl,
+)
+
+DOCUMENT = """
+<scufl name="demo">
+  <processor name="images" kind="source"><outport name="output"/></processor>
+  <processor name="P1" kind="service" service="svc1" iteration="dot">
+    <inport name="x"/><outport name="y"/>
+  </processor>
+  <processor name="P2" kind="service" service="svc2" iteration="cross"
+             synchronization="true" groupable="false">
+    <inport name="a"/><inport name="b"/><outport name="y"/>
+  </processor>
+  <processor name="out" kind="sink"><inport name="input"/></processor>
+  <link source="images:output" sink="P1:x"/>
+  <link source="P1:y" sink="P2:a"/>
+  <link source="images:output" sink="P2:b"/>
+  <link source="P2:y" sink="out:input"/>
+  <coordination from="P1" to="P2"/>
+</scufl>
+"""
+
+
+class TestParsing:
+    def test_processors_parsed(self):
+        wf = workflow_from_scufl(DOCUMENT)
+        assert wf.name == "demo"
+        assert wf.processor("images").kind is ProcessorKind.SOURCE
+        assert wf.processor("P1").service_ref == "svc1"
+        assert wf.processor("P2").iteration_strategy == "cross"
+        assert wf.processor("P2").synchronization
+        assert not wf.processor("P2").groupable
+
+    def test_links_parsed(self):
+        wf = workflow_from_scufl(DOCUMENT)
+        assert len(wf.links) == 4
+
+    def test_coordination_parsed(self):
+        wf = workflow_from_scufl(DOCUMENT)
+        assert wf.coordination_constraints == [("P1", "P2")]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ScuflError, match="well-formed"):
+            workflow_from_scufl("<scufl><oops>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ScuflError, match="root"):
+            workflow_from_scufl("<workflow/>")
+
+    def test_processor_without_name_rejected(self):
+        with pytest.raises(ScuflError):
+            workflow_from_scufl("<scufl><processor kind='source'/></scufl>")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScuflError, match="kind"):
+            workflow_from_scufl("<scufl><processor name='p' kind='magic'/></scufl>")
+
+    def test_bad_boolean_rejected(self):
+        doc = "<scufl><processor name='p' synchronization='maybe'/></scufl>"
+        with pytest.raises(ScuflError, match="boolean"):
+            workflow_from_scufl(doc)
+
+    def test_link_missing_attrs_rejected(self):
+        with pytest.raises(ScuflError, match="link"):
+            workflow_from_scufl("<scufl><link source='a:b'/></scufl>")
+
+
+class TestRoundTrip:
+    def test_document_round_trips(self):
+        wf = workflow_from_scufl(DOCUMENT)
+        text = workflow_to_scufl(wf)
+        again = workflow_from_scufl(text)
+        assert again.processors.keys() == wf.processors.keys()
+        assert again.links == wf.links
+        assert again.coordination_constraints == wf.coordination_constraints
+        for name in wf.processors:
+            a, b = wf.processor(name), again.processor(name)
+            assert (a.kind, a.iteration_strategy, a.synchronization, a.groupable) == (
+                b.kind, b.iteration_strategy, b.synchronization, b.groupable
+            )
+
+    def test_bound_workflow_serializes_service_names(self, engine, local_factory):
+        wf = chain_workflow(local_factory, 2)
+        text = workflow_to_scufl(wf)
+        again = workflow_from_scufl(text)
+        assert again.processor("P1").service_ref == "P1"
+
+    def test_loop_workflow_round_trips(self, local_factory):
+        wf = figure2_workflow(local_factory)
+        again = workflow_from_scufl(workflow_to_scufl(wf))
+        assert not again.is_dag()
+
+
+class TestBinding:
+    def test_bind_resolves_refs(self, engine):
+        wf = workflow_from_scufl(DOCUMENT)
+        registry = ServiceRegistry()
+        registry.register(LocalService(engine, "svc1", ("x",), ("y",)))
+        registry.register(LocalService(engine, "svc2", ("a", "b"), ("y",)))
+        bound = bind_services(wf, registry)
+        assert bound.processor("P1").service.name == "svc1"
+        assert bound.processor("P2").service.name == "svc2"
+        # original untouched
+        assert wf.processor("P1").service is None
+
+    def test_bind_checks_port_signature(self, engine):
+        wf = workflow_from_scufl(DOCUMENT)
+        registry = ServiceRegistry()
+        registry.register(LocalService(engine, "svc1", ("wrong",), ("y",)))
+        registry.register(LocalService(engine, "svc2", ("a", "b"), ("y",)))
+        with pytest.raises(WorkflowError, match="do not match"):
+            bind_services(wf, registry)
+
+    def test_bind_unknown_service_raises(self, engine):
+        wf = workflow_from_scufl(DOCUMENT)
+        with pytest.raises(KeyError):
+            bind_services(wf, ServiceRegistry())
