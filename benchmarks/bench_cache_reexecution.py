@@ -1,0 +1,132 @@
+"""E15 — warm re-execution: the provenance-keyed cache makes re-runs free.
+
+The paper's input-data-set language exists "to save and store the input
+data set in order to be able to re-execute workflows on the same data
+set".  This benchmark measures what that re-execution costs *with* the
+result cache: the Bronze Standard workflow is enacted cold (empty
+FileStore, every invocation submits grid jobs) and then warm (fresh
+engine + grid + enactor, same persisted store), under four execution
+policies.
+
+Claims checked per policy:
+
+* the warm run submits **zero** grid jobs,
+* warm sink outputs are byte-identical to the cold run's,
+* warm makespan is at least 10x below cold (in practice it is ~0: every
+  invocation replays in zero simulated time),
+* the hit/miss ledger matches: warm hits == cold stores, warm misses == 0.
+"""
+
+import pickle
+
+import pytest
+
+from repro.apps.bronze_standard import BronzeStandardApplication
+from repro.cache import FileStore, ResultCache
+from repro.core import OptimizationConfig
+from repro.experiments.calibration import make_experiment_grid
+from repro.experiments.reporting import format_cache_stats, format_reexecution
+from repro.sim.engine import Engine
+from repro.util.rng import RandomStreams
+
+from conftest import BENCH_SEED
+
+#: the four execution policies the warm-run study sweeps
+POLICIES = (
+    OptimizationConfig.nop(),
+    OptimizationConfig.dp(),
+    OptimizationConfig.sp(),
+    OptimizationConfig.sp_dp(),
+)
+
+N_PAIRS = 12
+
+
+def enact_once(config, cache, n_pairs=N_PAIRS):
+    """One enactment on a fresh engine/grid/application (a new 'process').
+
+    The seed pins the generated data set, so a warm run sees exactly the
+    tokens the cold run persisted.
+    """
+    engine = Engine()
+    streams = RandomStreams(seed=BENCH_SEED)
+    grid = make_experiment_grid(engine, streams)
+    app = BronzeStandardApplication(engine, grid, streams)
+    result = app.enact(config, n_pairs=n_pairs, cache=cache)
+    return result, len(grid.records)
+
+
+def sink_bytes(result):
+    """Canonical byte form of every sink output (order-insensitive)."""
+    payload = {
+        sink: sorted(repr(v) for v in result.output_values(sink))
+        for sink in ("accuracy_rotation", "accuracy_translation")
+    }
+    return pickle.dumps(payload)
+
+
+def test_warm_reexecution_all_policies(benchmark, tmp_path):
+    rows = []
+    stats_blocks = []
+
+    def cold_sp_dp():
+        # the benchmarked unit: one representative cold run
+        return enact_once(OptimizationConfig.sp_dp(), None)
+
+    benchmark.pedantic(cold_sp_dp, rounds=1, iterations=1)
+
+    for config in POLICIES:
+        cache_dir = tmp_path / f"cache-{config.label.replace('+', '_')}"
+        cold_cache = ResultCache(store=FileStore(cache_dir))
+        cold, cold_jobs = enact_once(config, cold_cache)
+
+        # a *fresh* cache object over the same directory: cross-process story
+        warm_cache = ResultCache(store=FileStore(cache_dir))
+        warm, warm_jobs = enact_once(config, warm_cache)
+
+        assert cold_jobs > 0
+        assert warm_jobs == 0, f"{config.label}: warm run submitted {warm_jobs} jobs"
+        assert sink_bytes(warm) == sink_bytes(cold), (
+            f"{config.label}: warm outputs differ from cold"
+        )
+        speedup = cold.makespan / warm.makespan if warm.makespan > 0 else float("inf")
+        assert speedup >= 10.0, (
+            f"{config.label}: warm/cold speed-up {speedup:.1f}x below 10x"
+        )
+        warm_stats = warm.cache_stats
+        assert warm_stats.total.misses == 0
+        assert warm_stats.total.hits == cold.cache_stats.total.stores
+        assert warm_stats.hit_rate == 1.0
+
+        rows.append(
+            (config.label, cold.makespan, warm.makespan, cold_jobs, warm_jobs, warm_stats)
+        )
+        stats_blocks.append((config.label, warm_stats))
+
+    print("\n=== E15 — cold vs warm re-execution (FileStore persisted) ===")
+    print(format_reexecution(rows))
+    label, stats = stats_blocks[-1]
+    print(f"\n=== warm-run cache ledger ({label}) ===")
+    print(format_cache_stats(stats))
+
+
+def test_partial_warm_run_only_pays_for_new_pairs(tmp_path):
+    """Growing the data set reuses every cached pair: only the new work runs."""
+    config = OptimizationConfig.sp_dp()
+    cache_dir = tmp_path / "cache-partial"
+    cold, cold_jobs = enact_once(config, ResultCache(store=FileStore(cache_dir)), n_pairs=6)
+
+    grown, grown_jobs = enact_once(
+        config, ResultCache(store=FileStore(cache_dir)), n_pairs=12
+    )
+    # the first 6 pairs replay; only the 6 new pairs submit jobs (the
+    # final statistics barrier re-runs too: its input multiset changed)
+    assert 0 < grown_jobs < cold_jobs * 2
+    stats = grown.cache_stats
+    assert stats.total.hits > 0
+    assert stats.total.misses > 0
+    print(
+        f"\npartial warm run: {grown_jobs} jobs for 6 new pairs "
+        f"(cold 6-pair run: {cold_jobs}); hits={stats.total.hits} "
+        f"misses={stats.total.misses}"
+    )

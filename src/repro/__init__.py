@@ -15,6 +15,8 @@ The package rebuilds the paper's full stack:
 * :mod:`repro.core` — **MOTEUR**, the optimized enactor combining
   workflow/data/service parallelism with job grouping, provenance
   history trees and execution diagrams,
+* :mod:`repro.cache` — the provenance-keyed result cache that makes
+  warm re-execution of a persisted workflow + data set (nearly) free,
 * :mod:`repro.model` — the analytical makespan model (equations 1-4),
   asymptotic speed-ups, and the y-intercept/slope metrics,
 * :mod:`repro.taskbased` — the DAGMan-style task-based baseline,
@@ -37,6 +39,7 @@ Quickstart::
     print(result.makespan, result.output_values("accuracy_rotation"))
 """
 
+from repro.cache import FileStore, InMemoryStore, ResultCache
 from repro.core.config import OptimizationConfig
 from repro.core.enactor import EnactmentResult, MoteurEnactor
 from repro.sim.engine import Engine
@@ -52,5 +55,8 @@ __all__ = [
     "OptimizationConfig",
     "WorkflowBuilder",
     "InputDataSet",
+    "ResultCache",
+    "InMemoryStore",
+    "FileStore",
     "__version__",
 ]

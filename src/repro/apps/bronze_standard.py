@@ -38,6 +38,7 @@ from typing import Dict, List, Mapping, Optional
 from repro.apps.accuracy import multi_transfo_test
 from repro.apps.imaging import ImageDatabase, ImagePair
 from repro.apps.registration import build_registration_services
+from repro.cache import ResultCache
 from repro.core.config import OptimizationConfig
 from repro.core.enactor import EnactmentResult, MoteurEnactor
 from repro.grid.middleware import Grid
@@ -201,11 +202,20 @@ class BronzeStandardApplication:
         n_pairs: int = 12,
         dataset: Optional[InputDataSet] = None,
         method_to_test: str = "crestMatch",
+        cache: "Optional[ResultCache]" = None,
     ) -> EnactmentResult:
-        """Run the workflow under *config* over *n_pairs* image pairs."""
+        """Run the workflow under *config* over *n_pairs* image pairs.
+
+        Passing a :class:`~repro.cache.ResultCache` (or enabling one on
+        *config* via ``with_cache``) memoizes every invocation by
+        provenance key, which makes a re-enactment over the same data
+        set replay from the cache instead of re-submitting grid jobs.
+        """
         if dataset is None:
             dataset = self.build_dataset(n_pairs, method_to_test=method_to_test)
-        enactor = MoteurEnactor(self.engine, self.workflow, config, grid=self.grid)
+        enactor = MoteurEnactor(
+            self.engine, self.workflow, config, grid=self.grid, cache=cache
+        )
         return enactor.run(dataset)
 
     @staticmethod

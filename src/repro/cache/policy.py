@@ -1,0 +1,78 @@
+"""Eviction policy: LRU ordering, TTL expiry, entry/byte caps.
+
+The policy is pure decision logic shared by every
+:class:`~repro.cache.store.ResultStore` implementation: given the
+store's bookkeeping (recency order, per-entry ages and sizes), it says
+*which* entries must go.  Keeping it store-agnostic means the bounded
+in-memory store and the on-disk store cannot drift apart on semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["CachePolicy"]
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Limits a result store enforces.
+
+    ``None`` disables the corresponding limit; the default policy is
+    unbounded (cache everything forever), which is the right call for
+    one-shot simulation runs whose working set is the workflow itself.
+    """
+
+    #: maximum number of live entries (LRU evicts beyond this)
+    max_entries: Optional[int] = None
+    #: maximum total payload bytes (LRU evicts beyond this)
+    max_bytes: Optional[float] = None
+    #: seconds an entry stays valid after creation (None = forever)
+    ttl: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {self.max_entries}")
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {self.max_bytes}")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {self.ttl}")
+
+    @classmethod
+    def unbounded(cls) -> "CachePolicy":
+        """No limits at all."""
+        return cls()
+
+    @classmethod
+    def lru(cls, max_entries: int) -> "CachePolicy":
+        """Classic bounded LRU."""
+        return cls(max_entries=max_entries)
+
+    # -- decisions -------------------------------------------------------
+    def expired(self, created_at: float, now: float) -> bool:
+        """Has an entry created at *created_at* outlived its TTL?"""
+        return self.ttl is not None and (now - created_at) > self.ttl
+
+    def evictions_for(
+        self, entries: Sequence[Tuple[str, float]], incoming_bytes: float = 0.0
+    ) -> List[str]:
+        """Keys to evict so the store fits its caps.
+
+        *entries* is the store's live set ordered least-recently-used
+        first, as ``(key, size_bytes)`` pairs.  ``incoming_bytes``
+        reserves room for an entry about to be inserted (it is not yet
+        in *entries*).
+        """
+        victims: List[str] = []
+        count = len(entries) + 1  # the incoming entry
+        total = sum(size for _, size in entries) + incoming_bytes
+        for key, size in entries:
+            over_count = self.max_entries is not None and count > self.max_entries
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not over_count and not over_bytes:
+                break
+            victims.append(key)
+            count -= 1
+            total -= size
+        return victims

@@ -1,0 +1,143 @@
+"""Cache observability: per-service hit/miss/eviction/byte counters.
+
+The counters answer the experiment-level questions the warm-run study
+needs: which services actually hit, how much submission work a warm
+re-execution skipped, and whether the eviction policy is throwing away
+entries it will need again.  :class:`CacheStats` is the live mutable
+accumulator owned by a :class:`~repro.cache.ResultCache`;
+:meth:`CacheStats.snapshot` produces the frozen per-run view the
+enactor attaches to its :class:`~repro.core.enactor.EnactmentResult`
+(a shared cache accumulates across runs, so per-run numbers are a
+snapshot delta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["ServiceCacheStats", "CacheStats", "CacheStatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class ServiceCacheStats:
+    """Counters for one service (or the totals row)."""
+
+    hits: int = 0
+    #: misses that led to an execution (and then a store)
+    misses: int = 0
+    #: invocations de-duplicated against an identical in-flight one
+    coalesced: int = 0
+    evictions: int = 0
+    stores: int = 0
+    #: payload bytes currently attributed to stored entries
+    bytes_stored: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache consultations."""
+        return self.hits + self.misses + self.coalesced
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that avoided an execution (hits + coalesced)."""
+        lookups = self.lookups
+        if lookups == 0:
+            return 0.0
+        return (self.hits + self.coalesced) / lookups
+
+    def __add__(self, other: "ServiceCacheStats") -> "ServiceCacheStats":
+        return ServiceCacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            coalesced=self.coalesced + other.coalesced,
+            evictions=self.evictions + other.evictions,
+            stores=self.stores + other.stores,
+            bytes_stored=self.bytes_stored + other.bytes_stored,
+        )
+
+    def __sub__(self, other: "ServiceCacheStats") -> "ServiceCacheStats":
+        return ServiceCacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            coalesced=self.coalesced - other.coalesced,
+            evictions=self.evictions - other.evictions,
+            stores=self.stores - other.stores,
+            bytes_stored=self.bytes_stored - other.bytes_stored,
+        )
+
+
+@dataclass(frozen=True)
+class CacheStatsSnapshot:
+    """Immutable per-service counters at (or between) points in time."""
+
+    per_service: Dict[str, ServiceCacheStats] = field(default_factory=dict)
+
+    @property
+    def total(self) -> ServiceCacheStats:
+        """All services summed."""
+        total = ServiceCacheStats()
+        for stats in self.per_service.values():
+            total = total + stats
+        return total
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall fraction of lookups served without execution."""
+        return self.total.hit_rate
+
+    def services(self) -> Tuple[str, ...]:
+        """Service names, sorted."""
+        return tuple(sorted(self.per_service))
+
+    def __iter__(self) -> Iterator[Tuple[str, ServiceCacheStats]]:
+        for name in self.services():
+            yield name, self.per_service[name]
+
+    def __sub__(self, other: "CacheStatsSnapshot") -> "CacheStatsSnapshot":
+        names = set(self.per_service) | set(other.per_service)
+        empty = ServiceCacheStats()
+        delta = {
+            name: self.per_service.get(name, empty) - other.per_service.get(name, empty)
+            for name in names
+        }
+        # Drop all-zero rows so per-run snapshots list only active services.
+        delta = {name: stats for name, stats in delta.items() if stats != empty}
+        return CacheStatsSnapshot(per_service=delta)
+
+
+class CacheStats:
+    """Mutable accumulator the cache records into."""
+
+    def __init__(self) -> None:
+        self._per_service: Dict[str, ServiceCacheStats] = {}
+
+    def _bump(self, service: str, **deltas: int) -> None:
+        current = self._per_service.get(service, ServiceCacheStats())
+        self._per_service[service] = replace(
+            current, **{k: getattr(current, k) + v for k, v in deltas.items()}
+        )
+
+    def record_hit(self, service: str) -> None:
+        """A store lookup returned a usable entry."""
+        self._bump(service, hits=1)
+
+    def record_miss(self, service: str) -> None:
+        """No entry; the invocation will execute (and then store)."""
+        self._bump(service, misses=1)
+
+    def record_coalesced(self, service: str) -> None:
+        """De-duplicated against an identical in-flight invocation."""
+        self._bump(service, coalesced=1)
+
+    def record_store(self, service: str, size_bytes: int) -> None:
+        """A freshly computed result entered the store."""
+        self._bump(service, stores=1, bytes_stored=size_bytes)
+
+    def record_eviction(self, service: str, size_bytes: int) -> None:
+        """An entry was evicted (policy or TTL expiry)."""
+        self._bump(service, evictions=1, bytes_stored=-size_bytes)
+
+    def snapshot(self) -> CacheStatsSnapshot:
+        """Frozen copy of the counters right now."""
+        return CacheStatsSnapshot(per_service=dict(self._per_service))

@@ -1,0 +1,326 @@
+"""Result stores: where cached invocation outputs live.
+
+Two implementations behind one small contract:
+
+* :class:`InMemoryStore` — a bounded, thread-safe LRU map.  The right
+  store for long-lived enactor processes that re-run workflows within
+  one session (and for tests).
+* :class:`FileStore` — one JSON document per entry under a directory,
+  written atomically (``tmp`` + ``os.replace``) so a crashed run never
+  leaves a torn entry behind.  This is the store that makes **warm
+  re-execution across processes** work: a cold run persists every
+  result, a later run with the same provenance keys replays them
+  without submitting a single grid job — the operational payoff of the
+  paper's "save and store the input data set in order to be able to
+  re-execute workflows on the same data set".
+
+Payload values are JSON when they are plain scalars and pickled
+(base64, fixed protocol) otherwise, so arbitrary data products — rigid
+transforms, numpy arrays — round-trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import math
+import os
+import pickle
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.cache.policy import CachePolicy
+from repro.grid.storage import LogicalFile
+from repro.services.base import GridData
+
+__all__ = [
+    "CacheEntry",
+    "ResultStore",
+    "InMemoryStore",
+    "FileStore",
+    "CacheStoreError",
+    "estimate_entry_bytes",
+]
+
+#: pinned pickle protocol so FileStore entries are portable across the
+#: Python versions CI runs (protocol 4 loads on every supported version)
+_PICKLE_PROTOCOL = 4
+
+
+class CacheStoreError(RuntimeError):
+    """A store operation failed (unwritable directory, corrupt entry...)."""
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached invocation result."""
+
+    key: str
+    service: str
+    outputs: Dict[str, GridData] = field(default_factory=dict)
+    created_at: float = 0.0
+    size_bytes: int = 0
+
+
+def estimate_entry_bytes(outputs: Dict[str, GridData]) -> int:
+    """Approximate payload size of an outputs dict (for byte caps/stats)."""
+    try:
+        return len(pickle.dumps(outputs, protocol=_PICKLE_PROTOCOL))
+    except Exception:
+        return len(repr(outputs).encode("utf-8", errors="replace"))
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """What the cache needs from a store implementation."""
+
+    #: called with each evicted/expired entry (wired by ResultCache)
+    on_evict: Optional[Callable[[CacheEntry], None]]
+    #: clock used for TTL expiry (injectable for tests/simulation)
+    clock: Callable[[], float]
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """The live entry under *key*, refreshing its recency; else None."""
+        ...
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert (or overwrite) an entry, evicting to fit the policy."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every entry (not counted as evictions)."""
+        ...
+
+    def __len__(self) -> int: ...
+
+
+class InMemoryStore:
+    """Bounded, thread-safe, LRU-ordered in-process store."""
+
+    def __init__(
+        self,
+        policy: Optional[CachePolicy] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.policy = policy or CachePolicy.unbounded()
+        self.clock = clock
+        self.on_evict: Optional[Callable[[CacheEntry], None]] = None
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if self.policy.expired(entry.created_at, self.clock()):
+                del self._entries[key]
+                self._notify(entry)
+                return None
+            self._entries.move_to_end(key)
+            return entry
+
+    def put(self, entry: CacheEntry) -> None:
+        with self._lock:
+            self._entries.pop(entry.key, None)  # overwrite keeps one copy
+            lru_first = [(e.key, float(e.size_bytes)) for e in self._entries.values()]
+            for victim in self.policy.evictions_for(lru_first, entry.size_bytes):
+                self._notify(self._entries.pop(victim))
+            self._entries[entry.key] = entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def _notify(self, entry: CacheEntry) -> None:
+        if self.on_evict is not None:
+            self.on_evict(entry)
+
+    def __repr__(self) -> str:
+        return f"<InMemoryStore entries={len(self)} policy={self.policy}>"
+
+
+# -- JSON (de)serialization --------------------------------------------------
+
+def _json_scalar(value: object) -> bool:
+    if value is None or isinstance(value, (bool, int, str)):
+        return True
+    return isinstance(value, float) and math.isfinite(value)
+
+
+def _encode_datum(datum: GridData) -> dict:
+    doc: dict = {}
+    if datum.file is not None:
+        doc["file"] = {"gfn": datum.file.gfn, "size": datum.file.size}
+    value = datum.value
+    if _json_scalar(value):
+        doc["value"] = {"kind": "json", "data": value}
+    else:
+        blob = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+        doc["value"] = {"kind": "pickle", "data": base64.b64encode(blob).decode("ascii")}
+    return doc
+
+
+def _decode_datum(doc: dict) -> GridData:
+    file_doc = doc.get("file")
+    file = LogicalFile(file_doc["gfn"], size=file_doc["size"]) if file_doc else None
+    value_doc = doc["value"]
+    if value_doc["kind"] == "json":
+        value = value_doc["data"]
+    else:
+        value = pickle.loads(base64.b64decode(value_doc["data"]))
+    return GridData(value=value, file=file)
+
+
+def entry_to_document(entry: CacheEntry) -> dict:
+    """The JSON-serializable form of one entry."""
+    return {
+        "key": entry.key,
+        "service": entry.service,
+        "created_at": entry.created_at,
+        "size_bytes": entry.size_bytes,
+        "outputs": {port: _encode_datum(d) for port, d in entry.outputs.items()},
+    }
+
+
+def entry_from_document(doc: dict) -> CacheEntry:
+    """Rebuild an entry from its JSON form."""
+    return CacheEntry(
+        key=doc["key"],
+        service=doc["service"],
+        created_at=doc["created_at"],
+        size_bytes=doc["size_bytes"],
+        outputs={port: _decode_datum(d) for port, d in doc["outputs"].items()},
+    )
+
+
+class FileStore:
+    """One JSON file per entry under *directory*, written atomically.
+
+    LRU recency is tracked through file mtimes (a ``get`` touches the
+    file), so the policy survives process restarts along with the data.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        policy: Optional[CachePolicy] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.directory = Path(directory)
+        self.policy = policy or CachePolicy.unbounded()
+        self.clock = clock
+        self.on_evict: Optional[Callable[[CacheEntry], None]] = None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CacheStoreError(f"cannot create cache directory {directory}: {exc}") from exc
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        path = self._path(key)
+        entry = self._read(path)
+        if entry is None:
+            return None
+        if self.policy.expired(entry.created_at, self.clock()):
+            self._remove(path)
+            self._notify(entry)
+            return None
+        os.utime(path)  # refresh LRU recency
+        return entry
+
+    def put(self, entry: CacheEntry) -> None:
+        self._evict_to_fit(entry)
+        document = json.dumps(entry_to_document(entry))
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            os.replace(tmp_name, self._path(entry.key))
+        except OSError as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise CacheStoreError(f"cannot write cache entry {entry.key}: {exc}") from exc
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.json"):
+            self._remove(path)
+
+    def keys(self) -> List[str]:
+        """Keys currently on disk."""
+        return [path.stem for path in self.directory.glob("*.json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    # -- internals -----------------------------------------------------
+    def _read(self, path: Path) -> Optional[CacheEntry]:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return entry_from_document(json.loads(text))
+        except Exception:
+            # A torn/corrupt entry is a miss, never a crash.
+            self._remove(path)
+            return None
+
+    def _remove(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _notify(self, entry: CacheEntry) -> None:
+        if self.on_evict is not None:
+            self.on_evict(entry)
+
+    def _evict_to_fit(self, incoming: CacheEntry) -> None:
+        if self.policy.max_entries is None and self.policy.max_bytes is None:
+            return
+        candidates: List[Tuple[float, str, Path]] = []
+        for path in self.directory.glob("*.json"):
+            if path.stem == incoming.key:
+                continue  # overwrite, not a second entry
+            try:
+                candidates.append((path.stat().st_mtime, path.stem, path))
+            except OSError:
+                continue
+        candidates.sort()  # least recently used first
+        sizes: Dict[str, Tuple[Path, Optional[CacheEntry]]] = {}
+        lru_first: List[Tuple[str, float]] = []
+        for _, key, path in candidates:
+            entry = self._read(path)
+            if entry is None:
+                continue
+            sizes[key] = (path, entry)
+            lru_first.append((key, float(entry.size_bytes)))
+        for victim in self.policy.evictions_for(lru_first, incoming.size_bytes):
+            path, entry = sizes[victim]
+            self._remove(path)
+            if entry is not None:
+                self._notify(entry)
+
+    def __repr__(self) -> str:
+        return f"<FileStore dir={str(self.directory)!r} entries={len(self)}>"

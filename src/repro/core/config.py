@@ -24,7 +24,7 @@ Semantics implemented by the enactor:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 __all__ = ["OptimizationConfig"]
@@ -39,6 +39,16 @@ class OptimizationConfig:
     job_grouping: bool = False
     #: max concurrent jobs per service when DP is on (None = unbounded)
     data_parallelism_cap: Optional[int] = None
+    #: provenance-keyed result caching (see :mod:`repro.cache`)
+    cache: bool = False
+    #: which result store backs the cache: "memory" or "file"
+    cache_store: str = "memory"
+    #: directory of the file store (required when ``cache_store="file"``)
+    cache_dir: Optional[str] = None
+    #: LRU entry cap of the cache store (None = unbounded)
+    cache_max_entries: Optional[int] = None
+    #: seconds a cached result stays valid (None = forever)
+    cache_ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.data_parallelism_cap is not None:
@@ -48,6 +58,18 @@ class OptimizationConfig:
                 raise ValueError(
                     f"data_parallelism_cap must be >= 1, got {self.data_parallelism_cap}"
                 )
+        if self.cache_store not in ("memory", "file"):
+            raise ValueError(
+                f"cache_store must be 'memory' or 'file', got {self.cache_store!r}"
+            )
+        if self.cache and self.cache_store == "file" and not self.cache_dir:
+            raise ValueError("cache_store='file' requires cache_dir")
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ValueError(
+                f"cache_max_entries must be >= 1, got {self.cache_max_entries}"
+            )
+        if self.cache_ttl is not None and self.cache_ttl <= 0:
+            raise ValueError(f"cache_ttl must be > 0, got {self.cache_ttl}")
 
     @property
     def label(self) -> str:
@@ -59,6 +81,8 @@ class OptimizationConfig:
             parts.append("DP")
         if self.job_grouping:
             parts.append("JG")
+        if self.cache:
+            parts.append("cache")
         return "+".join(parts) if parts else "NOP"
 
     @property
@@ -98,6 +122,28 @@ class OptimizationConfig:
     def sp_dp_jg(cls) -> "OptimizationConfig":
         """Everything on — the paper's best configuration."""
         return cls(data_parallelism=True, service_parallelism=True, job_grouping=True)
+
+    def with_cache(
+        self,
+        store: str = "memory",
+        directory: Optional[str] = None,
+        max_entries: Optional[int] = None,
+        ttl: Optional[float] = None,
+    ) -> "OptimizationConfig":
+        """This configuration plus provenance-keyed result caching.
+
+        ``store="file"`` persists results under *directory* so a later
+        process can warm-re-execute the same workflow without submitting
+        any grid job (see :mod:`repro.cache`).
+        """
+        return replace(
+            self,
+            cache=True,
+            cache_store=store,
+            cache_dir=str(directory) if directory is not None else None,
+            cache_max_entries=max_entries,
+            cache_ttl=ttl,
+        )
 
     @classmethod
     def paper_configurations(cls) -> List["OptimizationConfig"]:

@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.cache import CacheStatsSnapshot, ResultCache
 from repro.core.config import OptimizationConfig
 from repro.core.grouping import GroupInfo, group_workflow
 from repro.core.iteration import Binding, IterationEngine, expected_bindings
@@ -78,6 +79,8 @@ class EnactmentResult:
     trace: ExecutionTrace
     invocation_count: int
     groups: List[GroupInfo] = field(default_factory=list)
+    #: per-service cache counters for THIS run (None when caching is off)
+    cache_stats: Optional[CacheStatsSnapshot] = None
 
     @property
     def makespan(self) -> float:
@@ -144,6 +147,15 @@ class MoteurEnactor:
     grid:
         When given, grid-file items of the input data set are
         registered in the grid's replica catalog before execution.
+    cache:
+        A provenance-keyed :class:`~repro.cache.ResultCache`.  When
+        given (or when ``config.cache`` is on, which builds one from the
+        configuration), every invocation consults it first: a hit
+        advances the dataflow immediately — zero grid jobs, zero
+        simulated time, no service concurrency slot — and emits a
+        ``kind="cached"`` trace event.  Share one instance (or one
+        :class:`~repro.cache.FileStore` directory) across enactors to
+        make warm re-execution nearly free.
     """
 
     def __init__(
@@ -152,10 +164,12 @@ class MoteurEnactor:
         workflow: Workflow,
         config: Optional[OptimizationConfig] = None,
         grid: Optional[Grid] = None,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         self.engine = engine
         self.config = config or OptimizationConfig.nop()
         self.grid = grid
+        self.cache = cache if cache is not None else ResultCache.from_config(self.config)
         require_valid(workflow)
         for processor in workflow.services():
             if processor.service is None:
@@ -199,6 +213,7 @@ class MoteurEnactor:
         self._trace = ExecutionTrace()
         self._invocation_count = 0
         self._failed = False
+        self._cache_baseline: Optional[CacheStatsSnapshot] = None
 
     # -- public API ----------------------------------------------------------
     def run(self, dataset: "InputDataSet | Mapping[str, Sequence[Any]]") -> EnactmentResult:
@@ -242,6 +257,7 @@ class MoteurEnactor:
         self._trace = ExecutionTrace()
         self._invocation_count = 0
         self._failed = False
+        self._cache_baseline = self.cache.snapshot() if self.cache is not None else None
 
     def _build_states(self) -> None:
         for name, processor in self.workflow.processors.items():
@@ -351,26 +367,64 @@ class MoteurEnactor:
     # -- invocation lifecycle ---------------------------------------------------------
     def _invoke(self, state: _ProcessorState, binding: Binding):
         processor = state.processor
+        key: Optional[str] = None
+        flight_open = False
         try:
             # Stage barrier: without service parallelism a service only
             # starts once its predecessors finished their whole streams.
             if not self.config.service_parallelism and state.preds_drained is not None:
                 yield state.preds_drained
 
-            request = state.gate.request()
-            yield request
-            start = self.engine.now
-            try:
-                inputs = {port: token.data for port, token in binding.items()}
-                call, record = processor.service.invoke_recorded(inputs)
-                outputs = yield call
-            finally:
-                state.gate.release(request)
-            end = self.engine.now
+            outputs: Optional[Mapping[str, GridData]] = None
+            job_ids: Tuple[int, ...] = ()
+            kind = "grouped" if getattr(processor.service, "stages", None) else "invocation"
+            if self.cache is not None:
+                facts = {
+                    port: ((token.history, token.data),)
+                    for port, token in binding.items()
+                }
+                key = self.cache.key_for(processor.service, facts)
+                outputs = self.cache.lookup(key, processor.name)
+                if outputs is not None:
+                    kind = "cached"
+                else:
+                    leader = self.cache.flight_leader(self.engine, key)
+                    if leader is not None:
+                        # Single-flight: an identical invocation is already
+                        # executing; wait for its result instead of
+                        # submitting the same work twice.
+                        outputs = yield leader
+                        self.cache.record_coalesced(processor.name)
+                        kind = "cached"
+                    else:
+                        self.cache.open_flight(self.engine, key)
+                        flight_open = True
+                        self.cache.record_miss(processor.name)
+
+            if outputs is None:
+                request = state.gate.request()
+                yield request
+                start = self.engine.now
+                try:
+                    inputs = {port: token.data for port, token in binding.items()}
+                    call, record = processor.service.invoke_recorded(inputs)
+                    outputs = yield call
+                finally:
+                    state.gate.release(request)
+                end = self.engine.now
+                job_ids = tuple(record.job_ids)
+                if key is not None:
+                    self.cache.put(key, processor.name, outputs)
+                    self.cache.close_flight(self.engine, key, outputs=outputs)
+                    flight_open = False
+            else:
+                # Cache hit: the dataflow advances right now, with no
+                # grid job and without occupying a concurrency slot.
+                start = end = self.engine.now
+                self._register_cached_files(outputs)
 
             parents = tuple(binding[port].history for port in sorted(binding))
             history = HistoryTree.derive(processor.name, parents)
-            kind = "grouped" if getattr(processor.service, "stages", None) else "invocation"
             self._trace.add(
                 TraceEvent(
                     processor=processor.name,
@@ -378,7 +432,7 @@ class MoteurEnactor:
                     start=start,
                     end=end,
                     kind=kind,
-                    job_ids=tuple(record.job_ids),
+                    job_ids=job_ids,
                 )
             )
             self._invocation_count += 1
@@ -386,6 +440,8 @@ class MoteurEnactor:
             state.invocations_done += 1
             self._check_drained(state)
         except Exception as exc:
+            if flight_open and key is not None:
+                self.cache.close_flight(self.engine, key, error=exc)
             self._fail(exc)
             return
         finally:
@@ -401,22 +457,61 @@ class MoteurEnactor:
     def _sync_invoke(self, state: _ProcessorState):
         """Synchronization barrier: one invocation over the whole streams."""
         processor = state.processor
+        key: Optional[str] = None
+        flight_open = False
         try:
             if state.preds_drained is not None:
                 yield state.preds_drained
-            request = state.gate.request()
-            yield request
-            start = self.engine.now
-            try:
-                inputs = {
-                    port: GridData(value=[t.value for t in tokens])
+
+            outputs: Optional[Mapping[str, GridData]] = None
+            job_ids: Tuple[int, ...] = ()
+            kind = "synchronization"
+            if self.cache is not None:
+                # A barrier consumes whole streams whose arrival order is
+                # a DP+SP race artifact, so its key treats each port's
+                # tokens as a multiset (unordered=True): a warm run whose
+                # tokens arrive in a different order still hits.
+                facts = {
+                    port: tuple((t.history, t.data) for t in tokens)
                     for port, tokens in state.sync_buffers.items()
                 }
-                call, record = processor.service.invoke_recorded(inputs)
-                outputs = yield call
-            finally:
-                state.gate.release(request)
-            end = self.engine.now
+                key = self.cache.key_for(processor.service, facts, unordered=True)
+                outputs = self.cache.lookup(key, processor.name)
+                if outputs is not None:
+                    kind = "cached"
+                else:
+                    leader = self.cache.flight_leader(self.engine, key)
+                    if leader is not None:
+                        outputs = yield leader
+                        self.cache.record_coalesced(processor.name)
+                        kind = "cached"
+                    else:
+                        self.cache.open_flight(self.engine, key)
+                        flight_open = True
+                        self.cache.record_miss(processor.name)
+
+            if outputs is None:
+                request = state.gate.request()
+                yield request
+                start = self.engine.now
+                try:
+                    inputs = {
+                        port: GridData(value=[t.value for t in tokens])
+                        for port, tokens in state.sync_buffers.items()
+                    }
+                    call, record = processor.service.invoke_recorded(inputs)
+                    outputs = yield call
+                finally:
+                    state.gate.release(request)
+                end = self.engine.now
+                job_ids = tuple(record.job_ids)
+                if key is not None:
+                    self.cache.put(key, processor.name, outputs)
+                    self.cache.close_flight(self.engine, key, outputs=outputs)
+                    flight_open = False
+            else:
+                start = end = self.engine.now
+                self._register_cached_files(outputs)
 
             parents = tuple(
                 token.history
@@ -430,8 +525,8 @@ class MoteurEnactor:
                     label=history.label(),
                     start=start,
                     end=end,
-                    kind="synchronization",
-                    job_ids=tuple(record.job_ids),
+                    kind=kind,
+                    job_ids=job_ids,
                 )
             )
             self._invocation_count += 1
@@ -441,11 +536,26 @@ class MoteurEnactor:
             if state.drained is not None and not state.drained.triggered:
                 state.drained.succeed(state.invocations_done)
         except Exception as exc:
+            if flight_open and key is not None:
+                self.cache.close_flight(self.engine, key, error=exc)
             self._fail(exc)
             return
         finally:
             self._in_flight -= 1
         self._check_completion()
+
+    def _register_cached_files(self, outputs: Mapping[str, GridData]) -> None:
+        """Re-advertise a hit's grid files in the replica catalog.
+
+        A warm run on a fresh grid has never seen the files a cold run
+        minted; a *partial* hit chain must still let the first
+        downstream miss stage them in.
+        """
+        if self.grid is None:
+            return
+        for datum in outputs.values():
+            if datum.file is not None and not self.grid.catalog.knows(datum.file.gfn):
+                self.grid.add_input_file(datum.file)
 
     def _emit_outputs(
         self, state: _ProcessorState, history: HistoryTree, outputs: Mapping[str, GridData]
@@ -507,6 +617,9 @@ class MoteurEnactor:
             state = self._states[sink.name]
             outputs[sink.name] = list(state.collected)
             histories[sink.name] = list(state.collected_histories)
+        cache_stats = None
+        if self.cache is not None and self._cache_baseline is not None:
+            cache_stats = self.cache.snapshot() - self._cache_baseline
         return EnactmentResult(
             workflow_name=self.workflow.name,
             config=self.config,
@@ -517,4 +630,5 @@ class MoteurEnactor:
             trace=self._trace,
             invocation_count=self._invocation_count,
             groups=list(self.groups),
+            cache_stats=cache_stats,
         )

@@ -8,7 +8,7 @@ per-configuration statistics the experiment harness reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["TraceEvent", "ExecutionTrace"]
 
@@ -21,7 +21,8 @@ class TraceEvent:
     label: str  # paper-style item label, e.g. "D0"
     start: float
     end: float
-    kind: str = "invocation"  # "invocation" | "grouped" | "synchronization"
+    #: "invocation" | "grouped" | "synchronization" | "cached"
+    kind: str = "invocation"
     job_ids: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
@@ -39,57 +40,102 @@ class TraceEvent:
 
 
 class ExecutionTrace:
-    """Ordered collection of trace events plus derived statistics."""
+    """Ordered collection of trace events plus derived statistics.
+
+    Derived statistics (bounds, makespan, per-processor views) are
+    memoized and invalidated on :meth:`add`, so reading them inside a
+    loop costs O(1) after the first read instead of re-scanning — and
+    re-copying — the whole event list every time.  Code that only needs
+    to walk the events should iterate the trace directly
+    (``for event in trace``): unlike the :attr:`events` property it
+    allocates nothing.
+    """
 
     def __init__(self) -> None:
         self._events: List[TraceEvent] = []
+        self._bounds: Optional[Tuple[Optional[float], Optional[float]]] = None
+        self._by_processor: Optional[Dict[str, List[TraceEvent]]] = None
+        self._kind_counts: Optional[Dict[str, int]] = None
 
     def add(self, event: TraceEvent) -> None:
-        """Record one event."""
+        """Record one event (invalidates memoized statistics)."""
         self._events.append(event)
+        self._bounds = None
+        self._by_processor = None
+        self._kind_counts = None
 
     @property
     def events(self) -> List[TraceEvent]:
-        """All events, recording order."""
+        """All events, recording order (a defensive copy — prefer
+        iterating the trace itself in hot paths)."""
         return list(self._events)
+
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """Zero-copy iteration over the events in recording order."""
+        return iter(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
 
     def __len__(self) -> int:
         return len(self._events)
 
     # -- derived statistics ------------------------------------------------
+    def _time_bounds(self) -> Tuple[Optional[float], Optional[float]]:
+        if self._bounds is None:
+            if self._events:
+                self._bounds = (
+                    min(e.start for e in self._events),
+                    max(e.end for e in self._events),
+                )
+            else:
+                self._bounds = (None, None)
+        return self._bounds
+
     @property
     def makespan(self) -> float:
         """Last end minus first start (0 for an empty trace)."""
-        if not self._events:
+        start, end = self._time_bounds()
+        if start is None or end is None:
             return 0.0
-        return max(e.end for e in self._events) - min(e.start for e in self._events)
+        return end - start
 
     @property
     def start_time(self) -> Optional[float]:
         """Earliest invocation start."""
-        return min((e.start for e in self._events), default=None)
+        return self._time_bounds()[0]
 
     @property
     def end_time(self) -> Optional[float]:
         """Latest invocation end."""
-        return max((e.end for e in self._events), default=None)
+        return self._time_bounds()[1]
+
+    def _processor_index(self) -> Dict[str, List[TraceEvent]]:
+        if self._by_processor is None:
+            index: Dict[str, List[TraceEvent]] = {}
+            for event in self._events:
+                index.setdefault(event.processor, []).append(event)
+            for events in index.values():
+                events.sort(key=lambda e: (e.start, e.label))
+            self._by_processor = index
+        return self._by_processor
 
     def processors(self) -> List[str]:
         """Distinct processor names in first-appearance order."""
-        seen = set()
-        names = []
-        for event in self._events:
-            if event.processor not in seen:
-                seen.add(event.processor)
-                names.append(event.processor)
-        return names
+        return list(self._processor_index())
 
     def for_processor(self, processor: str) -> List[TraceEvent]:
         """Events of one processor, sorted by start time."""
-        return sorted(
-            (e for e in self._events if e.processor == processor),
-            key=lambda e: (e.start, e.label),
-        )
+        return list(self._processor_index().get(processor, []))
+
+    def count_by_kind(self) -> Dict[str, int]:
+        """Event counts per kind (``cached`` is how warm runs show up)."""
+        if self._kind_counts is None:
+            counts: Dict[str, int] = {}
+            for event in self._events:
+                counts[event.kind] = counts.get(event.kind, 0) + 1
+            self._kind_counts = counts
+        return dict(self._kind_counts)
 
     def busy_time(self, processor: str) -> float:
         """Total union-of-intervals busy seconds for *processor*.
@@ -97,9 +143,9 @@ class ExecutionTrace:
         Overlapping invocations (data parallelism) are not
         double-counted.
         """
-        intervals = sorted(
-            (e.start, e.end) for e in self._events if e.processor == processor
-        )
+        intervals = [
+            (e.start, e.end) for e in self._processor_index().get(processor, [])
+        ]
         busy = 0.0
         current_start: Optional[float] = None
         current_end = float("-inf")

@@ -8,8 +8,9 @@ linearity, which metric each optimization moves).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+from repro.cache import CacheStatsSnapshot
 from repro.experiments.calibration import PAPER_TABLE1, PAPER_TABLE2
 from repro.experiments.harness import SweepResult
 from repro.model.metrics import ConfigurationFit, ratios_table
@@ -19,6 +20,8 @@ __all__ = [
     "format_table1",
     "format_table2",
     "format_ratios",
+    "format_cache_stats",
+    "format_reexecution",
     "paper_comparison",
     "check_ordering",
     "SECTION52_PAIRS",
@@ -93,6 +96,49 @@ def format_ratios(
             ]
         )
     return _grid(headers, rows)
+
+
+def format_cache_stats(stats: Optional[CacheStatsSnapshot]) -> str:
+    """Per-service cache counters as a table (hits, misses, hit rate...).
+
+    This is the warm-re-execution companion of Table 1: it shows which
+    services' submissions a run skipped and how many bytes of results
+    back that saving.
+    """
+    if stats is None or not stats.per_service:
+        return "(result caching disabled or unused)"
+    headers = ["Service", "hits", "coalesced", "misses", "hit rate",
+               "stores", "evictions", "bytes"]
+    def row(name, s):
+        return [name, str(s.hits), str(s.coalesced), str(s.misses),
+                f"{s.hit_rate:.0%}", str(s.stores), str(s.evictions),
+                str(s.bytes_stored)]
+    rows = [row(name, s) for name, s in stats]
+    rows.append(row("TOTAL", stats.total))
+    return _grid(headers, rows)
+
+
+def format_reexecution(
+    rows: Sequence[Tuple[str, float, float, int, int, Optional[CacheStatsSnapshot]]],
+) -> str:
+    """Cold-vs-warm makespan table, one row per configuration.
+
+    Each row is ``(label, cold_makespan, warm_makespan, cold_jobs,
+    warm_jobs, warm_stats)``; the speed-up column is what the cache
+    benchmark asserts on.
+    """
+    headers = ["Configuration", "cold (s)", "warm (s)", "speed-up",
+               "cold jobs", "warm jobs", "warm hit rate"]
+    out = []
+    for label, cold, warm, cold_jobs, warm_jobs, stats in rows:
+        if warm > 0:
+            speedup = f"{cold / warm:.0f}x"
+        else:
+            speedup = "inf" if cold > 0 else "-"
+        hit_rate = f"{stats.hit_rate:.0%}" if stats is not None else "-"
+        out.append([label, f"{cold:.0f}", f"{warm:.2f}", speedup,
+                    str(cold_jobs), str(warm_jobs), hit_rate])
+    return _grid(headers, out)
 
 
 def paper_comparison(sweep: SweepResult) -> str:

@@ -167,6 +167,20 @@ class Service:
         raise NotImplementedError
         yield  # pragma: no cover - marks this as a generator for subclass parity
 
+    def cache_fingerprint(self) -> str:
+        """Identity of the computation, for provenance-keyed result caching.
+
+        Two services whose fingerprints are equal are assumed to compute
+        the same deterministic function of their inputs.  Services that
+        can describe their executable (the generic wrapper, grouped
+        composites) override this with a descriptor-derived identity;
+        the base implementation falls back to class + name + ports.
+        """
+        return (
+            f"{type(self).__qualname__}:{self.name}"
+            f":in={','.join(self.input_ports)}:out={','.join(self.output_ports)}"
+        )
+
     def __repr__(self) -> str:
         return (
             f"<{type(self).__name__} {self.name!r} "

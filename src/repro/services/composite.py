@@ -157,6 +157,22 @@ class CompositeService(Service):
                 return public
         raise KeyError(f"stage output ({stage_index}, {port!r}) is not exposed")
 
+    def cache_fingerprint(self) -> str:
+        """Grouped services cache as **one** entry covering all stages.
+
+        The identity is the ordered chain of stage fingerprints plus the
+        internal wiring: change any stage's descriptor or re-route an
+        internal link and every cached result of the group is invalidated
+        at once — there is no per-stage entry to go stale, because a
+        grouped job never materializes per-stage results outside the
+        worker node in the first place (Section 3.6)."""
+        stage_fps = ";".join(stage.cache_fingerprint() for stage in self.stages)
+        links = ",".join(
+            f"{ci}.{cport}<-{pj}.{pport}"
+            for (ci, cport), (pj, pport) in sorted(self.internal_links.items())
+        )
+        return f"composite:[{stage_fps}]:links=[{links}]"
+
     # -- execution -------------------------------------------------------------
     def _execute(self, record: InvocationRecord, inputs: Dict[str, GridData]):
         # Distribute external inputs to stages.

@@ -24,6 +24,7 @@ several codes into one job — see :mod:`repro.services.composite`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
@@ -174,6 +175,18 @@ class GenericWrapperService(Service):
             port: GridData(value=values.get(port), file=minted.get(port))
             for port in self.output_ports
         }
+
+    def cache_fingerprint(self) -> str:
+        """Descriptor-derived identity: the Figure 8 document fully
+        determines the composed command line, so its serialized form
+        (plus the declared output sizes) is the computation's identity."""
+        from repro.services.descriptor import descriptor_to_xml
+
+        digest = hashlib.sha256(
+            descriptor_to_xml(self.descriptor).encode("utf-8")
+        ).hexdigest()
+        sizes = ",".join(f"{port}={self.output_size(port)}" for port in self.output_ports)
+        return f"wrapper:{self.name}:{digest}:sizes={sizes}"
 
     # -- Service contract ----------------------------------------------------
     def _execute(self, record: InvocationRecord, inputs: Dict[str, GridData]):

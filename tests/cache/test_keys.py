@@ -1,0 +1,183 @@
+"""Key derivation: deterministic, content-addressed, lineage-aware."""
+
+import numpy as np
+import pytest
+
+from repro.cache.keys import (
+    fingerprint_datum,
+    fingerprint_value,
+    history_fingerprint,
+    invocation_key,
+    service_fingerprint,
+)
+from repro.core.provenance import HistoryTree
+from repro.grid.storage import LogicalFile
+from repro.services.base import GridData, LocalService
+
+
+class TestValueFingerprints:
+    def test_scalars_are_distinguished_by_type(self):
+        assert fingerprint_value(1) != fingerprint_value(True)
+        assert fingerprint_value(1) != fingerprint_value(1.0)
+        assert fingerprint_value(1) != fingerprint_value("1")
+
+    def test_containers(self):
+        assert fingerprint_value([1, 2]) == fingerprint_value([1, 2])
+        assert fingerprint_value([1, 2]) != fingerprint_value((1, 2))
+        assert fingerprint_value({"a": 1, "b": 2}) == fingerprint_value({"b": 2, "a": 1})
+        assert fingerprint_value({1, 2, 3}) == fingerprint_value({3, 2, 1})
+
+    def test_numpy_arrays_content_addressed(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 2.0, 3.0])
+        c = np.array([1.0, 2.0, 4.0])
+        assert fingerprint_value(a) == fingerprint_value(b)
+        assert fingerprint_value(a) != fingerprint_value(c)
+        # dtype and shape are part of the identity
+        assert fingerprint_value(a) != fingerprint_value(a.astype(np.float32))
+        assert fingerprint_value(a) != fingerprint_value(a.reshape(3, 1))
+
+    def test_dataclasses_recurse_into_fields(self):
+        from repro.apps.transforms import RigidTransform
+
+        t1 = RigidTransform.from_euler_deg([1, 2, 3], [4, 5, 6])
+        t2 = RigidTransform.from_euler_deg([1, 2, 3], [4, 5, 6])
+        t3 = RigidTransform.from_euler_deg([1, 2, 3], [4, 5, 7])
+        assert fingerprint_value(t1) == fingerprint_value(t2)
+        assert fingerprint_value(t1) != fingerprint_value(t3)
+
+    def test_datum_includes_grid_identity(self):
+        bare = GridData(value=1)
+        filed = GridData(value=1, file=LogicalFile("gfn://x", size=10))
+        assert fingerprint_datum(bare) != fingerprint_datum(filed)
+
+
+class TestHistoryFingerprints:
+    def test_leaf_and_derived_are_distinct(self):
+        leaf = HistoryTree.leaf("src", 0)
+        derived = HistoryTree.derive("src", (HistoryTree.leaf("a", 0),))
+        assert history_fingerprint(leaf) != history_fingerprint(derived)
+
+    def test_equal_trees_equal_fingerprints(self):
+        t1 = HistoryTree.derive("P", (HistoryTree.leaf("s", 1), HistoryTree.leaf("t", 2)))
+        t2 = HistoryTree.derive("P", (HistoryTree.leaf("s", 1), HistoryTree.leaf("t", 2)))
+        assert history_fingerprint(t1) == history_fingerprint(t2)
+
+    def test_index_and_iteration_matter(self):
+        assert history_fingerprint(HistoryTree.leaf("s", 0)) != history_fingerprint(
+            HistoryTree.leaf("s", 1)
+        )
+        base = (HistoryTree.leaf("s", 0),)
+        assert history_fingerprint(
+            HistoryTree.derive("P", base, iteration=0)
+        ) != history_fingerprint(HistoryTree.derive("P", base, iteration=1))
+
+    def test_parent_order_matters(self):
+        a, b = HistoryTree.leaf("s", 0), HistoryTree.leaf("t", 1)
+        assert history_fingerprint(HistoryTree.derive("P", (a, b))) != history_fingerprint(
+            HistoryTree.derive("P", (b, a))
+        )
+
+
+class TestInvocationKeys:
+    def _token(self, source, index, value):
+        return (HistoryTree.leaf(source, index), GridData(value=value))
+
+    def test_same_inputs_same_key(self, engine):
+        svc = LocalService(engine, "S", ("x",), ("y",))
+        k1 = invocation_key(svc, {"x": (self._token("src", 0, 5),)})
+        k2 = invocation_key(svc, {"x": (self._token("src", 0, 5),)})
+        assert k1 == k2
+        assert len(k1) == 64  # sha256 hex
+
+    def test_lineage_disambiguates_equal_values(self, engine):
+        """Dot-product granularity: (D0, D0) vs (D0, D1) with equal payloads."""
+        svc = LocalService(engine, "S", ("a", "b"), ("y",))
+        k_d0 = invocation_key(
+            svc, {"a": (self._token("s", 0, 9),), "b": (self._token("t", 0, 9),)}
+        )
+        k_d1 = invocation_key(
+            svc, {"a": (self._token("s", 0, 9),), "b": (self._token("t", 1, 9),)}
+        )
+        assert k_d0 != k_d1
+
+    def test_value_changes_key(self, engine):
+        svc = LocalService(engine, "S", ("x",), ("y",))
+        k1 = invocation_key(svc, {"x": (self._token("src", 0, 5),)})
+        k2 = invocation_key(svc, {"x": (self._token("src", 0, 6),)})
+        assert k1 != k2
+
+    def test_service_identity_changes_key(self, engine):
+        s1 = LocalService(engine, "S1", ("x",), ("y",))
+        s2 = LocalService(engine, "S2", ("x",), ("y",))
+        binding = {"x": (self._token("src", 0, 5),)}
+        assert invocation_key(s1, binding) != invocation_key(s2, binding)
+
+    def test_unordered_normalizes_stream_order(self, engine):
+        """Synchronization keys are arrival-order independent."""
+        svc = LocalService(engine, "sync", ("x",), ("y",))
+        t0, t1 = self._token("s", 0, "a"), self._token("s", 1, "b")
+        assert invocation_key(svc, {"x": (t0, t1)}, unordered=True) == invocation_key(
+            svc, {"x": (t1, t0)}, unordered=True
+        )
+        assert invocation_key(svc, {"x": (t0, t1)}) != invocation_key(svc, {"x": (t1, t0)})
+
+
+class TestServiceFingerprints:
+    def test_wrapper_fingerprint_is_descriptor_derived(self, engine, ideal_grid):
+        from repro.services.descriptor import (
+            AccessMethod,
+            ExecutableDescriptor,
+            InputSpec,
+            OutputSpec,
+        )
+        from repro.services.wrapper import GenericWrapperService
+
+        def make(name, option):
+            desc = ExecutableDescriptor(
+                name=name,
+                access=AccessMethod("URL", path="http://x"),
+                value="prog.pl",
+                inputs=(InputSpec(name="in1", option=option, access=AccessMethod("GFN")),),
+                outputs=(OutputSpec(name="out1", option="-o"),),
+            )
+            return GenericWrapperService(engine, ideal_grid, desc)
+
+        same_a = make("A", "-i").cache_fingerprint()
+        same_b = make("A", "-i").cache_fingerprint()
+        different = make("A", "-j").cache_fingerprint()
+        assert same_a == same_b
+        assert same_a != different
+
+    def test_composite_covers_all_stages(self, engine, ideal_grid):
+        from repro.services.descriptor import (
+            AccessMethod,
+            ExecutableDescriptor,
+            InputSpec,
+            OutputSpec,
+        )
+        from repro.services.composite import CompositeService
+        from repro.services.wrapper import GenericWrapperService
+
+        def stage(name, opt="-i"):
+            desc = ExecutableDescriptor(
+                name=name,
+                access=AccessMethod("URL", path="http://x"),
+                value=f"{name}.pl",
+                inputs=(InputSpec(name="a", option=opt, access=AccessMethod("GFN")),),
+                outputs=(OutputSpec(name="b", option="-o"),),
+            )
+            return GenericWrapperService(engine, ideal_grid, desc)
+
+        links = {(1, "a"): (0, "b")}
+        c1 = CompositeService(engine, [stage("s0"), stage("s1")], links)
+        c2 = CompositeService(engine, [stage("s0"), stage("s1")], links)
+        c3 = CompositeService(engine, [stage("s0"), stage("s1", opt="-z")], links)
+        assert c1.cache_fingerprint() == c2.cache_fingerprint()
+        # changing ANY stage invalidates the whole group's identity
+        assert c1.cache_fingerprint() != c3.cache_fingerprint()
+
+    def test_base_fallback_uses_class_and_ports(self, engine):
+        s1 = LocalService(engine, "S", ("x",), ("y",))
+        s2 = LocalService(engine, "S", ("x", "z"), ("y",))
+        assert service_fingerprint(s1) != service_fingerprint(s2)

@@ -1,0 +1,70 @@
+"""CachePolicy: validation, TTL expiry, eviction decisions."""
+
+import pytest
+
+from repro.cache.policy import CachePolicy
+
+
+class TestValidation:
+    def test_defaults_are_unbounded(self):
+        policy = CachePolicy.unbounded()
+        assert policy.max_entries is None
+        assert policy.max_bytes is None
+        assert policy.ttl is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_entries": 0},
+            {"max_entries": -1},
+            {"max_bytes": 0},
+            {"max_bytes": -5.0},
+            {"ttl": 0},
+            {"ttl": -1.0},
+        ],
+    )
+    def test_rejects_nonsense_limits(self, kwargs):
+        with pytest.raises(ValueError):
+            CachePolicy(**kwargs)
+
+    def test_lru_constructor(self):
+        assert CachePolicy.lru(3).max_entries == 3
+
+
+class TestExpiry:
+    def test_no_ttl_never_expires(self):
+        assert not CachePolicy().expired(created_at=0.0, now=1e12)
+
+    def test_ttl_boundary(self):
+        policy = CachePolicy(ttl=10.0)
+        assert not policy.expired(created_at=0.0, now=10.0)  # exactly at TTL: alive
+        assert policy.expired(created_at=0.0, now=10.0001)
+
+
+class TestEvictions:
+    def test_unbounded_never_evicts(self):
+        entries = [("a", 100.0), ("b", 100.0)]
+        assert CachePolicy().evictions_for(entries, incoming_bytes=1e9) == []
+
+    def test_entry_cap_evicts_lru_first(self):
+        policy = CachePolicy.lru(2)
+        entries = [("old", 1.0), ("mid", 1.0)]  # LRU-first order
+        assert policy.evictions_for(entries) == ["old"]
+
+    def test_entry_cap_of_one_clears_everything_else(self):
+        policy = CachePolicy.lru(1)
+        entries = [("a", 1.0), ("b", 1.0), ("c", 1.0)]
+        assert policy.evictions_for(entries) == ["a", "b", "c"]
+
+    def test_byte_cap_counts_incoming(self):
+        policy = CachePolicy(max_bytes=100)
+        entries = [("a", 40.0), ("b", 40.0)]
+        # fits without the newcomer, not with it: evict just enough
+        assert policy.evictions_for(entries, incoming_bytes=40.0) == ["a"]
+        assert policy.evictions_for(entries, incoming_bytes=10.0) == []
+
+    def test_both_caps_combined(self):
+        policy = CachePolicy(max_entries=3, max_bytes=100)
+        entries = [("a", 10.0), ("b", 80.0), ("c", 5.0)]
+        # count forces one eviction; bytes then still exceed -> two
+        assert policy.evictions_for(entries, incoming_bytes=50.0) == ["a", "b"]

@@ -1,0 +1,190 @@
+"""Result stores: LRU/TTL behaviour, atomic persistence, corrupt entries."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cache.policy import CachePolicy
+from repro.cache.store import (
+    CacheEntry,
+    FileStore,
+    InMemoryStore,
+    ResultStore,
+    entry_from_document,
+    entry_to_document,
+    estimate_entry_bytes,
+)
+from repro.grid.storage import LogicalFile
+from repro.services.base import GridData
+
+
+def make_entry(key, value=1, size=10, created_at=0.0, service="S"):
+    outputs = {"out": GridData(value=value)}
+    return CacheEntry(
+        key=key, service=service, outputs=outputs, created_at=created_at, size_bytes=size
+    )
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestProtocol:
+    def test_both_stores_satisfy_result_store(self, cache_dir):
+        assert isinstance(InMemoryStore(), ResultStore)
+        assert isinstance(FileStore(cache_dir), ResultStore)
+
+
+class TestInMemoryStore:
+    def test_roundtrip(self):
+        store = InMemoryStore()
+        store.put(make_entry("k"))
+        entry = store.get("k")
+        assert entry is not None
+        assert entry.outputs["out"].value == 1
+        assert store.get("absent") is None
+
+    def test_overwrite_keeps_single_entry(self):
+        store = InMemoryStore(CachePolicy.lru(5))
+        store.put(make_entry("k", value=1))
+        store.put(make_entry("k", value=2))
+        assert len(store) == 1
+        assert store.get("k").outputs["out"].value == 2
+
+    def test_lru_eviction_order_respects_recency(self):
+        store = InMemoryStore(CachePolicy.lru(2))
+        evicted = []
+        store.on_evict = lambda e: evicted.append(e.key)
+        store.put(make_entry("a"))
+        store.put(make_entry("b"))
+        store.get("a")  # refresh "a": "b" becomes LRU
+        store.put(make_entry("c"))
+        assert evicted == ["b"]
+        assert "a" in store and "c" in store and "b" not in store
+
+    def test_byte_cap(self):
+        store = InMemoryStore(CachePolicy(max_bytes=100))
+        store.put(make_entry("a", size=60))
+        store.put(make_entry("b", size=60))  # 120 > 100 -> evict "a"
+        assert "a" not in store
+        assert "b" in store
+
+    def test_ttl_expiry_on_get(self):
+        clock = FakeClock()
+        store = InMemoryStore(CachePolicy(ttl=10.0), clock=clock)
+        expired = []
+        store.on_evict = lambda e: expired.append(e.key)
+        store.put(make_entry("k", created_at=0.0))
+        clock.now = 5.0
+        assert store.get("k") is not None
+        clock.now = 11.0
+        assert store.get("k") is None
+        assert expired == ["k"]
+        assert len(store) == 0
+
+    def test_clear_is_not_eviction(self):
+        store = InMemoryStore()
+        evicted = []
+        store.on_evict = lambda e: evicted.append(e.key)
+        store.put(make_entry("k"))
+        store.clear()
+        assert len(store) == 0
+        assert evicted == []
+
+
+class TestDocumentCodec:
+    def test_scalars_stay_json(self):
+        entry = make_entry("k", value=3)
+        doc = entry_to_document(entry)
+        assert doc["outputs"]["out"]["value"]["kind"] == "json"
+        assert entry_from_document(doc).outputs["out"].value == 3
+
+    def test_numpy_roundtrips_bit_exact(self):
+        array = np.array([1.5, 2.5, float(np.pi)])
+        entry = CacheEntry(key="k", service="S", outputs={"o": GridData(value=array)})
+        doc = json.loads(json.dumps(entry_to_document(entry)))  # through real JSON
+        back = entry_from_document(doc).outputs["o"].value
+        assert isinstance(back, np.ndarray)
+        np.testing.assert_array_equal(back, array)
+
+    def test_nonfinite_floats_take_pickle_path(self):
+        entry = CacheEntry(
+            key="k", service="S", outputs={"o": GridData(value=float("inf"))}
+        )
+        doc = json.loads(json.dumps(entry_to_document(entry)))
+        assert doc["outputs"]["o"]["value"]["kind"] == "pickle"
+        assert entry_from_document(doc).outputs["o"].value == float("inf")
+
+    def test_grid_file_identity_survives(self):
+        datum = GridData(value=None, file=LogicalFile("gfn://x/1", size=2048))
+        entry = CacheEntry(key="k", service="S", outputs={"o": datum})
+        back = entry_from_document(entry_to_document(entry)).outputs["o"]
+        assert back.file == LogicalFile("gfn://x/1", size=2048)
+
+    def test_estimate_is_positive(self):
+        assert estimate_entry_bytes({"o": GridData(value=list(range(100)))}) > 0
+
+
+class TestFileStore:
+    def test_roundtrip_across_instances(self, cache_dir):
+        """The warm-re-execution property: a fresh process sees the entries."""
+        FileStore(cache_dir).put(make_entry("k", value=42))
+        entry = FileStore(cache_dir).get("k")
+        assert entry is not None
+        assert entry.outputs["out"].value == 42
+
+    def test_no_tmp_droppings_after_put(self, cache_dir):
+        store = FileStore(cache_dir)
+        for i in range(5):
+            store.put(make_entry(f"k{i}"))
+        assert list(cache_dir.glob("*.tmp")) == []
+        assert len(store) == 5
+        assert sorted(store.keys()) == [f"k{i}" for i in range(5)]
+
+    def test_corrupt_entry_is_a_miss_and_gets_removed(self, cache_dir):
+        store = FileStore(cache_dir)
+        store.put(make_entry("k"))
+        (cache_dir / "k.json").write_text("{ torn write", encoding="utf-8")
+        assert store.get("k") is None
+        assert not (cache_dir / "k.json").exists()
+
+    def test_ttl_expiry(self, cache_dir):
+        clock = FakeClock()
+        store = FileStore(cache_dir, CachePolicy(ttl=10.0), clock=clock)
+        store.put(make_entry("k", created_at=0.0))
+        clock.now = 20.0
+        assert store.get("k") is None
+        assert len(store) == 0
+
+    def test_lru_eviction_uses_mtimes(self, cache_dir):
+        store = FileStore(cache_dir, CachePolicy.lru(2))
+        evicted = []
+        store.on_evict = lambda e: evicted.append(e.key)
+        store.put(make_entry("a"))
+        store.put(make_entry("b"))
+        # make recency unambiguous on coarse-mtime filesystems
+        os.utime(cache_dir / "a.json", (1000, 1000))
+        os.utime(cache_dir / "b.json", (2000, 2000))
+        store.put(make_entry("c"))
+        assert evicted == ["a"]
+        assert sorted(store.keys()) == ["b", "c"]
+
+    def test_overwrite_does_not_evict_self(self, cache_dir):
+        store = FileStore(cache_dir, CachePolicy.lru(1))
+        store.put(make_entry("k", value=1))
+        store.put(make_entry("k", value=2))
+        assert store.get("k").outputs["out"].value == 2
+        assert len(store) == 1
+
+    def test_clear(self, cache_dir):
+        store = FileStore(cache_dir)
+        store.put(make_entry("a"))
+        store.put(make_entry("b"))
+        store.clear()
+        assert len(store) == 0

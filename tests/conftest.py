@@ -43,6 +43,21 @@ def egee_grid(engine, streams):
 
 
 @pytest.fixture
+def cache_dir(request, tmp_path):
+    """Throwaway directory for FileStore-backed cache tests.
+
+    Tagged with the ``cache_files`` marker so disk-writing cache tests
+    are greppable (``pytest -m cache_files``) and guaranteed isolated:
+    every test gets its own tmp_path-backed directory and never shares
+    entries with another test.
+    """
+    request.node.add_marker(pytest.mark.cache_files)
+    directory = tmp_path / "result-cache"
+    directory.mkdir()
+    return directory
+
+
+@pytest.fixture
 def local_factory(engine):
     """Service factory producing constant-duration local stubs.
 
