@@ -19,7 +19,6 @@ Claims checked per policy:
 
 import pickle
 
-import pytest
 
 from repro.apps.bronze_standard import BronzeStandardApplication
 from repro.cache import FileStore, ResultCache

@@ -9,7 +9,6 @@ the DP-family curves nearly flat, and no series crossing the paper's
 ordering anywhere in the sweep.
 """
 
-import pytest
 
 from repro.experiments.calibration import PAPER_SIZES, PAPER_TABLE1
 

@@ -8,7 +8,6 @@ first set with each data of the second set in their order of
 definition".
 """
 
-import pytest
 
 from repro.core import MoteurEnactor, OptimizationConfig
 from repro.services.base import LocalService

@@ -10,7 +10,6 @@ cell-for-cell the published one::
     P1 | D0 D1 D2 |    X     |
 """
 
-import pytest
 
 from repro.core import MoteurEnactor, OptimizationConfig
 from repro.core.diagrams import diagram_rows, execution_diagram

@@ -11,7 +11,6 @@ Regenerates both execution diagrams and checks the published makespans:
 5T without SP (DP only) vs 4T with SP+DP.
 """
 
-import pytest
 
 from repro.core import MoteurEnactor, OptimizationConfig
 from repro.core.diagrams import execution_diagram

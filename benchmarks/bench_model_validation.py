@@ -8,7 +8,6 @@ reproduction.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import MoteurEnactor, OptimizationConfig
 from repro.model.makespan import makespans

@@ -8,7 +8,6 @@ Regenerates the four comparisons the paper walks through:
 * (SP+DP+JG) vs SP+DP (grouping still pays on top of everything).
 """
 
-import pytest
 
 from repro.experiments.reporting import SECTION52_PAIRS, format_ratios
 from repro.model.metrics import ratios_table

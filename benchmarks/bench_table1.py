@@ -11,7 +11,6 @@ Shape claims reproduced (absolute seconds are testbed-dependent):
   non-DP family.
 """
 
-import pytest
 
 from repro.core import OptimizationConfig
 from repro.experiments.harness import run_configuration

@@ -11,7 +11,6 @@ Shape claims reproduced:
   the slope.
 """
 
-import pytest
 
 from repro.experiments.reporting import format_table2
 from repro.model.metrics import slope_ratio, y_intercept_ratio

@@ -7,7 +7,6 @@ data": counts static tasks for chained cross products against the
 constant-size service workflow, and times the expansion itself.
 """
 
-import pytest
 
 from repro.services.base import LocalService
 from repro.sim.engine import Engine

@@ -203,6 +203,7 @@ class BronzeStandardApplication:
         dataset: Optional[InputDataSet] = None,
         method_to_test: str = "crestMatch",
         cache: "Optional[ResultCache]" = None,
+        instrumentation=None,
     ) -> EnactmentResult:
         """Run the workflow under *config* over *n_pairs* image pairs.
 
@@ -210,11 +211,19 @@ class BronzeStandardApplication:
         *config* via ``with_cache``) memoizes every invocation by
         provenance key, which makes a re-enactment over the same data
         set replay from the cache instead of re-submitting grid jobs.
+        An :class:`~repro.observability.InstrumentationBus` turns the
+        run into a correlated span stream (enactor + grid layers) and
+        attaches the per-run metrics snapshot to the result.
         """
         if dataset is None:
             dataset = self.build_dataset(n_pairs, method_to_test=method_to_test)
         enactor = MoteurEnactor(
-            self.engine, self.workflow, config, grid=self.grid, cache=cache
+            self.engine,
+            self.workflow,
+            config,
+            grid=self.grid,
+            cache=cache,
+            instrumentation=instrumentation,
         )
         return enactor.run(dataset)
 

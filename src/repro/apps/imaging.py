@@ -22,7 +22,6 @@ from typing import List, Optional
 
 from repro.apps.transforms import RigidTransform
 from repro.util.rng import RandomStreams
-from repro.util.units import MEBIBYTE
 
 __all__ = ["MedicalImage", "ImagePair", "ImageDatabase"]
 

@@ -46,10 +46,13 @@ from repro.core.config import OptimizationConfig
 from repro.core.grouping import GroupInfo, group_workflow
 from repro.core.iteration import Binding, IterationEngine, expected_bindings
 from repro.core.provenance import HistoryTree
-from repro.core.tokens import NO_DATA, DataToken, NoData
+from repro.core.tokens import DataToken, NoData
 from repro.core.trace import ExecutionTrace, TraceEvent
 from repro.grid.middleware import Grid
-from repro.services.base import GridData, ServiceError
+from repro.observability.bus import InstrumentationBus
+from repro.observability.metrics import MetricsSnapshot
+from repro.observability.spans import Span
+from repro.services.base import GridData
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import Resource
 from repro.workflow.analysis import find_cycles
@@ -81,6 +84,8 @@ class EnactmentResult:
     groups: List[GroupInfo] = field(default_factory=list)
     #: per-service cache counters for THIS run (None when caching is off)
     cache_stats: Optional[CacheStatsSnapshot] = None
+    #: metrics snapshot for THIS run (None when instrumentation is off)
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def makespan(self) -> float:
@@ -156,6 +161,13 @@ class MoteurEnactor:
         ``kind="cached"`` trace event.  Share one instance (or one
         :class:`~repro.cache.FileStore` directory) across enactors to
         make warm re-execution nearly free.
+    instrumentation:
+        An :class:`~repro.observability.InstrumentationBus`.  When
+        given, each enactment emits a correlated span tree (run →
+        invocations → cache lookups; the grid adds job and phase spans
+        when it shares the bus) and the per-run metrics delta lands on
+        ``EnactmentResult.metrics``.  A grid without its own bus is
+        wired to this one automatically.
     """
 
     def __init__(
@@ -165,10 +177,14 @@ class MoteurEnactor:
         config: Optional[OptimizationConfig] = None,
         grid: Optional[Grid] = None,
         cache: Optional[ResultCache] = None,
+        instrumentation: Optional[InstrumentationBus] = None,
     ) -> None:
         self.engine = engine
         self.config = config or OptimizationConfig.nop()
         self.grid = grid
+        self.instrumentation = instrumentation
+        if grid is not None and instrumentation is not None and grid.instrumentation is None:
+            grid.instrumentation = instrumentation
         self.cache = cache if cache is not None else ResultCache.from_config(self.config)
         require_valid(workflow)
         for processor in workflow.services():
@@ -214,6 +230,9 @@ class MoteurEnactor:
         self._invocation_count = 0
         self._failed = False
         self._cache_baseline: Optional[CacheStatsSnapshot] = None
+        self._run_span: Optional[Span] = None
+        self._trace_id = ""
+        self._metrics_baseline: Optional[MetricsSnapshot] = None
 
     # -- public API ----------------------------------------------------------
     def run(self, dataset: "InputDataSet | Mapping[str, Sequence[Any]]") -> EnactmentResult:
@@ -258,6 +277,24 @@ class MoteurEnactor:
         self._invocation_count = 0
         self._failed = False
         self._cache_baseline = self.cache.snapshot() if self.cache is not None else None
+        self._run_span = None
+        self._trace_id = ""
+        self._metrics_baseline = None
+        bus = self.instrumentation
+        if bus is not None:
+            self._metrics_baseline = bus.metrics.snapshot()
+            self._trace_id = bus.next_trace_id(self.workflow.name)
+            self._run_span = bus.begin(
+                "run",
+                "enactor",
+                self.engine.now,
+                trace_id=self._trace_id,
+                workflow=self.workflow.name,
+                data_parallelism=self.config.data_parallelism,
+                service_parallelism=self.config.service_parallelism,
+                job_grouping=self.config.job_grouping,
+            )
+            bus.run_span = self._run_span
 
     def _build_states(self) -> None:
         for name, processor in self.workflow.processors.items():
@@ -360,8 +397,65 @@ class MoteurEnactor:
 
     def _spawn_invocation(self, state: _ProcessorState, binding: Binding) -> None:
         self._in_flight += 1
+        self._note_in_flight()
         self.engine.process(
             self._invoke(state, binding), name=f"moteur:{state.processor.name}"
+        )
+
+    # -- instrumentation ---------------------------------------------------------
+    def _note_in_flight(self) -> None:
+        """Track the in-flight invocation gauge (peak = real concurrency)."""
+        if self.instrumentation is not None:
+            self.instrumentation.metrics.gauge("enactor.in_flight").set(self._in_flight)
+
+    def _record_cache_lookup(self, processor: str, start: float, status: str) -> None:
+        """Span + counter for one cache consultation (hit/miss/coalesced).
+
+        A hit or miss is instantaneous; a coalesced lookup covers the
+        wait on the in-flight leader, so the span has real duration.
+        """
+        bus = self.instrumentation
+        if bus is None:
+            return
+        bus.metrics.counter(f"cache.lookups.{status}").inc()
+        bus.record(
+            "cache.lookup",
+            "cache",
+            start,
+            self.engine.now,
+            parent=self._run_span,
+            trace_id=self._trace_id,
+            status=status,
+            processor=processor,
+        )
+
+    def _record_invocation_span(
+        self,
+        processor: str,
+        label: str,
+        start: float,
+        end: float,
+        kind: str,
+        job_ids: Tuple[int, ...],
+    ) -> None:
+        """The invocation span, id tied to the token lineage label."""
+        bus = self.instrumentation
+        if bus is None:
+            return
+        bus.metrics.counter("enactor.invocations").inc()
+        bus.metrics.counter(f"enactor.invocations.{kind}").inc()
+        bus.record(
+            "invocation",
+            "enactor",
+            start,
+            end,
+            parent=self._run_span,
+            trace_id=self._trace_id,
+            span_id=f"{self._trace_id}:{processor}:{label}",
+            processor=processor,
+            label=label,
+            kind=kind,
+            job_ids=list(job_ids),
         )
 
     # -- invocation lifecycle ---------------------------------------------------------
@@ -379,6 +473,7 @@ class MoteurEnactor:
             job_ids: Tuple[int, ...] = ()
             kind = "grouped" if getattr(processor.service, "stages", None) else "invocation"
             if self.cache is not None:
+                lookup_start = self.engine.now
                 facts = {
                     port: ((token.history, token.data),)
                     for port, token in binding.items()
@@ -387,6 +482,7 @@ class MoteurEnactor:
                 outputs = self.cache.lookup(key, processor.name)
                 if outputs is not None:
                     kind = "cached"
+                    self._record_cache_lookup(processor.name, lookup_start, "hit")
                 else:
                     leader = self.cache.flight_leader(self.engine, key)
                     if leader is not None:
@@ -396,15 +492,22 @@ class MoteurEnactor:
                         outputs = yield leader
                         self.cache.record_coalesced(processor.name)
                         kind = "cached"
+                        self._record_cache_lookup(processor.name, lookup_start, "coalesced")
                     else:
                         self.cache.open_flight(self.engine, key)
                         flight_open = True
                         self.cache.record_miss(processor.name)
+                        self._record_cache_lookup(processor.name, lookup_start, "miss")
 
             if outputs is None:
                 request = state.gate.request()
+                gate_requested = self.engine.now
                 yield request
                 start = self.engine.now
+                if self.instrumentation is not None:
+                    self.instrumentation.metrics.histogram("enactor.gate_wait").observe(
+                        start - gate_requested
+                    )
                 try:
                     inputs = {port: token.data for port, token in binding.items()}
                     call, record = processor.service.invoke_recorded(inputs)
@@ -435,6 +538,9 @@ class MoteurEnactor:
                     job_ids=job_ids,
                 )
             )
+            self._record_invocation_span(
+                processor.name, history.label(), start, end, kind, job_ids
+            )
             self._invocation_count += 1
             self._emit_outputs(state, history, outputs)
             state.invocations_done += 1
@@ -446,10 +552,12 @@ class MoteurEnactor:
             return
         finally:
             self._in_flight -= 1
+            self._note_in_flight()
         self._check_completion()
 
     def _spawn_sync(self, state: _ProcessorState) -> None:
         self._in_flight += 1
+        self._note_in_flight()
         self.engine.process(
             self._sync_invoke(state), name=f"moteur-sync:{state.processor.name}"
         )
@@ -467,6 +575,7 @@ class MoteurEnactor:
             job_ids: Tuple[int, ...] = ()
             kind = "synchronization"
             if self.cache is not None:
+                lookup_start = self.engine.now
                 # A barrier consumes whole streams whose arrival order is
                 # a DP+SP race artifact, so its key treats each port's
                 # tokens as a multiset (unordered=True): a warm run whose
@@ -479,21 +588,29 @@ class MoteurEnactor:
                 outputs = self.cache.lookup(key, processor.name)
                 if outputs is not None:
                     kind = "cached"
+                    self._record_cache_lookup(processor.name, lookup_start, "hit")
                 else:
                     leader = self.cache.flight_leader(self.engine, key)
                     if leader is not None:
                         outputs = yield leader
                         self.cache.record_coalesced(processor.name)
                         kind = "cached"
+                        self._record_cache_lookup(processor.name, lookup_start, "coalesced")
                     else:
                         self.cache.open_flight(self.engine, key)
                         flight_open = True
                         self.cache.record_miss(processor.name)
+                        self._record_cache_lookup(processor.name, lookup_start, "miss")
 
             if outputs is None:
                 request = state.gate.request()
+                gate_requested = self.engine.now
                 yield request
                 start = self.engine.now
+                if self.instrumentation is not None:
+                    self.instrumentation.metrics.histogram("enactor.gate_wait").observe(
+                        start - gate_requested
+                    )
                 try:
                     inputs = {
                         port: GridData(value=[t.value for t in tokens])
@@ -529,6 +646,9 @@ class MoteurEnactor:
                     job_ids=job_ids,
                 )
             )
+            self._record_invocation_span(
+                processor.name, history.label(), start, end, kind, job_ids
+            )
             self._invocation_count += 1
             self._emit_outputs(state, history, outputs)
             state.invocations_done += 1
@@ -542,6 +662,7 @@ class MoteurEnactor:
             return
         finally:
             self._in_flight -= 1
+            self._note_in_flight()
         self._check_completion()
 
     def _register_cached_files(self, outputs: Mapping[str, GridData]) -> None:
@@ -606,9 +727,18 @@ class MoteurEnactor:
     def _fail(self, exc: Exception) -> None:
         if not self._failed and self._completion is not None and not self._completion.triggered:
             self._failed = True
+            self._close_run_span(status="error", error=str(exc))
             self._completion.fail(
                 EnactmentError(f"enactment of {self.workflow.name!r} failed: {exc}")
             )
+
+    def _close_run_span(self, status: Optional[str] = None, **attributes: Any) -> None:
+        bus = self.instrumentation
+        if bus is None or self._run_span is None or not self._run_span.open:
+            return
+        bus.end(self._run_span, self.engine.now, status=status, **attributes)
+        if bus.run_span is self._run_span:
+            bus.run_span = None
 
     def _build_result(self) -> EnactmentResult:
         outputs: Dict[str, List[GridData]] = {}
@@ -620,6 +750,12 @@ class MoteurEnactor:
         cache_stats = None
         if self.cache is not None and self._cache_baseline is not None:
             cache_stats = self.cache.snapshot() - self._cache_baseline
+        metrics = None
+        if self.instrumentation is not None:
+            self._close_run_span(invocations=self._invocation_count)
+            metrics = self.instrumentation.metrics.snapshot()
+            if self._metrics_baseline is not None:
+                metrics = metrics.since(self._metrics_baseline)
         return EnactmentResult(
             workflow_name=self.workflow.name,
             config=self.config,
@@ -631,4 +767,5 @@ class MoteurEnactor:
             invocation_count=self._invocation_count,
             groups=list(self.groups),
             cache_stats=cache_stats,
+            metrics=metrics,
         )

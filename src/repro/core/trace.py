@@ -7,7 +7,8 @@ per-configuration statistics the experiment harness reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["TraceEvent", "ExecutionTrace"]
@@ -35,7 +36,16 @@ class TraceEvent:
         return self.end - self.start
 
     def overlaps(self, t0: float, t1: float) -> bool:
-        """True when the event intersects the half-open interval [t0, t1)."""
+        """True when the event intersects the half-open interval [t0, t1).
+
+        Zero-duration events (``start == end`` — cache hits advance the
+        dataflow instantaneously) are treated as instants: they overlap
+        the interval that *contains* their timestamp.  Without this
+        special case an instant sitting exactly on ``t0`` would
+        intersect nothing and vanish from interval queries.
+        """
+        if self.start == self.end:
+            return t0 <= self.start < t1
         return self.start < t1 and self.end > t0
 
 
@@ -165,17 +175,32 @@ class ExecutionTrace:
 
         Returns ``(time, active_count)`` breakpoints; useful to check
         that DP-off really serialized a service and that DP-on overlapped.
+
+        Zero-duration events (cache hits) are momentary bursts: their
+        ``+1`` and ``-1`` used to cancel inside one delta bucket, making
+        them invisible.  They now contribute a ``(time, active + burst)``
+        breakpoint immediately followed by ``(time, active)``, so
+        :meth:`max_concurrency` sees them while the profile still ends
+        at the correct steady level.
         """
-        deltas: Dict[float, int] = {}
+        starts: Dict[float, int] = {}
+        ends: Dict[float, int] = {}
+        instants: Dict[float, int] = {}
         for event in self._events:
             if processor is not None and event.processor != processor:
                 continue
-            deltas[event.start] = deltas.get(event.start, 0) + 1
-            deltas[event.end] = deltas.get(event.end, 0) - 1
-        profile = []
+            if event.start == event.end:
+                instants[event.start] = instants.get(event.start, 0) + 1
+            else:
+                starts[event.start] = starts.get(event.start, 0) + 1
+                ends[event.end] = ends.get(event.end, 0) + 1
+        profile: List[Tuple[float, int]] = []
         active = 0
-        for time in sorted(deltas):
-            active += deltas[time]
+        for time in sorted({*starts, *ends, *instants}):
+            active += starts.get(time, 0) - ends.get(time, 0)
+            burst = instants.get(time, 0)
+            if burst:
+                profile.append((time, active + burst))
             profile.append((time, active))
         return profile
 
@@ -207,5 +232,41 @@ class ExecutionTrace:
             jobs = ";".join(str(j) for j in e.job_ids)
             lines.append(
                 f"{e.processor},{e.label},{e.start},{e.end},{e.duration},{e.kind},{jobs}"
+            )
+        return "\n".join(lines)
+
+    def to_jsonl(self, trace_id: str = "trace") -> str:
+        """The trace as JSONL, one span record per event.
+
+        The line schema matches :class:`repro.observability.spans.Span`
+        (``spans_from_jsonl`` round-trips it), so legacy enactor traces
+        and the new instrumentation streams share a single on-disk
+        format — ``python -m repro.experiments report-trace`` reads
+        either.  Span ids are derived from the provenance labels, the
+        same lineage-tied scheme the live instrumentation uses.
+        """
+        lines = []
+        for index, e in enumerate(self._events):
+            lines.append(
+                json.dumps(
+                    {
+                        "name": "invocation",
+                        "category": "enactor",
+                        "span_id": f"{trace_id}:{e.processor}:{e.label}:{index}",
+                        "trace_id": trace_id,
+                        "parent_id": None,
+                        "start": e.start,
+                        "end": e.end,
+                        "duration": e.duration,
+                        "status": "ok",
+                        "attributes": {
+                            "processor": e.processor,
+                            "label": e.label,
+                            "kind": e.kind,
+                            "job_ids": list(e.job_ids),
+                        },
+                    },
+                    sort_keys=True,
+                )
             )
         return "\n".join(lines)

@@ -5,11 +5,17 @@ Usage::
     python -m repro.experiments table1  [--sizes 12 66 126] [--seed 42]
     python -m repro.experiments diagrams
     python -m repro.experiments bronze  [--pairs 12] [--config SP+DP+JG]
+                                        [--trace run.jsonl]
+                                        [--chrome-trace run.trace.json]
+    python -m repro.experiments report-trace run.jsonl [--policy SP+DP]
 
 ``table1`` runs the full sweep and prints Tables 1 and 2, the Section
 5.2/5.3 ratios and the paper comparison; ``diagrams`` regenerates the
 Figure 4/5/6 execution diagrams; ``bronze`` runs one Bronze Standard
-enactment and reports its outputs.
+enactment and reports its outputs (``--trace`` exports the span stream
+as JSONL, ``--chrome-trace`` as Chrome trace-event JSON for Perfetto);
+``report-trace`` renders the phase breakdown and model-drift tables of
+a previously exported JSONL trace.
 """
 
 from __future__ import annotations
@@ -19,7 +25,13 @@ import sys
 
 from repro.core import MoteurEnactor, OptimizationConfig
 from repro.core.diagrams import execution_diagram
+from repro.observability.logbridge import cli_logger
 from repro.services.base import LocalService
+
+#: the Bronze Standard's critical path (Baladin/Yasmina run on parallel
+#: branches; MultiTransfoTest is a synchronization barrier) — the rows
+#: of the Section 3.5 T matrix for drift reporting.
+BRONZE_CRITICAL_PATH = ("crestLines", "crestMatch", "PFMatchICP", "PFRegister")
 
 
 def _config_by_label(label: str) -> OptimizationConfig:
@@ -42,16 +54,17 @@ def cmd_table1(args: argparse.Namespace) -> int:
         paper_comparison,
     )
 
+    out = cli_logger()
     sweep = run_sweep(sizes=tuple(args.sizes), seed=args.seed)
-    print("=== Table 1 (measured) ===")
-    print(format_table1(sweep, with_hours=True))
-    print("\n=== Table 2 (measured) ===")
-    print(format_table2(sweep.table2()))
-    print("\n=== Sections 5.2/5.3 ratios ===")
-    print(format_ratios(sweep.table2()))
-    print("\n=== paper vs measured ===")
-    print(paper_comparison(sweep))
-    print(f"\nordering preserved: {check_ordering(sweep)}")
+    out.info("=== Table 1 (measured) ===")
+    out.info(format_table1(sweep, with_hours=True))
+    out.info("\n=== Table 2 (measured) ===")
+    out.info(format_table2(sweep.table2()))
+    out.info("\n=== Sections 5.2/5.3 ratios ===")
+    out.info(format_ratios(sweep.table2()))
+    out.info("\n=== paper vs measured ===")
+    out.info(paper_comparison(sweep))
+    out.info(f"\nordering preserved: {check_ordering(sweep)}")
     return 0
 
 
@@ -59,6 +72,7 @@ def cmd_diagrams(args: argparse.Namespace) -> int:
     from repro.sim.engine import Engine
     from repro.workflow.patterns import chain_workflow, figure1_workflow
 
+    out = cli_logger()
     for title, config in (
         ("Figure 4 — data parallelism", OptimizationConfig.dp()),
         ("Figure 5 — service parallelism", OptimizationConfig.sp()),
@@ -70,9 +84,9 @@ def cmd_diagrams(args: argparse.Namespace) -> int:
 
         workflow = figure1_workflow(factory)
         result = MoteurEnactor(engine, workflow, config).run({"source": [0, 1, 2]})
-        print(f"=== {title} (makespan {result.makespan:.0f} T) ===")
-        print(execution_diagram(result.trace, cell=1.0))
-        print()
+        out.info(f"=== {title} (makespan {result.makespan:.0f} T) ===")
+        out.info(execution_diagram(result.trace, cell=1.0))
+        out.info("")
 
     times = [[2.0, 1.0, 1.0], [1.0, 3.0, 1.0]]
     for title, config in (
@@ -91,9 +105,9 @@ def cmd_diagrams(args: argparse.Namespace) -> int:
 
         workflow = chain_workflow(factory, 2)
         result = MoteurEnactor(engine, workflow, config).run({"input": [0, 1, 2]})
-        print(f"=== {title} (makespan {result.makespan:.0f} T) ===")
-        print(execution_diagram(result.trace, cell=1.0))
-        print()
+        out.info(f"=== {title} (makespan {result.makespan:.0f} T) ===")
+        out.info(execution_diagram(result.trace, cell=1.0))
+        out.info("")
     return 0
 
 
@@ -101,10 +115,12 @@ def cmd_bronze(args: argparse.Namespace) -> int:
     from repro.apps.bronze_standard import BronzeStandardApplication
     from repro.experiments.analysis import job_statistics, overhead_breakdown
     from repro.grid.testbeds import egee_like_testbed
+    from repro.observability import ChromeTraceExporter, InstrumentationBus, JsonlExporter
     from repro.sim.engine import Engine
     from repro.util.rng import RandomStreams
     from repro.util.units import format_duration
 
+    out = cli_logger()
     engine = Engine()
     streams = RandomStreams(seed=args.seed)
     grid = egee_like_testbed(
@@ -112,18 +128,29 @@ def cmd_bronze(args: argparse.Namespace) -> int:
     )
     app = BronzeStandardApplication(engine, grid, streams)
     config = _config_by_label(args.config)
-    result = app.enact(config, n_pairs=args.pairs)
 
-    print(f"configuration: {config.label}, {args.pairs} image pairs")
-    print(f"makespan: {format_duration(result.makespan)}")
+    bus = None
+    jsonl = chrome = None
+    if args.trace or args.chrome_trace:
+        bus = InstrumentationBus()
+        if args.trace:
+            jsonl = bus.subscribe(JsonlExporter(args.trace))
+        if args.chrome_trace:
+            chrome = bus.subscribe(ChromeTraceExporter())
+    result = app.enact(config, n_pairs=args.pairs, instrumentation=bus)
+
+    out.info(f"configuration: {config.label}, {args.pairs} image pairs")
+    out.info(f"makespan: {format_duration(result.makespan)}")
     if result.groups:
-        print(f"groups: {', '.join(g.name for g in result.groups)}")
+        out.info(f"groups: {', '.join(g.name for g in result.groups)}")
     stats = job_statistics(grid.records)
-    print(f"jobs: {stats.jobs} ({stats.total_attempts} attempts), "
-          f"overhead fraction {stats.overhead_fraction:.0%}")
+    out.info(
+        f"jobs: {stats.jobs} ({stats.total_attempts} attempts), "
+        f"overhead fraction {stats.overhead_fraction:.0%}"
+    )
     phases = overhead_breakdown(grid.records)
     if phases is not None:
-        print(
+        out.info(
             "mean phase latencies: "
             f"submit->match {phases.submission_to_matched:.0f}s, "
             f"match->queue {phases.matched_to_queued:.0f}s, "
@@ -132,7 +159,76 @@ def cmd_bronze(args: argparse.Namespace) -> int:
         )
     rotation = result.output_values("accuracy_rotation")[0]
     translation = result.output_values("accuracy_translation")[0]
-    print(f"accuracy: {rotation:.3f} deg rotation, {translation:.3f} mm translation")
+    out.info(f"accuracy: {rotation:.3f} deg rotation, {translation:.3f} mm translation")
+    if jsonl is not None:
+        jsonl.close()
+        out.info(f"trace written: {args.trace} ({jsonl.lines_written} spans)")
+    if chrome is not None:
+        chrome.write(args.chrome_trace)
+        out.info(f"chrome trace written: {args.chrome_trace} (load in Perfetto)")
+    return 0
+
+
+def cmd_report_trace(args: argparse.Namespace) -> int:
+    from repro.core.trace import ExecutionTrace, TraceEvent
+    from repro.experiments.reporting import format_drift, format_phase_breakdown
+    from repro.observability import (
+        DriftError,
+        drift_report_from_trace,
+        overhead_by_job_from_spans,
+        spans_from_jsonl,
+    )
+
+    out = cli_logger()
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            spans = spans_from_jsonl(handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {args.trace!r}: {exc}")
+    out.info(f"{len(spans)} spans from {args.trace}")
+    out.info("\n=== phase breakdown ===")
+    out.info(format_phase_breakdown(spans))
+
+    # Rebuild the enactor's execution trace out of the invocation spans
+    # so the drift reporter can derive the model's T matrix from it.
+    trace = ExecutionTrace()
+    for span in spans:
+        if span.name == "invocation" and span.end is not None:
+            trace.add(
+                TraceEvent(
+                    processor=str(span.attributes.get("processor", "?")),
+                    label=str(span.attributes.get("label", "?")),
+                    start=span.start,
+                    end=span.end,
+                    kind=str(span.attributes.get("kind", "invocation")),
+                    job_ids=tuple(span.attributes.get("job_ids") or ()),
+                )
+            )
+
+    policy = args.policy
+    if policy is None:
+        runs = [s for s in spans if s.name == "run"]
+        if runs:
+            attrs = runs[-1].attributes
+            dp = bool(attrs.get("data_parallelism"))
+            sp = bool(attrs.get("service_parallelism"))
+            policy = "SP+DP" if dp and sp else "DP" if dp else "SP" if sp else "NOP"
+    if policy is None:
+        out.info("\n(no run span in the trace and no --policy: drift report skipped)")
+        return 0
+
+    try:
+        report = drift_report_from_trace(
+            trace,
+            policy,
+            overhead_by_job=overhead_by_job_from_spans(spans),
+            processors=args.processors,
+        )
+    except DriftError as exc:
+        out.info(f"\n(drift report unavailable: {exc})")
+        return 0
+    out.info("\n=== model drift ===")
+    out.info(format_drift(report))
     return 0
 
 
@@ -155,7 +251,31 @@ def build_parser() -> argparse.ArgumentParser:
     bronze.add_argument("--pairs", type=int, default=12)
     bronze.add_argument("--config", default="SP+DP+JG")
     bronze.add_argument("--seed", type=int, default=42)
+    bronze.add_argument(
+        "--trace", metavar="PATH",
+        help="export the run's span stream as JSONL (read back with report-trace)",
+    )
+    bronze.add_argument(
+        "--chrome-trace", metavar="PATH",
+        help="export the run as Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
     bronze.set_defaults(func=cmd_bronze)
+
+    report = sub.add_parser(
+        "report-trace", help="phase-breakdown + model-drift tables for a JSONL trace"
+    )
+    report.add_argument("trace", help="JSONL span stream (bronze --trace output)")
+    report.add_argument(
+        "--policy", choices=["NOP", "DP", "SP", "SP+DP"],
+        help="model equation to compare against (default: derived from the run span)",
+    )
+    report.add_argument(
+        "--processors", nargs="+", metavar="NAME",
+        default=list(BRONZE_CRITICAL_PATH),
+        help="critical-path services forming the T matrix rows "
+        "(default: the Bronze Standard critical path)",
+    )
+    report.set_defaults(func=cmd_report_trace)
     return parser
 
 

@@ -21,7 +21,6 @@ import numpy as np
 from repro.apps.bronze_standard import BronzeStandardApplication
 from repro.core.config import OptimizationConfig
 from repro.experiments.calibration import PAPER_SIZES, make_experiment_grid
-from repro.grid.job import JobState
 from repro.grid.middleware import Grid
 from repro.model.metrics import ConfigurationFit, fit_configuration
 from repro.sim.engine import Engine

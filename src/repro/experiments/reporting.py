@@ -14,7 +14,9 @@ from repro.cache import CacheStatsSnapshot
 from repro.experiments.calibration import PAPER_TABLE1, PAPER_TABLE2
 from repro.experiments.harness import SweepResult
 from repro.model.metrics import ConfigurationFit, ratios_table
-from repro.util.units import format_duration
+from repro.observability.drift import DriftReport
+from repro.observability.metrics import MetricsSnapshot
+from repro.observability.spans import Span
 
 __all__ = [
     "format_table1",
@@ -22,6 +24,9 @@ __all__ = [
     "format_ratios",
     "format_cache_stats",
     "format_reexecution",
+    "format_phase_breakdown",
+    "format_drift",
+    "format_metrics",
     "paper_comparison",
     "check_ordering",
     "SECTION52_PAIRS",
@@ -139,6 +144,109 @@ def format_reexecution(
         out.append([label, f"{cold:.0f}", f"{warm:.2f}", speedup,
                     str(cold_jobs), str(warm_jobs), hit_rate])
     return _grid(headers, out)
+
+
+#: canonical display order for span names in phase breakdowns
+_SPAN_ORDER = (
+    "run",
+    "invocation",
+    "cache.lookup",
+    "grid.job",
+    "job.attempt",
+    "job.submit",
+    "job.schedule",
+    "job.queue",
+    "job.run",
+    "job.stage_in",
+    "job.stage_out",
+    "job.fault",
+)
+
+
+def format_phase_breakdown(spans: Sequence[Span]) -> str:
+    """Per-span-name duration statistics for one run's span stream.
+
+    This is the "where did the time go" table: submission / scheduling /
+    queuing / running / staging phases side by side, with the enactor's
+    invocation and cache-lookup spans above them for context.
+    """
+    if not spans:
+        return "(no spans)"
+    groups: Dict[str, list] = {}
+    for span in spans:
+        groups.setdefault(span.name, []).append(span.duration)
+    names = [n for n in _SPAN_ORDER if n in groups]
+    names += sorted(set(groups) - set(names))
+    headers = ["Span", "count", "total (s)", "mean (s)", "min (s)", "max (s)"]
+    rows = []
+    for name in names:
+        durations = groups[name]
+        rows.append(
+            [
+                name,
+                str(len(durations)),
+                f"{sum(durations):.1f}",
+                f"{sum(durations) / len(durations):.2f}",
+                f"{min(durations):.2f}",
+                f"{max(durations):.2f}",
+            ]
+        )
+    return _grid(headers, rows)
+
+
+def format_drift(report: DriftReport) -> str:
+    """The model-drift report: equations (1)-(4) vs the observed run.
+
+    The table gives all four policy predictions computed from the same
+    observed T matrix; the lines below compare the run's own policy
+    against what it actually measured and state the live Section 5.1
+    estimates (y-intercept, slope, ratios vs NOP).
+    """
+    headers = ["Policy", "predicted makespan (s)", ""]
+    rows = [
+        [label, f"{report.predictions.get(label, 0.0):.1f}",
+         "<- this run" if label == report.policy else ""]
+        for label in ("NOP", "DP", "SP", "SP+DP")
+    ]
+    lines = [
+        _grid(headers, rows),
+        "",
+        f"modelled region: {report.n_services} services x {report.n_items} "
+        f"data sets ({', '.join(report.row_names)})",
+        f"observed makespan: {report.observed_makespan:.1f}s",
+        f"predicted ({report.policy}): {report.predicted_makespan:.1f}s",
+        f"drift: {report.drift:+.1f}s (relative error {report.relative_error:.1%})",
+        f"y-intercept estimate: {report.y_intercept_estimate:.1f}s "
+        f"(ratio vs NOP {report.y_intercept_ratio_vs_nop:.2f})",
+        f"slope estimate: {report.slope_estimate:.2f}s/data set "
+        f"(ratio vs NOP {report.slope_ratio_vs_nop:.2f})",
+        f"predicted speed-up vs NOP: {report.speedup_vs_nop:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def format_metrics(snapshot: Optional[MetricsSnapshot]) -> str:
+    """Counters, gauges and histogram summaries of one run's metrics."""
+    if snapshot is None or not snapshot.names():
+        return "(no metrics recorded)"
+    rows = []
+    for name in sorted(snapshot.counters):
+        value = snapshot.counters[name]
+        rendered = f"{value:.0f}" if value == int(value) else f"{value:.2f}"
+        rows.append([name, "counter", rendered])
+    for name in sorted(snapshot.gauges):
+        rows.append(
+            [name, "gauge",
+             f"{snapshot.gauges[name]:.0f} (peak {snapshot.gauge_peak(name):.0f})"]
+        )
+    for name in sorted(snapshot.histograms):
+        hist = snapshot.histograms[name]
+        rows.append(
+            [name, "histogram",
+             f"n={hist.count} mean={hist.mean:.2f}s "
+             f"p50={hist.percentile(50):.2f}s max={hist.maximum:.2f}s"]
+        )
+    return _grid(["Metric", "kind", "value"], rows)
 
 
 def paper_comparison(sweep: SweepResult) -> str:

@@ -22,13 +22,13 @@ Ranking strategies:
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 import numpy as np
 
 from repro.grid.job import JobRecord
 from repro.grid.resources import ComputingElement
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import Engine
 from repro.sim.resources import Resource
 
 __all__ = ["ResourceBroker", "RANKING_STRATEGIES"]

@@ -35,6 +35,8 @@ from repro.grid.overhead import OverheadModel
 from repro.grid.resources import ComputingElement, Site
 from repro.grid.storage import LogicalFile, ReplicaCatalog, StorageElement
 from repro.grid.transfer import NetworkModel
+from repro.observability.bus import InstrumentationBus
+from repro.observability.spans import Span
 from repro.sim.engine import Engine, Event
 from repro.util.rng import RandomStreams
 
@@ -77,6 +79,7 @@ class Grid:
         broker_concurrency: "int | float" = float("inf"),
         overhead_load_coupling: float = 0.0,
         name: str = "grid",
+        instrumentation: Optional[InstrumentationBus] = None,
     ) -> None:
         if not sites:
             raise ValueError("a grid needs at least one site")
@@ -112,6 +115,16 @@ class Grid:
         #: every record ever submitted through this façade, submission order
         self.records: List[JobRecord] = []
         self._in_flight = 0
+        #: instrumentation bus; also set by an enactor that shares one
+        self.instrumentation = instrumentation
+        #: job_id -> currently open job.attempt span (CE staging parents here)
+        self._attempt_spans: Dict[int, Span] = {}
+        # Observational hooks (only installed when unclaimed; they check
+        # the bus at call time, so wiring instrumentation later works).
+        if self.network.on_transfer is None:
+            self.network.on_transfer = self._observe_transfer
+        if self.catalog.on_register is None:
+            self.catalog.on_register = self._observe_register
         total_slots = 0.0
         for ce in self.computing_elements:
             capacity = ce.total_slots
@@ -162,6 +175,21 @@ class Grid:
             se = self.default_site.storage_element
         self.catalog.register(file, se)
 
+    # -- instrumentation hooks ---------------------------------------------
+    def _observe_transfer(self, src: str, dst: str, size: float, seconds: float) -> None:
+        bus = self.instrumentation
+        if bus is None:
+            return
+        bus.metrics.counter("grid.network.transfers").inc()
+        bus.metrics.counter("grid.network.bytes").inc(size)
+        bus.metrics.histogram("grid.network.transfer_seconds").observe(seconds)
+
+    def _observe_register(self, file: LogicalFile, element: StorageElement) -> None:
+        bus = self.instrumentation
+        if bus is None:
+            return
+        bus.metrics.counter("grid.catalog.registrations").inc()
+
     # -- load-dependent overheads ------------------------------------------
     def load_factor(self) -> float:
         """Current utilization: jobs in flight over total worker slots.
@@ -198,32 +226,83 @@ class Grid:
         record = JobRecord(description)
         self.records.append(record)
         completion = self.engine.event(name=f"job:{description.name}")
-        self.engine.process(self._run_job(record, completion), name=f"job:{record.job_id}")
+        job_span: Optional[Span] = None
+        bus = self.instrumentation
+        if bus is not None:
+            bus.metrics.counter("grid.jobs.submitted").inc()
+            job_span = bus.begin(
+                "grid.job",
+                "grid",
+                self.engine.now,
+                parent=bus.run_span,
+                job_id=record.job_id,
+                job_name=description.name,
+            )
+        self.engine.process(
+            self._run_job(record, completion, job_span), name=f"job:{record.job_id}"
+        )
         return SubmissionHandle(record, completion)
 
-    def _run_job(self, record: JobRecord, completion: Event):
+    def attempt_span(self, job_id: int) -> Optional[Span]:
+        """The currently open ``job.attempt`` span of *job_id*, if any.
+
+        Computing elements parent their stage-in/stage-out spans here;
+        None when the grid is uninstrumented (or the job is between
+        attempts).
+        """
+        return self._attempt_spans.get(job_id)
+
+    def _run_job(self, record: JobRecord, completion: Event, job_span: Optional[Span] = None):
         engine = self.engine
+        bus = self.instrumentation
         rng = self.streams.get("overhead")
         fault_rng = self.streams.get("faults")
         self._in_flight += 1
+        if bus is not None:
+            bus.metrics.gauge("grid.in_flight").set(self._in_flight)
         try:
-            yield from self._attempts(record, completion, rng, fault_rng)
+            yield from self._attempts(record, completion, rng, fault_rng, job_span)
         except Exception as exc:
             # CE-level failures (e.g. a payload raising) must reach the
             # submitter through the handle, not crash the simulation.
             record.enter(JobState.FAILED, engine.now)
             record.failure_reason = str(exc)
+            if bus is not None and job_span is not None and job_span.open:
+                bus.end(job_span, engine.now, status="error", error=str(exc))
             if not completion.triggered:
                 completion.fail(exc)
         finally:
             self._in_flight -= 1
+            if bus is not None:
+                bus.metrics.gauge("grid.in_flight").set(self._in_flight)
+            self._attempt_spans.pop(record.job_id, None)
 
-    def _attempts(self, record: JobRecord, completion: Event, rng, fault_rng):
+    def _attempts(
+        self,
+        record: JobRecord,
+        completion: Event,
+        rng,
+        fault_rng,
+        job_span: Optional[Span] = None,
+    ):
         engine = self.engine
+        bus = self.instrumentation
         last_error = "unknown"
         for attempt in range(1, self.faults.max_attempts + 1):
             record.attempts = attempt
             record.enter(JobState.SUBMITTED, engine.now)
+            submitted_at = engine.now
+            attempt_span: Optional[Span] = None
+            if bus is not None:
+                attempt_span = bus.begin(
+                    "job.attempt",
+                    "grid",
+                    submitted_at,
+                    parent=job_span,
+                    job_id=record.job_id,
+                    attempt=attempt,
+                )
+                self._attempt_spans[record.job_id] = attempt_span
             sample = self.overhead.sample(rng).under_load(self._overhead_scale())
             if sample.submission > 0:
                 yield engine.timeout(sample.submission)
@@ -232,6 +311,18 @@ class Grid:
                 self.broker.match(record, sample.brokering), name="match"
             )
             record.enter(JobState.MATCHED, engine.now)
+            matched_at = engine.now
+            if bus is not None:
+                bus.record(
+                    "job.submit",
+                    "grid",
+                    submitted_at,
+                    matched_at,
+                    parent=attempt_span,
+                    job_id=record.job_id,
+                    attempt=attempt,
+                    ce=chosen.name,
+                )
 
             if self.faults.attempt_fails(fault_rng):
                 delay = self.faults.sample_detection_delay(fault_rng)
@@ -240,6 +331,22 @@ class Grid:
                 record.enter(JobState.FAILED, engine.now)
                 last_error = f"attempt {attempt} failed on {chosen.name}"
                 record.failure_reason = last_error
+                if bus is not None:
+                    bus.metrics.counter("grid.jobs.retries").inc()
+                    bus.record(
+                        "job.fault",
+                        "grid",
+                        matched_at,
+                        engine.now,
+                        parent=attempt_span,
+                        status="error",
+                        job_id=record.job_id,
+                        attempt=attempt,
+                        ce=chosen.name,
+                    )
+                    if attempt_span is not None:
+                        bus.end(attempt_span, engine.now, status="error", error=last_error)
+                        self._attempt_spans.pop(record.job_id, None)
                 continue
 
             done_on_ce = chosen.submit(record, queue_extra=sample.queue_extra)
@@ -248,11 +355,62 @@ class Grid:
                 yield engine.timeout(sample.completion_notification)
             record.enter(JobState.DONE, engine.now)
             record.failure_reason = None
+            if bus is not None:
+                self._record_success(record, attempt_span, matched_at, chosen.name)
+                if job_span is not None and job_span.open:
+                    bus.end(job_span, engine.now, ce=chosen.name, attempts=attempt)
             completion.succeed(record)
             return
 
         error = JobFailedError(record, f"{last_error} (all {record.attempts} attempts)")
+        if bus is not None:
+            bus.metrics.counter("grid.jobs.failed").inc()
+            if job_span is not None and job_span.open:
+                bus.end(job_span, engine.now, status="error", error=str(error))
         completion.fail(error)
+
+    def _record_success(
+        self,
+        record: JobRecord,
+        attempt_span: Optional[Span],
+        matched_at: float,
+        ce_name: str,
+    ) -> None:
+        """Phase spans + histograms for a successfully completed attempt.
+
+        The schedule/queue/run phases tile ``matched -> done`` without
+        gaps (schedule is zero-length here: the CE enters QUEUED at
+        submission), so together with ``job.submit`` — and ``job.fault``
+        spans for failed attempts — the phases of a job sum exactly to
+        its recorded makespan.
+        """
+        bus = self.instrumentation
+        engine = self.engine
+        done_at = engine.now
+        queued_at = record.last(JobState.QUEUED)
+        running_at = record.last(JobState.RUNNING)
+        if queued_at is not None and running_at is not None:
+            common = {"job_id": record.job_id, "attempt": record.attempts, "ce": ce_name}
+            bus.record(
+                "job.schedule", "grid", matched_at, queued_at, parent=attempt_span, **common
+            )
+            bus.record(
+                "job.queue", "grid", queued_at, running_at, parent=attempt_span, **common
+            )
+            bus.record(
+                "job.run", "grid", running_at, done_at, parent=attempt_span, **common
+            )
+        if attempt_span is not None and attempt_span.open:
+            bus.end(attempt_span, done_at, ce=ce_name)
+            self._attempt_spans.pop(record.job_id, None)
+        bus.metrics.counter("grid.jobs.completed").inc()
+        for metric, value in (
+            ("grid.job.overhead", record.overhead),
+            ("grid.job.queue_wait", record.queue_wait),
+            ("grid.job.makespan", record.makespan),
+        ):
+            if value is not None:
+                bus.metrics.histogram(metric).observe(value)
 
     # -- reporting ------------------------------------------------------------
     def completed_records(self) -> List[JobRecord]:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, TYPE_CHECKING
+from typing import Any, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -172,15 +172,32 @@ class ComputingElement:
         try:
             record.enter(JobState.RUNNING, engine.now)
             grid = self.grid
+            bus = grid.instrumentation if grid is not None else None
 
             # Stage in: pull every input file from its closest replica.
             stage_in = 0.0
+            stage_in_bytes = 0.0
+            stage_in_start = engine.now
             if grid is not None:
                 for gfn in record.description.input_files:
                     stage_in += grid.stage_in_time(gfn, self.site)
+                    stage_in_bytes += grid.catalog.lookup(gfn).size
             if stage_in > 0:
                 yield engine.timeout(stage_in)
             record.stage_in_time = stage_in
+            if bus is not None and record.description.input_files:
+                bus.metrics.counter("grid.transfer.bytes_in").inc(stage_in_bytes)
+                bus.record(
+                    "job.stage_in",
+                    "grid",
+                    stage_in_start,
+                    engine.now,
+                    parent=grid.attempt_span(record.job_id),
+                    job_id=record.job_id,
+                    ce=self.name,
+                    files=len(record.description.input_files),
+                    bytes=stage_in_bytes,
+                )
 
             # Execute the payload for its sampled duration.
             rng = grid.streams.get(f"compute:{self.name}") if grid else _FALLBACK_RNG
@@ -191,15 +208,31 @@ class ComputingElement:
 
             # Stage out: push and register produced files.
             stage_out = 0.0
+            stage_out_bytes = 0.0
+            stage_out_start = engine.now
             if grid is not None:
                 for produced in record.description.output_files:
                     stage_out += grid.stage_out_time(produced, self.site)
+                    stage_out_bytes += produced.size
             if stage_out > 0:
                 yield engine.timeout(stage_out)
             record.stage_out_time = stage_out
             if grid is not None:
                 for produced in record.description.output_files:
                     grid.register_output(produced, self.site)
+            if bus is not None and record.description.output_files:
+                bus.metrics.counter("grid.transfer.bytes_out").inc(stage_out_bytes)
+                bus.record(
+                    "job.stage_out",
+                    "grid",
+                    stage_out_start,
+                    engine.now,
+                    parent=grid.attempt_span(record.job_id),
+                    job_id=record.job_id,
+                    ce=self.name,
+                    files=len(record.description.output_files),
+                    bytes=stage_out_bytes,
+                )
 
             # Evaluate the Python payload: real outputs for simulated work.
             if record.description.payload is not None:

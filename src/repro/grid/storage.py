@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.util.units import MEBIBYTE
 
@@ -84,6 +84,9 @@ class ReplicaCatalog:
     def __init__(self) -> None:
         self._replicas: Dict[str, List[StorageElement]] = {}
         self._meta: Dict[str, LogicalFile] = {}
+        #: observer called as ``on_register(file, element)`` after every
+        #: registration; the grid points it at its instrumentation bus.
+        self.on_register: Optional[Callable[[LogicalFile, StorageElement], None]] = None
 
     def register(self, file: LogicalFile, element: StorageElement) -> None:
         """Register (or add a replica of) *file* on *element*."""
@@ -98,6 +101,8 @@ class ReplicaCatalog:
         if element not in replicas:
             replicas.append(element)
         element.add(file.gfn)
+        if self.on_register is not None:
+            self.on_register(file, element)
 
     def lookup(self, gfn: str) -> LogicalFile:
         """Return the :class:`LogicalFile` metadata for *gfn*."""

@@ -19,7 +19,7 @@ and the saving scales with data size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.util.units import MEBIBYTE
 
@@ -57,6 +57,12 @@ class NetworkModel:
         default_factory=lambda: LinkParameters(latency=2.0, bandwidth=5 * MEBIBYTE)
     )
     overrides: Dict[Tuple[str, str], LinkParameters] = field(default_factory=dict)
+    #: observer called as ``on_transfer(src_site, dst_site, size, seconds)``
+    #: for every transfer-time evaluation; the grid points it at its
+    #: instrumentation bus.  Purely observational — no timing impact.
+    on_transfer: Optional[Callable[[str, str, float, float], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def instantaneous(cls) -> "NetworkModel":
@@ -73,7 +79,10 @@ class NetworkModel:
 
     def transfer_time(self, src_site: str, dst_site: str, size: float) -> float:
         """Seconds to move *size* bytes from *src_site* to *dst_site*."""
-        return self.link(src_site, dst_site).transfer_time(size)
+        seconds = self.link(src_site, dst_site).transfer_time(size)
+        if self.on_transfer is not None:
+            self.on_transfer(src_site, dst_site, size, seconds)
+        return seconds
 
     def set_link(self, src_site: str, dst_site: str, params: LinkParameters) -> None:
         """Override one directed site pair."""

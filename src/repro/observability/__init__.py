@@ -1,0 +1,100 @@
+"""Span-based instrumentation across enactor, grid and cache.
+
+The reproduction's measurement substrate: everything the paper's
+analysis *reads* — job overhead, queue wait, the y-intercept/slope
+decomposition of Section 5.1 — becomes first-class, correlated
+telemetry instead of numbers mined post-hoc from scattered records.
+
+Pieces (all dependency-free, all in simulated time):
+
+* :mod:`~repro.observability.spans` — the :class:`Span` model: run →
+  service invocation → grid job → job phases (submit / schedule /
+  queue / run / stage-in / stage-out), retry attempts and cache
+  lookups, correlated by trace/parent ids tied to token lineage;
+* :mod:`~repro.observability.bus` — the pluggable
+  :class:`InstrumentationBus` with an in-memory collector, a JSONL
+  exporter, and a Chrome trace-event exporter (``chrome://tracing`` /
+  Perfetto load the output directly);
+* :mod:`~repro.observability.metrics` — the
+  :class:`MetricsRegistry` of counters / gauges / histograms whose
+  per-run snapshot rides on ``EnactmentResult.metrics``;
+* :mod:`~repro.observability.drift` — the live model-drift reporter
+  comparing each run against the Section 3.5 equations (1)-(4) and
+  emitting y-intercept/slope ratio estimates;
+* :mod:`~repro.observability.logbridge` — module-level loggers for the
+  library, a stdout channel for the CLI, and a subscriber that narrates
+  spans onto :mod:`logging`.
+
+Usage::
+
+    from repro.observability import InstrumentationBus, JsonlExporter
+
+    bus = InstrumentationBus()
+    collector = bus.collector()
+    bus.subscribe(JsonlExporter("run.jsonl"))
+    result = MoteurEnactor(engine, wf, config, grid=grid,
+                           instrumentation=bus).run(dataset)
+    result.metrics.counter("grid.jobs.submitted")   # per-run snapshot
+    # then: python -m repro.experiments report-trace run.jsonl
+"""
+
+from __future__ import annotations
+
+from repro.observability.bus import (
+    ChromeTraceExporter,
+    InMemoryCollector,
+    InstrumentationBus,
+    JsonlExporter,
+    Subscriber,
+    chrome_trace_json,
+)
+from repro.observability.drift import (
+    DriftError,
+    DriftReport,
+    drift_report,
+    drift_report_from_trace,
+    overhead_by_job_from_records,
+    overhead_by_job_from_spans,
+    policy_key,
+    time_matrix,
+)
+from repro.observability.logbridge import LoggingSubscriber, cli_logger, get_logger
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.observability.spans import Span, SpanError, spans_from_jsonl, spans_to_jsonl
+
+__all__ = [
+    "Span",
+    "SpanError",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+    "Subscriber",
+    "InstrumentationBus",
+    "InMemoryCollector",
+    "JsonlExporter",
+    "ChromeTraceExporter",
+    "chrome_trace_json",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DriftError",
+    "DriftReport",
+    "drift_report",
+    "drift_report_from_trace",
+    "overhead_by_job_from_records",
+    "overhead_by_job_from_spans",
+    "policy_key",
+    "time_matrix",
+    "LoggingSubscriber",
+    "cli_logger",
+    "get_logger",
+]

@@ -1,0 +1,119 @@
+"""Bridge between the instrumentation layer and stdlib :mod:`logging`.
+
+Three pieces:
+
+* :func:`get_logger` — the module-level logger factory library code
+  uses instead of ``print``.  The ``repro`` root logger carries a
+  :class:`logging.NullHandler`, so importing the library never
+  configures handlers or emits anything — the stdlib convention for
+  well-behaved libraries.  Applications opt in with
+  ``logging.basicConfig`` (or any handler of their choosing).
+* :func:`cli_logger` — the CLI's user-facing output channel: a logger
+  whose handler writes bare messages to the *current* ``sys.stdout``
+  (resolved at emit time, so pytest's capture and shell redirection
+  both work).  Routing the CLI's diagnostics through here keeps one
+  code path for "text a human reads" while leaving library users'
+  logging untouched.
+* :class:`LoggingSubscriber` — an instrumentation-bus subscriber that
+  narrates finished spans onto a logger, which is how a span stream
+  shows up in an application's existing log pipeline.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+from repro.observability.bus import Subscriber
+from repro.observability.spans import Span
+
+__all__ = ["get_logger", "cli_logger", "LoggingSubscriber"]
+
+_ROOT = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A library logger under the ``repro`` namespace, print-free by default.
+
+    ``name`` is conventionally ``__name__`` of the calling module; names
+    outside the ``repro`` hierarchy are nested under it so one root
+    switch controls the whole library.
+    """
+    root = logging.getLogger(_ROOT)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+class _CurrentStdoutHandler(logging.Handler):
+    """Writes bare messages to whatever ``sys.stdout`` is *right now*.
+
+    A plain ``StreamHandler(sys.stdout)`` captures the stream object at
+    construction time, which breaks under pytest's ``capsys`` and any
+    later redirection; resolving the stream per record keeps the CLI's
+    behaviour identical to the ``print`` calls it replaces.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stdout.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - mirrors logging's own policy
+            self.handleError(record)
+
+
+def cli_logger(name: str = "repro.cli") -> logging.Logger:
+    """The user-facing CLI channel: INFO to stdout, message only.
+
+    Idempotent — repeated calls reuse the configured logger — and
+    isolated: ``propagate`` is off so CLI output never duplicates into
+    an application's root handlers.
+    """
+    logger = logging.getLogger(name)
+    if not any(isinstance(h, _CurrentStdoutHandler) for h in logger.handlers):
+        handler = _CurrentStdoutHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+    return logger
+
+
+class LoggingSubscriber(Subscriber):
+    """Narrates finished spans onto a :mod:`logging` logger.
+
+    One line per span: simulated end time, name, duration, status, and
+    the few attributes that identify the work.  DEBUG by default —
+    span streams are chatty — with errors promoted to WARNING.
+    """
+
+    #: attribute keys worth echoing inline, in display order
+    _ECHO = ("processor", "label", "job_id", "name", "ce", "attempt", "kind")
+
+    def __init__(
+        self, logger: Optional[logging.Logger] = None, level: int = logging.DEBUG
+    ) -> None:
+        self.logger = logger if logger is not None else get_logger("repro.observability.spans")
+        self.level = level
+
+    def on_end(self, span: Span) -> None:
+        level = logging.WARNING if span.status == "error" else self.level
+        if not self.logger.isEnabledFor(level):
+            return
+        details = " ".join(
+            f"{key}={span.attributes[key]}"
+            for key in self._ECHO
+            if key in span.attributes
+        )
+        self.logger.log(
+            level,
+            "[t=%.3fs] %s %s dur=%.3fs status=%s%s",
+            span.end if span.end is not None else span.start,
+            span.name,
+            span.span_id,
+            span.duration,
+            span.status,
+            f" {details}" if details else "",
+        )

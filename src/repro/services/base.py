@@ -17,7 +17,7 @@ and the application story (actual computed values) stay truthful.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.grid.storage import LogicalFile

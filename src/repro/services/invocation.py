@@ -21,7 +21,7 @@ invokers below make the distinction explicit and measurable:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping
 
 from repro.services.base import Service
 from repro.sim.engine import Engine, Event

@@ -16,7 +16,7 @@ equation (3) hold (a service processes data sets in arrival order).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque
 
 from repro.sim.engine import Engine, Event, SimulationError
 

@@ -16,7 +16,7 @@ service approach would get from the services themselves.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.grid.job import JobDescription
 from repro.grid.middleware import Grid

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.grid.storage import LogicalFile
 from repro.services.base import GridData

@@ -16,7 +16,7 @@ behind each processor (local stub, grid-wrapped code, ...):
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Tuple
 
 from repro.workflow.builder import WorkflowBuilder
 from repro.workflow.graph import Workflow

@@ -37,8 +37,6 @@ from typing import Optional
 
 from repro.services.registry import ServiceRegistry
 from repro.workflow.graph import (
-    Link,
-    PortRef,
     Processor,
     ProcessorKind,
     Workflow,

@@ -1,7 +1,6 @@
 """Key derivation: deterministic, content-addressed, lineage-aware."""
 
 import numpy as np
-import pytest
 
 from repro.cache.keys import (
     fingerprint_datum,

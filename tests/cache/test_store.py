@@ -4,7 +4,6 @@ import json
 import os
 
 import numpy as np
-import pytest
 
 from repro.cache.policy import CachePolicy
 from repro.cache.store import (

@@ -5,7 +5,6 @@ import pytest
 from repro.core import MoteurEnactor, OptimizationConfig
 from repro.core.enactor import EnactmentError
 from repro.services.base import LocalService
-from repro.sim.engine import Engine
 from repro.workflow.builder import WorkflowBuilder
 from repro.workflow.datasets import InputDataSet
 from repro.workflow.graph import WorkflowError

@@ -1,6 +1,5 @@
 """Enactor scenario tests: fan-out, merges, multi-sink, stream shapes."""
 
-import pytest
 
 from repro.core import MoteurEnactor, OptimizationConfig
 from repro.services.base import LocalService

@@ -7,7 +7,6 @@ structural difference (index, iteration, parent order) must break all
 three.
 """
 
-import pytest
 
 from repro.core.provenance import HistoryTree
 

@@ -28,6 +28,14 @@ class TestTraceEvent:
         assert not event.overlaps(20.0, 30.0)  # half-open
         assert not event.overlaps(0.0, 10.0)
 
+    def test_overlaps_zero_duration(self):
+        event = TraceEvent("P1", "D0", 10.0, 10.0)  # e.g. a cache hit
+        assert event.overlaps(5.0, 15.0)
+        assert event.overlaps(10.0, 11.0)  # sits on the window start
+        assert not event.overlaps(10.0, 10.0)  # empty window
+        assert not event.overlaps(0.0, 10.0)  # half-open window end
+        assert not event.overlaps(11.0, 20.0)
+
 
 class TestExecutionTrace:
     def test_makespan(self):
@@ -74,7 +82,40 @@ class TestExecutionTrace:
         assert profile[10] == 1
         assert profile[15] == 0
 
+    def test_concurrency_profile_zero_duration_burst(self):
+        # An instantaneous event (cached invocation) must show up as a
+        # momentary +1 followed by a drop back at the same time.
+        trace = make_trace([("P", "D0", 0, 10), ("P", "D1", 5, 5)])
+        profile = trace.concurrency_profile("P")
+        assert (5, 2) in profile
+        assert profile.index((5, 2)) < profile.index((5, 1))
+        assert trace.max_concurrency("P") == 2
+
+    def test_concurrency_profile_only_zero_duration(self):
+        trace = make_trace([("P", "D0", 3, 3)])
+        assert trace.concurrency_profile("P") == [(3, 1), (3, 0)]
+        assert trace.max_concurrency("P") == 1
+
     def test_events_copy(self):
         trace = make_trace([("P", "D0", 0, 1)])
         trace.events.append("tampered")
         assert len(trace) == 1
+
+    def test_to_jsonl_round_trips_as_spans(self):
+        from repro.observability.spans import spans_from_jsonl
+
+        trace = ExecutionTrace()
+        trace.add(TraceEvent("P", "D0", 0.0, 10.0, kind="cached"))
+        trace.add(TraceEvent("Q", "D0", 10.0, 12.5))
+        trace.add(TraceEvent("P", "D0", 12.5, 13.0))
+        spans = spans_from_jsonl(trace.to_jsonl(trace_id="t1"))
+        assert len(spans) == 3
+        assert [s.start for s in spans] == [0.0, 10.0, 12.5]
+        assert [s.end for s in spans] == [10.0, 12.5, 13.0]
+        assert all(s.name == "invocation" for s in spans)
+        assert all(s.trace_id == "t1" for s in spans)
+        assert spans[0].attributes["processor"] == "P"
+        assert spans[0].attributes["kind"] == "cached"
+        assert spans[1].attributes["processor"] == "Q"
+        # span ids are unique even for identical (processor, label) pairs
+        assert len({s.span_id for s in spans}) == 3

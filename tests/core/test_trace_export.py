@@ -1,6 +1,5 @@
 """Tests for execution-trace export and SP ordering guarantees."""
 
-import pytest
 
 from repro.core import MoteurEnactor, OptimizationConfig
 from repro.core.trace import ExecutionTrace, TraceEvent

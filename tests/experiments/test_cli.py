@@ -50,3 +50,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table 1" in out and "Table 2" in out
         assert "ordering preserved" in out
+
+
+class TestTraceExport:
+    def test_bronze_writes_trace_files(self, capsys, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        chrome = tmp_path / "run.trace.json"
+        assert main([
+            "bronze", "--pairs", "2", "--config", "SP+DP",
+            "--trace", str(jsonl), "--chrome-trace", str(chrome),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "jobs: 12" in out  # standard report is unchanged
+        assert str(jsonl) in out
+        assert str(chrome) in out
+
+        from repro.observability.spans import spans_from_jsonl
+
+        spans = spans_from_jsonl(jsonl.read_text())
+        assert any(s.name == "run" for s in spans)
+        assert any(s.name == "grid.job" for s in spans)
+
+        import json
+
+        document = json.loads(chrome.read_text())
+        assert document["traceEvents"]
+
+    def test_report_trace_renders_breakdown_and_drift(self, capsys, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        assert main([
+            "bronze", "--pairs", "2", "--config", "SP+DP",
+            "--trace", str(jsonl),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report-trace", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "job.queue" in out  # phase breakdown table
+        assert "SP+DP" in out and "<- this run" in out  # policy auto-derived
+        assert "drift" in out
+
+    def test_report_trace_policy_override(self, capsys, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        main(["bronze", "--pairs", "2", "--config", "NOP", "--trace", str(jsonl)])
+        capsys.readouterr()
+        assert main(["report-trace", str(jsonl), "--policy", "NOP"]) == 0
+        assert "NOP" in capsys.readouterr().out
+
+    def test_report_trace_missing_file_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report-trace", str(tmp_path / "nope.jsonl")])

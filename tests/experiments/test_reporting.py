@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import OptimizationConfig
 from repro.experiments.harness import ExperimentRow, SweepResult
 from repro.experiments.reporting import (
     SECTION52_PAIRS,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.grid.overhead import OverheadModel, OverheadSample
-from repro.util.distributions import Constant, TruncatedNormal
+from repro.util.distributions import TruncatedNormal
 
 
 @pytest.fixture

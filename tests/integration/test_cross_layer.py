@@ -13,7 +13,7 @@ from repro.grid.overhead import OverheadModel
 from repro.grid.resources import ComputingElement, Site, WorkerNode
 from repro.grid.storage import StorageElement
 from repro.grid.transfer import NetworkModel
-from repro.services.base import GridData, LocalService
+from repro.services.base import GridData
 from repro.services.descriptor import (
     AccessMethod,
     ExecutableDescriptor,
@@ -23,7 +23,6 @@ from repro.services.descriptor import (
 from repro.services.gridrpc import GridRpcClient
 from repro.services.soap import SoapBinding
 from repro.services.wrapper import GenericWrapperService
-from repro.sim.engine import Engine
 from repro.util.rng import RandomStreams
 from repro.workflow.builder import WorkflowBuilder
 

@@ -6,7 +6,6 @@ data set".  This test saves both the workflow (Scufl) and the data set
 (XML), reloads them, re-binds, re-enacts — and gets identical results.
 """
 
-import pytest
 
 from repro.core import MoteurEnactor, OptimizationConfig
 from repro.services.base import LocalService

@@ -1,0 +1,169 @@
+"""Tests for the instrumentation bus, subscribers and exporters."""
+
+import io
+import json
+import logging
+
+from repro.observability.bus import (
+    ChromeTraceExporter,
+    InstrumentationBus,
+    JsonlExporter,
+    chrome_trace_json,
+)
+from repro.observability.logbridge import LoggingSubscriber, cli_logger, get_logger
+from repro.observability.spans import spans_from_jsonl
+
+
+class TestBus:
+    def test_begin_end_notifies_subscribers(self):
+        bus = InstrumentationBus()
+        collector = bus.collector()
+        span = bus.begin("run", "enactor", 0.0, trace_id="run-1:wf")
+        assert len(collector) == 0  # only finished spans are collected
+        bus.end(span, 10.0)
+        assert collector.spans == [span]
+
+    def test_record_emits_finished_span(self):
+        bus = InstrumentationBus()
+        collector = bus.collector()
+        span = bus.record("job.queue", "grid", 2.0, 5.0, job_id=7)
+        assert not span.open
+        assert span.duration == 3.0
+        assert collector.for_job(7) == [span]
+
+    def test_ids_are_deterministic(self):
+        assert [InstrumentationBus().next_span_id() for _ in range(1)] == ["s1"]
+        bus = InstrumentationBus()
+        assert [bus.next_span_id(), bus.next_span_id()] == ["s1", "s2"]
+        assert bus.next_trace_id("wf") == "run-1:wf"
+        assert bus.next_trace_id("wf") == "run-2:wf"
+
+    def test_parent_propagates_trace_id(self):
+        bus = InstrumentationBus()
+        parent = bus.begin("run", "enactor", 0.0, trace_id="run-1:wf")
+        child = bus.begin("grid.job", "grid", 1.0, parent=parent)
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == "run-1:wf"
+
+
+class TestInMemoryCollector:
+    def _populate(self):
+        bus = InstrumentationBus()
+        collector = bus.collector()
+        run = bus.begin("run", "enactor", 0.0, trace_id="run-1:wf")
+        job = bus.record("grid.job", "grid", 1.0, 9.0, parent=run, job_id=1)
+        bus.record("job.queue", "grid", 2.0, 4.0, parent=job, job_id=1)
+        bus.record("invocation", "enactor", 1.0, 9.0, parent=run, job_ids=[1])
+        bus.end(run, 10.0)
+        return collector, run, job
+
+    def test_named_and_category(self):
+        collector, run, job = self._populate()
+        assert [s.name for s in collector.named("grid.job")] == ["grid.job"]
+        assert {s.name for s in collector.category("grid")} == {"grid.job", "job.queue"}
+
+    def test_for_job_joins_both_layers(self):
+        collector, run, job = self._populate()
+        names = {s.name for s in collector.for_job(1)}
+        assert names == {"grid.job", "job.queue", "invocation"}
+
+    def test_children_of(self):
+        collector, run, job = self._populate()
+        assert {s.name for s in collector.children_of(run)} == {"grid.job", "invocation"}
+        assert [s.name for s in collector.children_of(job)] == ["job.queue"]
+
+    def test_clear(self):
+        collector, _, _ = self._populate()
+        collector.clear()
+        assert len(collector) == 0
+
+
+class TestJsonlExporter:
+    def test_streams_to_file_like(self):
+        buffer = io.StringIO()
+        bus = InstrumentationBus(subscribers=[JsonlExporter(buffer)])
+        bus.record("job.run", "grid", 0.0, 5.0, job_id=3)
+        bus.record("job.run", "grid", 5.0, 9.0, job_id=4)
+        spans = spans_from_jsonl(buffer.getvalue())
+        assert [s.attributes["job_id"] for s in spans] == [3, 4]
+
+    def test_writes_path_and_counts_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        exporter = JsonlExporter(path)
+        bus = InstrumentationBus(subscribers=[exporter])
+        bus.record("job.run", "grid", 0.0, 5.0)
+        exporter.close()
+        assert exporter.lines_written == 1
+        assert len(spans_from_jsonl(path.read_text())) == 1
+
+
+class TestChromeTraceExporter:
+    def _spans(self, bus):
+        run = bus.begin("run", "enactor", 0.0, trace_id="run-1:wf")
+        bus.record("invocation", "enactor", 0.0, 4.0, parent=run, processor="P1")
+        bus.record("job.queue", "grid", 1.0, 2.0, parent=run, job_id=1)
+        bus.end(run, 4.0)
+
+    def test_document_structure(self):
+        exporter = ChromeTraceExporter()
+        bus = InstrumentationBus(subscribers=[exporter])
+        self._spans(bus)
+        document = json.loads(exporter.to_json())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        lanes = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 3
+        # one lane per processor / grid category / enactor category
+        assert {m["args"]["name"] for m in lanes} == {"P1", "grid jobs", "enactor"}
+        invocation = next(e for e in complete if e["name"] == "invocation")
+        assert invocation["ts"] == 0.0
+        assert invocation["dur"] == 4.0 * 1e6  # microseconds
+        assert invocation["args"]["processor"] == "P1"
+
+    def test_write_and_one_shot_helper(self, tmp_path):
+        exporter = ChromeTraceExporter()
+        bus = InstrumentationBus(subscribers=[exporter])
+        collector = bus.collector()
+        self._spans(bus)
+        path = tmp_path / "run.trace.json"
+        exporter.write(path)
+        assert json.loads(path.read_text())["traceEvents"]
+        # the one-shot helper over collected spans produces the same events
+        one_shot = json.loads(chrome_trace_json(collector.spans))
+        assert len(one_shot["traceEvents"]) == len(
+            json.loads(exporter.to_json())["traceEvents"]
+        )
+
+
+class TestLogBridge:
+    def test_get_logger_nests_under_repro(self):
+        assert get_logger("mymodule").name == "repro.mymodule"
+        assert get_logger("repro.grid").name == "repro.grid"
+
+    def test_library_root_has_null_handler(self):
+        get_logger("anything")
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_cli_logger_writes_bare_messages_to_stdout(self, capsys):
+        cli_logger().info("jobs: %d", 18)
+        assert capsys.readouterr().out == "jobs: 18\n"
+
+    def test_cli_logger_is_idempotent(self):
+        logger = cli_logger()
+        assert cli_logger() is logger
+        assert len(logger.handlers) == 1
+
+    def test_logging_subscriber_narrates_spans(self, caplog):
+        logger = logging.getLogger("test.spanlog")
+        bus = InstrumentationBus(
+            subscribers=[LoggingSubscriber(logger, level=logging.INFO)]
+        )
+        with caplog.at_level(logging.INFO, logger="test.spanlog"):
+            bus.record("job.queue", "grid", 2.0, 5.0, job_id=7)
+            span = bus.begin("grid.job", "grid", 5.0)
+            bus.end(span, 6.0, status="error")
+        assert "job.queue" in caplog.records[0].getMessage()
+        assert "job_id=7" in caplog.records[0].getMessage()
+        assert caplog.records[1].levelno == logging.WARNING

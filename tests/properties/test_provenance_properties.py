@@ -1,6 +1,6 @@
 """Property-based tests for history trees and iteration strategies."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.iteration import IterationEngine

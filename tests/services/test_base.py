@@ -3,7 +3,7 @@
 import pytest
 
 from repro.grid.storage import LogicalFile
-from repro.services.base import GridData, LocalService, Service, ServiceError
+from repro.services.base import GridData, LocalService, ServiceError
 
 
 class TestGridData:

@@ -8,7 +8,6 @@ from repro.services.descriptor import (
     ExecutableDescriptor,
     InputSpec,
     OutputSpec,
-    SandboxSpec,
     descriptor_from_xml,
     descriptor_to_xml,
 )

@@ -3,14 +3,10 @@
 import pytest
 
 from repro.sim.engine import (
-    AllOf,
-    AnyOf,
     Engine,
     Event,
     Interrupt,
-    Process,
     SimulationError,
-    Timeout,
 )
 
 

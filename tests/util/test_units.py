@@ -1,6 +1,5 @@
 """Tests for unit constants and formatters."""
 
-import pytest
 
 from repro.util.units import (
     GIBIBYTE,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.services.base import LocalService
 from repro.workflow.graph import (
-    Link,
     PortRef,
     Processor,
     ProcessorKind,

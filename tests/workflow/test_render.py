@@ -1,6 +1,5 @@
 """Tests for workflow rendering."""
 
-import pytest
 
 from repro.workflow.patterns import chain_workflow, figure2_workflow
 from repro.workflow.render import summarize, to_dot
