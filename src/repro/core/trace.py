@@ -7,6 +7,8 @@ per-configuration statistics the experiment harness reports.
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -156,6 +158,9 @@ class ExecutionTrace:
         intervals = [
             (e.start, e.end) for e in self._processor_index().get(processor, [])
         ]
+        # The sweep below requires start-ordered intervals; sort here
+        # rather than rely on the index's internal ordering.
+        intervals.sort()
         busy = 0.0
         current_start: Optional[float] = None
         current_end = float("-inf")
@@ -226,14 +231,20 @@ class ExecutionTrace:
         ]
 
     def to_csv(self) -> str:
-        """The trace as CSV text (header + one line per event)."""
-        lines = ["processor,label,start,end,duration,kind,job_ids"]
+        """The trace as CSV text (header + one line per event).
+
+        Written with :mod:`csv` so processor/label values containing
+        commas or quotes are properly escaped.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            ["processor", "label", "start", "end", "duration", "kind", "job_ids"]
+        )
         for e in self._events:
             jobs = ";".join(str(j) for j in e.job_ids)
-            lines.append(
-                f"{e.processor},{e.label},{e.start},{e.end},{e.duration},{e.kind},{jobs}"
-            )
-        return "\n".join(lines)
+            writer.writerow([e.processor, e.label, e.start, e.end, e.duration, e.kind, jobs])
+        return buffer.getvalue().rstrip("\n")
 
     def to_jsonl(self, trace_id: str = "trace") -> str:
         """The trace as JSONL, one span record per event.

@@ -8,6 +8,13 @@ Usage::
                                         [--trace run.jsonl]
                                         [--chrome-trace run.trace.json]
     python -m repro.experiments report-trace run.jsonl [--policy SP+DP]
+    python -m repro.experiments report-critical-path [--config SP+DP]
+                                        [--trace run.jsonl]
+    python -m repro.experiments gantt   [--config SP+DP] [--width 100]
+    python -m repro.experiments record-run --store runstore [--config SP+DP]
+                                        [--out baseline.json]
+    python -m repro.experiments compare-runs --store runstore \
+                                        run-0001 latest [--budget-makespan 0.05]
 
 ``table1`` runs the full sweep and prints Tables 1 and 2, the Section
 5.2/5.3 ratios and the paper comparison; ``diagrams`` regenerates the
@@ -16,6 +23,15 @@ enactment and reports its outputs (``--trace`` exports the span stream
 as JSONL, ``--chrome-trace`` as Chrome trace-event JSON for Perfetto);
 ``report-trace`` renders the phase breakdown and model-drift tables of
 a previously exported JSONL trace.
+
+The analytics commands work either on a live enactment (default: the
+Bronze Standard on the EGEE-like testbed) or on an exported JSONL trace
+(``--trace``): ``report-critical-path`` prints the observed gating
+chain with per-phase attribution and the diff against the static
+prediction; ``gantt`` renders per-processor and per-CE lanes as ASCII.
+``record-run`` appends one summary to a run store and ``compare-runs``
+checks a candidate run against a baseline within budgets — it exits
+non-zero on regression, which is the CI gate.
 """
 
 from __future__ import annotations
@@ -169,6 +185,139 @@ def cmd_bronze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spans(path: str):
+    from repro.observability import spans_from_jsonl
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return spans_from_jsonl(handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {path!r}: {exc}")
+
+
+def _instrumented_bronze(args: argparse.Namespace):
+    """One instrumented Bronze Standard enactment on the EGEE-like grid.
+
+    The shared front half of the analytics subcommands: returns
+    ``(app, grid, result, spans)`` for the requested configuration.
+    """
+    from repro.apps.bronze_standard import BronzeStandardApplication
+    from repro.grid.testbeds import egee_like_testbed
+    from repro.observability import InstrumentationBus
+    from repro.sim.engine import Engine
+    from repro.util.rng import RandomStreams
+
+    engine = Engine()
+    streams = RandomStreams(seed=args.seed)
+    grid = egee_like_testbed(
+        engine, streams, n_sites=6, workers_per_ce=40, with_background_load=False
+    )
+    app = BronzeStandardApplication(engine, grid, streams)
+    config = _config_by_label(args.config)
+    bus = InstrumentationBus()
+    collector = bus.collector()
+    result = app.enact(config, n_pairs=args.pairs, instrumentation=bus)
+    return app, grid, result, collector.spans
+
+
+def cmd_report_critical_path(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import (
+        format_critical_path,
+        format_critical_path_diff,
+    )
+    from repro.observability import (
+        CriticalPathError,
+        diff_against_static,
+        observed_critical_path,
+    )
+
+    out = cli_logger()
+    workflow = None
+    if args.trace:
+        spans = _load_spans(args.trace)
+    else:
+        app, _grid, _result, spans = _instrumented_bronze(args)
+        workflow = app.workflow
+    try:
+        observed = observed_critical_path(spans)
+    except CriticalPathError as exc:
+        raise SystemExit(str(exc))
+    out.info(format_critical_path(observed))
+    if workflow is not None:
+        out.info("\n=== vs static prediction ===")
+        out.info(format_critical_path_diff(diff_against_static(observed, workflow)))
+    return 0
+
+
+def cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_ce_utilization
+    from repro.observability import render_gantt, utilization_table
+
+    out = cli_logger()
+    if args.trace:
+        spans = _load_spans(args.trace)
+    else:
+        _app, _grid, _result, spans = _instrumented_bronze(args)
+    out.info(render_gantt(spans, width=args.width, include_queue=not args.no_queue))
+    out.info("\n=== CE utilization ===")
+    out.info(format_ce_utilization(utilization_table(spans)))
+    return 0
+
+
+def cmd_record_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability import RunStore, summarize_run
+
+    out = cli_logger()
+    _app, grid, result, spans = _instrumented_bronze(args)
+    summary = summarize_run(
+        result,
+        spans=spans,
+        records=grid.completed_records(),
+        processors=list(BRONZE_CRITICAL_PATH),
+        n_items=args.pairs,
+        seed=args.seed,
+        note=args.note,
+    )
+    store = RunStore(args.store)
+    store.append(summary)
+    out.info(
+        f"recorded {summary.run_id} to {args.store}: {summary.policy}, "
+        f"{args.pairs} pairs, makespan {summary.makespan:.1f}s"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.info(f"summary copied to {args.out}")
+    return 0
+
+
+def cmd_compare_runs(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_run_comparison
+    from repro.observability import Budgets, RunStore, RunStoreError, compare
+
+    out = cli_logger()
+    budgets = Budgets(
+        makespan=args.budget_makespan,
+        phase=args.budget_phase,
+        drift=args.budget_drift,
+        hit_rate=args.budget_hit_rate,
+        jobs=args.budget_jobs,
+        min_seconds=args.min_seconds,
+    )
+    store = RunStore(args.store)
+    try:
+        baseline = store.resolve(args.baseline)
+        candidate = store.resolve(args.candidate)
+        comparison = compare(baseline, candidate, budgets)
+    except RunStoreError as exc:
+        raise SystemExit(str(exc))
+    out.info(format_run_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
 def cmd_report_trace(args: argparse.Namespace) -> int:
     from repro.core.trace import ExecutionTrace, TraceEvent
     from repro.experiments.reporting import format_drift, format_phase_breakdown
@@ -276,6 +425,95 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the Bronze Standard critical path)",
     )
     report.set_defaults(func=cmd_report_trace)
+
+    def add_run_options(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--pairs", type=int, default=12)
+        sub_parser.add_argument("--config", default="SP+DP")
+        sub_parser.add_argument("--seed", type=int, default=42)
+
+    crit = sub.add_parser(
+        "report-critical-path",
+        help="observed gating chain with phase attribution (+ static diff)",
+    )
+    add_run_options(crit)
+    crit.add_argument(
+        "--trace", metavar="PATH",
+        help="analyze an exported JSONL span stream instead of running "
+        "a fresh enactment (run options are then ignored)",
+    )
+    crit.set_defaults(func=cmd_report_critical_path)
+
+    gantt = sub.add_parser(
+        "gantt", help="ASCII Gantt: invocations per processor, jobs per CE"
+    )
+    add_run_options(gantt)
+    gantt.add_argument(
+        "--trace", metavar="PATH",
+        help="render an exported JSONL span stream instead of running "
+        "a fresh enactment",
+    )
+    gantt.add_argument("--width", type=int, default=100, help="columns per lane")
+    gantt.add_argument(
+        "--no-queue", action="store_true", help="omit the per-CE queue-depth lanes"
+    )
+    gantt.set_defaults(func=cmd_gantt)
+
+    record = sub.add_parser(
+        "record-run", help="run one enactment and append its summary to a store"
+    )
+    add_run_options(record)
+    record.add_argument(
+        "--store", default="runstore", metavar="DIR",
+        help="run-store directory (created if missing; default: ./runstore)",
+    )
+    record.add_argument(
+        "--note", default="", help="free-form annotation stored with the summary"
+    )
+    record.add_argument(
+        "--out", metavar="PATH",
+        help="additionally copy the summary JSON here (e.g. to commit a baseline)",
+    )
+    record.set_defaults(func=cmd_record_run)
+
+    compare_runs = sub.add_parser(
+        "compare-runs",
+        help="budgeted baseline-vs-candidate comparison (exit 1 on regression)",
+    )
+    compare_runs.add_argument(
+        "baseline", help="run id, 'latest[:POLICY]', or a summary JSON path"
+    )
+    compare_runs.add_argument(
+        "candidate", help="run id, 'latest[:POLICY]', or a summary JSON path"
+    )
+    compare_runs.add_argument(
+        "--store", default="runstore", metavar="DIR",
+        help="run-store directory the run ids resolve against",
+    )
+    compare_runs.add_argument(
+        "--budget-makespan", type=float, default=0.05,
+        help="allowed relative makespan growth (default 0.05 = +5%%)",
+    )
+    compare_runs.add_argument(
+        "--budget-phase", type=float, default=0.10,
+        help="allowed relative growth per critical-path phase bucket",
+    )
+    compare_runs.add_argument(
+        "--budget-drift", type=float, default=0.05,
+        help="allowed absolute increase of the model's relative error",
+    )
+    compare_runs.add_argument(
+        "--budget-hit-rate", type=float, default=0.05,
+        help="allowed absolute drop of the cache hit rate",
+    )
+    compare_runs.add_argument(
+        "--budget-jobs", type=float, default=0.0,
+        help="allowed relative growth of submitted grid jobs",
+    )
+    compare_runs.add_argument(
+        "--min-seconds", type=float, default=1.0,
+        help="phases below this size in both runs are noise, never compared",
+    )
+    compare_runs.set_defaults(func=cmd_compare_runs)
     return parser
 
 

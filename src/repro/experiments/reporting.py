@@ -14,8 +14,14 @@ from repro.cache import CacheStatsSnapshot
 from repro.experiments.calibration import PAPER_TABLE1, PAPER_TABLE2
 from repro.experiments.harness import SweepResult
 from repro.model.metrics import ConfigurationFit, ratios_table
+from repro.observability.critical_path import (
+    PHASE_KEYS,
+    CriticalPathDiff,
+    ObservedCriticalPath,
+)
 from repro.observability.drift import DriftReport
 from repro.observability.metrics import MetricsSnapshot
+from repro.observability.runstore import RunComparison
 from repro.observability.spans import Span
 
 __all__ = [
@@ -27,6 +33,10 @@ __all__ = [
     "format_phase_breakdown",
     "format_drift",
     "format_metrics",
+    "format_critical_path",
+    "format_critical_path_diff",
+    "format_ce_utilization",
+    "format_run_comparison",
     "paper_comparison",
     "check_ordering",
     "SECTION52_PAIRS",
@@ -247,6 +257,112 @@ def format_metrics(snapshot: Optional[MetricsSnapshot]) -> str:
              f"p50={hist.percentile(50):.2f}s max={hist.maximum:.2f}s"]
         )
     return _grid(["Metric", "kind", "value"], rows)
+
+
+def format_critical_path(observed: ObservedCriticalPath) -> str:
+    """The observed gating chain, one row per step, plus phase totals.
+
+    The footer re-states the tiling identity the reconstruction
+    guarantees — step durations (and phase buckets) sum to the run
+    makespan — so a reader can see at a glance that nothing was lost.
+    """
+    headers = ["#", "processor", "label", "kind", "start (s)",
+               "duration (s)", "dominant phase"]
+    rows = []
+    for index, step in enumerate(observed.steps, start=1):
+        rows.append(
+            [
+                str(index),
+                step.processor,
+                step.label,
+                step.kind,
+                f"{step.start:.1f}",
+                f"{step.duration:.1f}",
+                step.dominant_phase(),
+            ]
+        )
+    totals = observed.phase_totals()
+    phase_cells = [
+        f"{key}={totals[key]:.1f}s" for key in PHASE_KEYS if key in totals
+    ]
+    lines = [
+        f"run {observed.trace_id} ({observed.workflow}, {observed.policy}): "
+        f"{len(observed.steps)} gating steps",
+        _grid(headers, rows),
+        "",
+        "phase totals: " + (", ".join(phase_cells) or "(none)"),
+        f"grid overhead on the chain: {observed.overhead_total():.1f}s",
+        f"chain total: {observed.total:.1f}s = run makespan {observed.makespan:.1f}s",
+    ]
+    return "\n".join(lines)
+
+
+def format_critical_path_diff(diff: CriticalPathDiff) -> str:
+    """Static prediction vs observed gating services, one verdict line."""
+    lines = [
+        "static prediction: " + (" -> ".join(diff.static) or "(empty)"),
+        "observed gating:   " + (" -> ".join(diff.observed) or "(empty)"),
+    ]
+    if diff.matches:
+        lines.append("verdict: observed chain matches the static prediction")
+    else:
+        if diff.missing:
+            lines.append(
+                "predicted but never gated: " + ", ".join(diff.missing)
+            )
+        if diff.unexpected:
+            lines.append(
+                "gated but not predicted:   " + ", ".join(diff.unexpected)
+            )
+    return "\n".join(lines)
+
+
+def format_ce_utilization(rows: Sequence[Mapping[str, object]]) -> str:
+    """Per-CE summary table from ``timeline.utilization_table`` rows."""
+    if not rows:
+        return "(no grid jobs in the span stream)"
+    headers = ["CE", "jobs", "peak running", "peak queued",
+               "busy fraction", "mean running"]
+    out = [
+        [
+            str(row["ce"]),
+            str(row["jobs"]),
+            str(row["peak_running"]),
+            str(row["peak_queued"]),
+            f"{row['busy_fraction']:.0%}",
+            f"{row['mean_running']:.2f}",
+        ]
+        for row in rows
+    ]
+    return _grid(headers, out)
+
+
+def format_run_comparison(comparison: RunComparison) -> str:
+    """Baseline-vs-candidate verdict: regressions, improvements, budgets."""
+    baseline = comparison.baseline
+    candidate = comparison.candidate
+    lines = [
+        f"baseline:  {baseline.run_id or '(file)'} {baseline.policy} "
+        f"makespan {baseline.makespan:.1f}s",
+        f"candidate: {candidate.run_id or '(file)'} {candidate.policy} "
+        f"makespan {candidate.makespan:.1f}s",
+        f"checked: {', '.join(comparison.checked)}",
+    ]
+    if comparison.regressions:
+        lines.append("")
+        lines.append("REGRESSIONS:")
+        lines.extend(f"  {entry.describe()}" for entry in comparison.regressions)
+    if comparison.improvements:
+        lines.append("")
+        lines.append("improvements:")
+        lines.extend(f"  {entry.describe()}" for entry in comparison.improvements)
+    lines.append("")
+    lines.append(
+        "verdict: OK (within budgets)"
+        if comparison.ok
+        else f"verdict: {len(comparison.regressions)} regression(s) over budget"
+    )
+    return "\n".join(lines)
 
 
 def paper_comparison(sweep: SweepResult) -> str:

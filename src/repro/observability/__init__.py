@@ -23,7 +23,18 @@ Pieces (all dependency-free, all in simulated time):
   emitting y-intercept/slope ratio estimates;
 * :mod:`~repro.observability.logbridge` — module-level loggers for the
   library, a stdout channel for the CLI, and a subscriber that narrates
-  spans onto :mod:`logging`.
+  spans onto :mod:`logging`;
+* :mod:`~repro.observability.critical_path` — the **observed**
+  critical path reconstructed from one run's span tree: the gating
+  chain of invocations whose phase-attributed durations sum exactly to
+  the run makespan, plus a diff against the static
+  :func:`repro.workflow.analysis.critical_path` prediction;
+* :mod:`~repro.observability.timeline` — per-CE utilization and
+  queue-depth step functions and a dependency-free ASCII Gantt
+  renderer;
+* :mod:`~repro.observability.runstore` — the append-only run-history
+  store (one JSON summary per run) and the budgeted
+  :func:`~repro.observability.runstore.compare` regression gate.
 
 Usage::
 
@@ -48,6 +59,14 @@ from repro.observability.bus import (
     Subscriber,
     chrome_trace_json,
 )
+from repro.observability.critical_path import (
+    CriticalPathDiff,
+    CriticalPathError,
+    CriticalPathStep,
+    ObservedCriticalPath,
+    diff_against_static,
+    observed_critical_path,
+)
 from repro.observability.drift import (
     DriftError,
     DriftReport,
@@ -67,7 +86,24 @@ from repro.observability.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.observability.runstore import (
+    Budgets,
+    Regression,
+    RunComparison,
+    RunStore,
+    RunStoreError,
+    RunSummary,
+    compare,
+    summarize_run,
+)
 from repro.observability.spans import Span, SpanError, spans_from_jsonl, spans_to_jsonl
+from repro.observability.timeline import (
+    ce_queue_depth,
+    ce_utilization,
+    render_gantt,
+    step_function,
+    utilization_table,
+)
 
 __all__ = [
     "Span",
@@ -97,4 +133,23 @@ __all__ = [
     "LoggingSubscriber",
     "cli_logger",
     "get_logger",
+    "CriticalPathError",
+    "CriticalPathStep",
+    "CriticalPathDiff",
+    "ObservedCriticalPath",
+    "observed_critical_path",
+    "diff_against_static",
+    "step_function",
+    "ce_utilization",
+    "ce_queue_depth",
+    "utilization_table",
+    "render_gantt",
+    "RunStoreError",
+    "RunSummary",
+    "RunStore",
+    "Budgets",
+    "Regression",
+    "RunComparison",
+    "summarize_run",
+    "compare",
 ]

@@ -235,9 +235,12 @@ class ChromeTraceExporter(Subscriber):
     """Accumulates Chrome trace-event JSON (``chrome://tracing``, Perfetto).
 
     Every finished span becomes a complete ("X") event with microsecond
-    timestamps.  Lanes (tids) are assigned per processor / computing
-    element / category so the rendered view reads like the paper's
-    execution diagrams: one row per service, grid activity below.
+    timestamps; zero-duration spans (cache hits, instantaneous phases)
+    become thread-scoped instant ("i") events, which Perfetto draws as
+    markers instead of silently dropping 0-width slices.  Lanes (tids)
+    are assigned per processor / computing element / category so the
+    rendered view reads like the paper's execution diagrams: one row
+    per service, grid activity below.
     """
 
     PID = 1
@@ -273,18 +276,21 @@ class ChromeTraceExporter(Subscriber):
         args["span_id"] = span.span_id
         if span.trace_id:
             args["trace_id"] = span.trace_id
-        self.events.append(
-            {
-                "ph": "X",
-                "pid": self.PID,
-                "tid": self._lane(span),
-                "name": span.name,
-                "cat": span.category,
-                "ts": span.start * 1e6,
-                "dur": span.duration * 1e6,
-                "args": args,
-            }
-        )
+        event: Dict[str, Any] = {
+            "pid": self.PID,
+            "tid": self._lane(span),
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start * 1e6,
+            "args": args,
+        }
+        if span.duration > 0.0:
+            event["ph"] = "X"
+            event["dur"] = span.duration * 1e6
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread scope: marker drawn on the span's lane
+        self.events.append(event)
 
     def to_json(self) -> str:
         """The accumulated trace as a Chrome trace-event JSON document."""

@@ -66,6 +66,21 @@ class TestExecutionTrace:
     def test_busy_time_empty(self):
         assert ExecutionTrace().busy_time("P") == 0.0
 
+    def test_busy_time_out_of_order_events(self):
+        # the union sweep must not depend on insertion order: a late
+        # event starting before earlier ones used to be able to break
+        # the merge if intervals were swept unsorted
+        trace = make_trace(
+            [("P", "D2", 20, 25), ("P", "D1", 5, 15), ("P", "D0", 0, 10)]
+        )
+        assert trace.busy_time("P") == 20.0  # [0,15] + [20,25]
+
+    def test_busy_time_out_of_order_same_start(self):
+        trace = make_trace(
+            [("P", "b", 0, 2), ("P", "a", 0, 30), ("P", "c", 5, 10)]
+        )
+        assert trace.busy_time("P") == 30.0
+
     def test_max_concurrency(self):
         trace = make_trace(
             [("P", "D0", 0, 10), ("P", "D1", 2, 8), ("P", "D2", 3, 5), ("Q", "D0", 0, 100)]

@@ -39,6 +39,17 @@ class TestExport:
         assert trace.to_rows() == []
         assert trace.to_csv() == "processor,label,start,end,duration,kind,job_ids"
 
+    def test_to_csv_quotes_commas_and_quotes(self):
+        import csv as csv_module
+        import io
+
+        trace = ExecutionTrace()
+        trace.add(TraceEvent("crestLines, v2", 'D"0"', 0.0, 1.0))
+        parsed = list(csv_module.reader(io.StringIO(trace.to_csv())))
+        assert parsed[1][0] == "crestLines, v2"
+        assert parsed[1][1] == 'D"0"'
+        assert len(parsed[1]) == 7  # the comma did not split the row
+
 
 class TestServiceParallelOrdering:
     def test_sp_processes_items_in_definition_order(self, engine):

@@ -121,7 +121,14 @@ class TestExports:
         chrome = instrumented_run.chrome
         document = json.loads(chrome.to_json())
         complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
-        assert len(complete) == len(instrumented_run.collector.spans)
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        # every collected span surfaces either as a complete slice or,
+        # when zero-duration (cache lookups), as an instant marker
+        assert len(complete) + len(instants) == len(instrumented_run.collector.spans)
+        zero = [s for s in instrumented_run.collector.spans if s.duration == 0.0]
+        assert len(instants) == len(zero)
+        assert all(e["s"] == "t" and "dur" not in e for e in instants)
+        assert all(e["dur"] > 0 for e in complete)
         lanes = {
             e["args"]["name"]
             for e in document["traceEvents"]

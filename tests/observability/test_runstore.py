@@ -1,0 +1,164 @@
+"""Tests for the run-history store and the budgeted comparison."""
+
+import json
+
+import pytest
+
+from repro.apps.bronze_standard import BronzeStandardApplication
+from repro.core import OptimizationConfig
+from repro.observability import InstrumentationBus
+from repro.observability.runstore import (
+    Budgets,
+    RunStore,
+    RunStoreError,
+    RunSummary,
+    compare,
+    summarize_run,
+)
+
+
+def make_summary(**overrides):
+    base = dict(
+        workflow="bronze-standard",
+        policy="SP+DP",
+        makespan=100.0,
+        n_items=4,
+        seed=42,
+        phase_totals={"execute": 70.0, "queue": 30.0},
+        drift={"relative_error": 0.05},
+        cache={"hit_rate": 0.9},
+        counters={"grid.jobs.submitted": 24.0},
+    )
+    base.update(overrides)
+    return RunSummary(**base)
+
+
+class TestStore:
+    def test_append_assigns_sequential_ids(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert store.append(make_summary()).run_id == "run-0001"
+        assert store.append(make_summary()).run_id == "run-0002"
+        assert store.run_ids() == ["run-0001", "run-0002"]
+        assert len(store) == 2
+
+    def test_round_trip(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        written = store.append(make_summary(note="hello"))
+        loaded = store.get(written.run_id)
+        assert loaded == written
+
+    def test_latest_and_policy_filter(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.append(make_summary(policy="NOP"))
+        store.append(make_summary(policy="SP+DP"))
+        store.append(make_summary(policy="NOP", makespan=90.0))
+        assert store.latest().makespan == 90.0
+        assert store.latest(policy="SP+DP").policy == "SP+DP"
+        assert store.resolve("latest:NOP").makespan == 90.0
+
+    def test_resolve_file_path(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(make_summary().to_dict()))
+        loaded = RunStore(tmp_path / "store").resolve(str(path))
+        assert loaded.makespan == 100.0
+
+    def test_unknown_run_raises(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(RunStoreError, match="no runs"):
+            store.latest()
+        with pytest.raises(RunStoreError, match="no run"):
+            store.get("run-0042")
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(RunStoreError, match="not JSON"):
+            RunSummary.from_file(path)
+
+
+class TestCompare:
+    def test_identical_runs_are_ok(self):
+        comparison = compare(make_summary(), make_summary())
+        assert comparison.ok
+        assert "makespan" in comparison.checked
+        assert "phase.execute" in comparison.checked
+
+    def test_inflated_candidate_is_flagged(self):
+        candidate = make_summary(
+            makespan=150.0, phase_totals={"execute": 105.0, "queue": 45.0}
+        )
+        comparison = compare(make_summary(), candidate)
+        assert not comparison.ok
+        metrics = {entry.metric for entry in comparison.regressions}
+        assert {"makespan", "phase.execute", "phase.queue"} <= metrics
+
+    def test_improvement_is_not_a_regression(self):
+        candidate = make_summary(makespan=50.0)
+        comparison = compare(make_summary(), candidate)
+        assert comparison.ok
+        assert any(e.metric == "makespan" for e in comparison.improvements)
+
+    def test_policy_mismatch_raises(self):
+        with pytest.raises(RunStoreError, match="cannot compare across policy"):
+            compare(make_summary(), make_summary(policy="NOP"))
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(RunStoreError, match="input sizes"):
+            compare(make_summary(), make_summary(n_items=8))
+
+    def test_hit_rate_drop_is_a_regression(self):
+        candidate = make_summary(cache={"hit_rate": 0.5})
+        comparison = compare(make_summary(), candidate)
+        assert any(
+            e.metric == "cache.hit_rate" for e in comparison.regressions
+        )
+
+    def test_tiny_phases_are_noise(self):
+        baseline = make_summary(phase_totals={"execute": 100.0, "stage_out": 0.01})
+        candidate = make_summary(phase_totals={"execute": 100.0, "stage_out": 0.09})
+        comparison = compare(baseline, candidate)  # 9x growth, but < 1s
+        assert comparison.ok
+
+    def test_budgets_are_tunable(self):
+        candidate = make_summary(makespan=120.0)
+        assert not compare(make_summary(), candidate).ok
+        relaxed = compare(make_summary(), candidate, Budgets(makespan=0.5))
+        assert relaxed.ok
+
+    def test_extra_jobs_over_budget(self):
+        candidate = make_summary(counters={"grid.jobs.submitted": 30.0})
+        comparison = compare(make_summary(), candidate)
+        assert any(
+            e.metric == "counter.grid.jobs.submitted"
+            for e in comparison.regressions
+        )
+
+
+class TestSummarizeRun:
+    def test_summary_from_a_real_run(self, engine, egee_grid, streams, tmp_path):
+        app = BronzeStandardApplication(engine, egee_grid, streams)
+        bus = InstrumentationBus()
+        collector = bus.collector()
+        result = app.enact(
+            OptimizationConfig.sp_dp(), n_pairs=2, instrumentation=bus
+        )
+        summary = summarize_run(
+            result,
+            spans=collector.spans,
+            records=egee_grid.completed_records(),
+            n_items=2,
+            seed=1234,
+            note="test",
+        )
+        assert summary.workflow == "bronze-standard"
+        assert summary.policy == "SP+DP"
+        assert summary.makespan == pytest.approx(result.makespan)
+        assert sum(summary.phase_totals.values()) == pytest.approx(
+            result.makespan, rel=1e-4
+        )
+        assert summary.counters["grid.jobs.submitted"] == 12.0
+        assert summary.critical_path  # the gating services were recorded
+        # round-trip through the store preserves everything
+        store = RunStore(tmp_path / "store")
+        store.append(summary)
+        assert compare(store.latest(), summary).ok

@@ -1,0 +1,89 @@
+"""Property-based tests of the observed-critical-path reconstruction.
+
+The tiling invariant — the gating chain's phase-attributed durations
+sum exactly to the run span's makespan — must hold for *any* workflow
+shape and policy, not just the Bronze Standard: this is what makes the
+chain an attribution (nothing lost, nothing double-counted) rather
+than a heuristic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.observability import InstrumentationBus, observed_critical_path
+from repro.observability.critical_path import PHASE_KEYS
+from repro.services.base import LocalService
+from repro.sim.engine import Engine
+from repro.workflow.patterns import chain_workflow
+
+matrices = st.lists(
+    st.lists(st.floats(0.0, 20.0, allow_nan=False), min_size=1, max_size=5),
+    min_size=1,
+    max_size=4,
+).filter(lambda rows: len({len(r) for r in rows}) == 1)
+
+POLICIES = [
+    ("NOP", OptimizationConfig.nop()),
+    ("DP", OptimizationConfig.dp()),
+    ("SP", OptimizationConfig.sp()),
+    ("SP+DP", OptimizationConfig.sp_dp()),
+]
+
+
+def instrumented_enact(times, config):
+    engine = Engine()
+
+    def factory(name, inputs, outputs):
+        index = int(name[1:]) - 1
+
+        def duration(inputs_dict):
+            return float(times[index][inputs_dict["x"].value])
+
+        return LocalService(
+            engine, name, inputs, outputs,
+            function=lambda x: {"y": x}, duration=duration,
+        )
+
+    workflow = chain_workflow(factory, len(times))
+    bus = InstrumentationBus()
+    collector = bus.collector()
+    result = MoteurEnactor(
+        engine, workflow, config, instrumentation=bus
+    ).run({"input": list(range(len(times[0])))})
+    return result, collector.spans
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices)
+def test_phase_totals_sum_to_makespan_all_policies(times):
+    for label, config in POLICIES:
+        result, spans = instrumented_enact(times, config)
+        observed = observed_critical_path(spans)
+        assert observed.policy == label
+        assert abs(observed.makespan - result.makespan) < 1e-6, (label, times)
+        # tiling: step durations telescope to the makespan...
+        assert abs(observed.total - observed.makespan) < 1e-6, (label, times)
+        # ...and per-step phase buckets re-tile each step exactly
+        phase_sum = sum(observed.phase_totals().values())
+        assert abs(phase_sum - observed.makespan) < 1e-6, (label, times)
+        for step in observed.steps:
+            assert abs(sum(step.phases.values()) - step.duration) < 1e-9
+            assert set(step.phases) <= set(PHASE_KEYS)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices)
+def test_chain_is_contiguous_and_inside_the_run(times):
+    for _label, config in POLICIES:
+        _result, spans = instrumented_enact(times, config)
+        observed = observed_critical_path(spans)
+        cursor = observed.run_start
+        for step in observed.steps:
+            # each step starts exactly where the previous one ended
+            assert abs(step.start - cursor) <= 1e-9, (step, times)
+            assert step.end >= step.start
+            cursor = step.end
+        # the walk stops within _EPS (1e-9) of the run start, so a run
+        # whose whole makespan is <= 1e-9 legitimately has no steps
+        assert abs(cursor - observed.run_end) <= 1e-9
