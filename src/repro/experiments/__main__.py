@@ -7,6 +7,10 @@ Usage::
     python -m repro.experiments bronze  [--pairs 12] [--config SP+DP+JG]
                                         [--trace run.jsonl]
                                         [--chrome-trace run.trace.json]
+                                        [--monitor] [--alerts alerts.jsonl]
+                                        [--feedback] [--testbed faulty]
+    python -m repro.experiments report-health [--trace run.jsonl]
+                                        [--testbed faulty]
     python -m repro.experiments report-trace run.jsonl [--policy SP+DP]
     python -m repro.experiments report-critical-path [--config SP+DP]
                                         [--trace run.jsonl]
@@ -20,9 +24,14 @@ Usage::
 5.2/5.3 ratios and the paper comparison; ``diagrams`` regenerates the
 Figure 4/5/6 execution diagrams; ``bronze`` runs one Bronze Standard
 enactment and reports its outputs (``--trace`` exports the span stream
-as JSONL, ``--chrome-trace`` as Chrome trace-event JSON for Perfetto);
-``report-trace`` renders the phase breakdown and model-drift tables of
-a previously exported JSONL trace.
+as JSONL, ``--chrome-trace`` as Chrome trace-event JSON for Perfetto;
+``--monitor`` attaches the live run monitor for streaming progress/ETA
+lines, ``--alerts`` writes its alert log as JSONL, ``--feedback``
+closes the loop into the broker, and ``--testbed faulty`` runs on the
+fault-injected grid); ``report-health`` prints per-CE health scores and
+the alert log, either from a fresh run or by replaying an exported
+trace; ``report-trace`` renders the phase breakdown and model-drift
+tables of a previously exported JSONL trace.
 
 The analytics commands work either on a live enactment (default: the
 Bronze Standard on the EGEE-like testbed) or on an exported JSONL trace
@@ -127,11 +136,29 @@ def cmd_diagrams(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_testbed(args: argparse.Namespace, engine, streams):
+    """The grid the run-style subcommands execute on (``--testbed``)."""
+    from repro.grid.testbeds import egee_like_testbed, faulty_testbed
+
+    name = getattr(args, "testbed", "egee")
+    if name == "faulty":
+        return faulty_testbed(engine, streams)
+    return egee_like_testbed(
+        engine, streams, n_sites=6, workers_per_ce=40, with_background_load=False
+    )
+
+
 def cmd_bronze(args: argparse.Namespace) -> int:
     from repro.apps.bronze_standard import BronzeStandardApplication
     from repro.experiments.analysis import job_statistics, overhead_breakdown
-    from repro.grid.testbeds import egee_like_testbed
-    from repro.observability import ChromeTraceExporter, InstrumentationBus, JsonlExporter
+    from repro.observability import (
+        ChromeTraceExporter,
+        InstrumentationBus,
+        JsonlAlertWriter,
+        JsonlExporter,
+        RunMonitor,
+    )
+    from repro.observability.drift import policy_key
     from repro.sim.engine import Engine
     from repro.util.rng import RandomStreams
     from repro.util.units import format_duration
@@ -139,20 +166,31 @@ def cmd_bronze(args: argparse.Namespace) -> int:
     out = cli_logger()
     engine = Engine()
     streams = RandomStreams(seed=args.seed)
-    grid = egee_like_testbed(
-        engine, streams, n_sites=6, workers_per_ce=40, with_background_load=False
-    )
+    grid = _make_testbed(args, engine, streams)
     app = BronzeStandardApplication(engine, grid, streams)
     config = _config_by_label(args.config)
 
+    monitoring = args.monitor or args.alerts or args.feedback
     bus = None
-    jsonl = chrome = None
-    if args.trace or args.chrome_trace:
+    jsonl = chrome = monitor = alert_writer = None
+    if args.trace or args.chrome_trace or monitoring:
         bus = InstrumentationBus()
         if args.trace:
             jsonl = bus.subscribe(JsonlExporter(args.trace))
         if args.chrome_trace:
             chrome = bus.subscribe(ChromeTraceExporter())
+        if monitoring:
+            monitor = RunMonitor.attach(
+                bus,
+                expected_items=args.pairs,
+                policy=policy_key(config),
+                on_progress=out.info if args.monitor else None,
+            )
+            if args.alerts:
+                alert_writer = monitor.add_sink(JsonlAlertWriter(args.alerts))
+            if args.feedback:
+                grid.set_health_provider(monitor)
+                monitor.add_sink(grid.alert_reactor())
     result = app.enact(config, n_pairs=args.pairs, instrumentation=bus)
 
     out.info(f"configuration: {config.label}, {args.pairs} image pairs")
@@ -176,6 +214,22 @@ def cmd_bronze(args: argparse.Namespace) -> int:
     rotation = result.output_values("accuracy_rotation")[0]
     translation = result.output_values("accuracy_translation")[0]
     out.info(f"accuracy: {rotation:.3f} deg rotation, {translation:.3f} mm translation")
+    if monitor is not None:
+        counts = monitor.alert_counts()
+        summary = ", ".join(f"{k} x{v}" for k, v in sorted(counts.items()))
+        out.info(f"alerts: {summary or 'none'}")
+        flagged = monitor.flagged_ces()
+        if flagged:
+            out.info(f"flagged CEs: {', '.join(flagged)}")
+        if args.feedback:
+            out.info(
+                f"broker demotions: {grid.broker.demotions}, proactive "
+                f"resubmissions: "
+                f"{bus.metrics.counter('grid.jobs.proactive_resubmissions').value:.0f}"
+            )
+    if alert_writer is not None:
+        alert_writer.close()
+        out.info(f"alerts written: {args.alerts} ({alert_writer.lines_written} lines)")
     if jsonl is not None:
         jsonl.close()
         out.info(f"trace written: {args.trace} ({jsonl.lines_written} spans)")
@@ -196,28 +250,32 @@ def _load_spans(path: str):
 
 
 def _instrumented_bronze(args: argparse.Namespace):
-    """One instrumented Bronze Standard enactment on the EGEE-like grid.
+    """One instrumented Bronze Standard enactment (``--testbed`` grid).
 
     The shared front half of the analytics subcommands: returns
-    ``(app, grid, result, spans)`` for the requested configuration.
+    ``(app, grid, result, spans, monitor)`` for the requested
+    configuration.  The attached :class:`RunMonitor` gives every
+    consumer live health state and puts the ``monitor.alerts.*``
+    counters into the run's metrics (and hence run-store summaries).
     """
     from repro.apps.bronze_standard import BronzeStandardApplication
-    from repro.grid.testbeds import egee_like_testbed
-    from repro.observability import InstrumentationBus
+    from repro.observability import InstrumentationBus, RunMonitor
+    from repro.observability.drift import policy_key
     from repro.sim.engine import Engine
     from repro.util.rng import RandomStreams
 
     engine = Engine()
     streams = RandomStreams(seed=args.seed)
-    grid = egee_like_testbed(
-        engine, streams, n_sites=6, workers_per_ce=40, with_background_load=False
-    )
+    grid = _make_testbed(args, engine, streams)
     app = BronzeStandardApplication(engine, grid, streams)
     config = _config_by_label(args.config)
     bus = InstrumentationBus()
     collector = bus.collector()
+    monitor = RunMonitor.attach(
+        bus, expected_items=args.pairs, policy=policy_key(config)
+    )
     result = app.enact(config, n_pairs=args.pairs, instrumentation=bus)
-    return app, grid, result, collector.spans
+    return app, grid, result, collector.spans, monitor
 
 
 def cmd_report_critical_path(args: argparse.Namespace) -> int:
@@ -236,7 +294,7 @@ def cmd_report_critical_path(args: argparse.Namespace) -> int:
     if args.trace:
         spans = _load_spans(args.trace)
     else:
-        app, _grid, _result, spans = _instrumented_bronze(args)
+        app, _grid, _result, spans, _monitor = _instrumented_bronze(args)
         workflow = app.workflow
     try:
         observed = observed_critical_path(spans)
@@ -257,10 +315,35 @@ def cmd_gantt(args: argparse.Namespace) -> int:
     if args.trace:
         spans = _load_spans(args.trace)
     else:
-        _app, _grid, _result, spans = _instrumented_bronze(args)
+        _app, _grid, _result, spans, _monitor = _instrumented_bronze(args)
     out.info(render_gantt(spans, width=args.width, include_queue=not args.no_queue))
     out.info("\n=== CE utilization ===")
     out.info(format_ce_utilization(utilization_table(spans)))
+    return 0
+
+
+def cmd_report_health(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_alerts, format_health
+    from repro.observability import RunMonitor
+    from repro.observability.drift import policy_key
+
+    out = cli_logger()
+    if args.trace:
+        # Replay the recorded stream through a fresh monitor: by the
+        # online invariant this reproduces the live run's exact health
+        # scores and alerts.
+        spans = _load_spans(args.trace)
+        monitor = RunMonitor(
+            expected_items=args.pairs, policy=policy_key(_config_by_label(args.config))
+        ).replay(spans)
+    else:
+        _app, _grid, _result, _spans, monitor = _instrumented_bronze(args)
+    out.info("=== CE health ===")
+    out.info(format_health(monitor.health_table()))
+    flagged = monitor.flagged_ces()
+    out.info(f"\nflagged CEs: {', '.join(flagged) or 'none'}")
+    out.info("\n=== alerts ===")
+    out.info(format_alerts(monitor.sorted_alerts()))
     return 0
 
 
@@ -270,7 +353,7 @@ def cmd_record_run(args: argparse.Namespace) -> int:
     from repro.observability import RunStore, summarize_run
 
     out = cli_logger()
-    _app, grid, result, spans = _instrumented_bronze(args)
+    _app, grid, result, spans, _monitor = _instrumented_bronze(args)
     summary = summarize_run(
         result,
         spans=spans,
@@ -305,6 +388,7 @@ def cmd_compare_runs(args: argparse.Namespace) -> int:
         drift=args.budget_drift,
         hit_rate=args.budget_hit_rate,
         jobs=args.budget_jobs,
+        alerts=args.budget_alerts,
         min_seconds=args.min_seconds,
     )
     store = RunStore(args.store)
@@ -401,12 +485,31 @@ def build_parser() -> argparse.ArgumentParser:
     bronze.add_argument("--config", default="SP+DP+JG")
     bronze.add_argument("--seed", type=int, default=42)
     bronze.add_argument(
+        "--testbed", choices=["egee", "faulty"], default="egee",
+        help="grid to run on: the EGEE-like production grid or the "
+        "fault-injected monitoring testbed (default: egee)",
+    )
+    bronze.add_argument(
         "--trace", metavar="PATH",
         help="export the run's span stream as JSONL (read back with report-trace)",
     )
     bronze.add_argument(
         "--chrome-trace", metavar="PATH",
         help="export the run as Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    bronze.add_argument(
+        "--monitor", action="store_true",
+        help="attach the live run monitor and print streaming progress/ETA lines",
+    )
+    bronze.add_argument(
+        "--alerts", metavar="PATH",
+        help="write monitor alerts as JSONL (implies monitoring; "
+        "flushed per line, tail -f friendly)",
+    )
+    bronze.add_argument(
+        "--feedback", action="store_true",
+        help="wire monitor feedback into the broker: demote/blacklist "
+        "flagged CEs and proactively resubmit jobs queued on them",
     )
     bronze.set_defaults(func=cmd_bronze)
 
@@ -430,6 +533,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--pairs", type=int, default=12)
         sub_parser.add_argument("--config", default="SP+DP")
         sub_parser.add_argument("--seed", type=int, default=42)
+        sub_parser.add_argument(
+            "--testbed", choices=["egee", "faulty"], default="egee",
+            help="grid to run on (default: egee)",
+        )
 
     crit = sub.add_parser(
         "report-critical-path",
@@ -457,6 +564,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-queue", action="store_true", help="omit the per-CE queue-depth lanes"
     )
     gantt.set_defaults(func=cmd_gantt)
+
+    health = sub.add_parser(
+        "report-health",
+        help="per-CE health scores and the alert log (live run or replayed trace)",
+    )
+    add_run_options(health)
+    health.add_argument(
+        "--trace", metavar="PATH",
+        help="replay an exported JSONL span stream through a fresh monitor "
+        "instead of running a new enactment (reproduces the live run's "
+        "exact health state)",
+    )
+    health.set_defaults(func=cmd_report_health)
 
     record = sub.add_parser(
         "record-run", help="run one enactment and append its summary to a store"
@@ -508,6 +628,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare_runs.add_argument(
         "--budget-jobs", type=float, default=0.0,
         help="allowed relative growth of submitted grid jobs",
+    )
+    compare_runs.add_argument(
+        "--budget-alerts", type=float, default=0.0,
+        help="allowed absolute growth of monitor alerts "
+        "(default 0: any new health alert is a regression)",
     )
     compare_runs.add_argument(
         "--min-seconds", type=float, default=1.0,

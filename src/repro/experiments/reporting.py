@@ -14,12 +14,14 @@ from repro.cache import CacheStatsSnapshot
 from repro.experiments.calibration import PAPER_TABLE1, PAPER_TABLE2
 from repro.experiments.harness import SweepResult
 from repro.model.metrics import ConfigurationFit, ratios_table
+from repro.observability.alerts import Alert
 from repro.observability.critical_path import (
     PHASE_KEYS,
     CriticalPathDiff,
     ObservedCriticalPath,
 )
 from repro.observability.drift import DriftReport
+from repro.observability.health import CEHealth
 from repro.observability.metrics import MetricsSnapshot
 from repro.observability.runstore import RunComparison
 from repro.observability.spans import Span
@@ -37,6 +39,8 @@ __all__ = [
     "format_critical_path_diff",
     "format_ce_utilization",
     "format_run_comparison",
+    "format_health",
+    "format_alerts",
     "paper_comparison",
     "check_ordering",
     "SECTION52_PAIRS",
@@ -363,6 +367,53 @@ def format_run_comparison(comparison: RunComparison) -> str:
         else f"verdict: {len(comparison.regressions)} regression(s) over budget"
     )
     return "\n".join(lines)
+
+
+def format_health(table: Sequence[CEHealth]) -> str:
+    """Per-CE health table from ``RunMonitor.health_table()``."""
+    if not table:
+        return "(no grid activity observed)"
+    headers = ["CE", "score", "attempts", "faults", "fault rate",
+               "stragglers", "med queue", "med run", "med TTF", "flags"]
+    rows = []
+    for health in table:
+        flags = []
+        if health.is_blackhole:
+            flags.append("BLACKHOLE")
+        if health.is_straggler:
+            flags.append("STRAGGLER")
+        rows.append([
+            health.ce,
+            f"{health.score:.2f}",
+            str(health.attempts),
+            str(health.faults),
+            f"{health.fault_rate:.0%}",
+            f"{health.straggler_jobs}/{health.completed}",
+            f"{health.median_queue:.1f}s",
+            f"{health.median_run:.1f}s",
+            f"{health.median_ttf:.1f}s" if health.faults else "-",
+            ",".join(flags) or "-",
+        ])
+    return _grid(headers, rows)
+
+
+def format_alerts(alerts: Sequence[Alert]) -> str:
+    """Chronological alert table from ``RunMonitor.sorted_alerts()``."""
+    if not alerts:
+        return "(no alerts raised)"
+    headers = ["t (s)", "kind", "severity", "scope", "subject", "message"]
+    rows = [
+        [
+            f"{alert.time:.1f}",
+            alert.kind,
+            alert.severity,
+            alert.scope,
+            alert.subject,
+            alert.message,
+        ]
+        for alert in alerts
+    ]
+    return _grid(headers, rows)
 
 
 def paper_comparison(sweep: SweepResult) -> str:

@@ -34,6 +34,14 @@ class QueuePolicy:
         """Pick and remove the next entry.  Only called when non-empty."""
         raise NotImplementedError
 
+    def _remove(self, entry: Any) -> bool:
+        """Withdraw *entry* if present; True when something was removed."""
+        raise NotImplementedError
+
+    def _entries(self) -> "list[Any]":
+        """Every queued entry (no particular order guarantee)."""
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -60,6 +68,19 @@ class QueuePolicy:
             self._getter = evt
         return evt
 
+    def remove(self, entry: Any) -> bool:
+        """Withdraw a still-queued *entry* (job cancellation).
+
+        Returns True when the entry was present and removed; an entry
+        already dispatched (or never enqueued) returns False — the
+        caller must then treat the job as running.
+        """
+        return self._remove(entry)
+
+    def entries(self) -> "list[Any]":
+        """A snapshot of currently queued entries."""
+        return self._entries()
+
 
 class FifoPolicy(QueuePolicy):
     """Strict arrival-order scheduling (the common PBS/LSF default)."""
@@ -73,6 +94,16 @@ class FifoPolicy(QueuePolicy):
 
     def _dequeue(self) -> Any:
         return self._queue.popleft()
+
+    def _remove(self, entry: Any) -> bool:
+        try:
+            self._queue.remove(entry)
+        except ValueError:
+            return False
+        return True
+
+    def _entries(self) -> "list[Any]":
+        return list(self._queue)
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -115,6 +146,23 @@ class FairSharePolicy(QueuePolicy):
         self._count -= 1
         return entry
 
+    def _remove(self, entry: Any) -> bool:
+        owner = self._owner_of(entry)
+        queue = self._per_owner.get(owner)
+        if queue is None:
+            return False
+        try:
+            queue.remove(entry)
+        except ValueError:
+            return False
+        if not queue:
+            del self._per_owner[owner]
+        self._count -= 1
+        return True
+
+    def _entries(self) -> "list[Any]":
+        return [entry for queue in self._per_owner.values() for entry in queue]
+
     def __len__(self) -> int:
         return self._count
 
@@ -129,7 +177,7 @@ class ShortestJobFirstPolicy(QueuePolicy):
 
     def __init__(self, engine: Engine) -> None:
         super().__init__(engine)
-        self._entries: list[Any] = []
+        self._items: list[Any] = []
         self._arrival: Dict[int, int] = {}
         self._counter = 0
 
@@ -140,15 +188,26 @@ class ShortestJobFirstPolicy(QueuePolicy):
         return record.description.compute_distribution().mean()
 
     def _enqueue(self, entry: Any) -> None:
-        self._entries.append(entry)
+        self._items.append(entry)
         self._arrival[id(entry)] = self._counter
         self._counter += 1
 
     def _dequeue(self) -> Any:
-        best = min(self._entries, key=lambda e: (self._expected(e), self._arrival[id(e)]))
-        self._entries.remove(best)
+        best = min(self._items, key=lambda e: (self._expected(e), self._arrival[id(e)]))
+        self._items.remove(best)
         del self._arrival[id(best)]
         return best
 
+    def _remove(self, entry: Any) -> bool:
+        try:
+            self._items.remove(entry)
+        except ValueError:
+            return False
+        del self._arrival[id(entry)]
+        return True
+
+    def _entries(self) -> "list[Any]":
+        return list(self._items)
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._items)

@@ -16,11 +16,19 @@ The model: each *attempt* fails independently with ``probability``.
 A failing attempt is detected only after ``detection_delay`` (the user
 notices via job monitoring), then the middleware resubmits, up to
 ``max_attempts`` total attempts.
+
+Failure is rarely uniform across a production grid: the classic EGEE
+pathology is the *blackhole* site that fails nearly everything it is
+given, and fails it fast.  ``ce_probability`` / ``ce_detection_delay``
+override the fleet-wide numbers for named computing elements so
+testbeds can inject exactly that asymmetry (and the live monitor can
+be tested against a known ground truth).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
@@ -36,12 +44,21 @@ class FaultModel:
     probability: float = 0.0
     detection_delay: Distribution = field(default_factory=lambda: Constant(0.0))
     max_attempts: int = 3
+    #: per-CE failure probability overrides (CE name -> probability)
+    ce_probability: Mapping[str, float] = field(default_factory=dict)
+    #: per-CE detection-delay overrides (CE name -> distribution)
+    ce_detection_delay: Mapping[str, Distribution] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {self.probability}")
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        for ce, p in self.ce_probability.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"probability for CE {ce!r} must be in [0, 1], got {p}"
+                )
 
     @classmethod
     def none(cls) -> "FaultModel":
@@ -54,22 +71,46 @@ class FaultModel:
         probability: float,
         detection_delay: "float | Distribution" = 0.0,
         max_attempts: int = 3,
+        ce_probability: Optional[Mapping[str, float]] = None,
+        ce_detection_delay: Optional[Mapping[str, "float | Distribution"]] = None,
     ) -> "FaultModel":
-        """Build coercing a bare delay number to a constant distribution."""
+        """Build coercing bare delay numbers to constant distributions."""
+        delays: Dict[str, Distribution] = {
+            ce: as_distribution(delay)
+            for ce, delay in (ce_detection_delay or {}).items()
+        }
         return cls(
             probability=probability,
             detection_delay=as_distribution(detection_delay),
             max_attempts=max_attempts,
+            ce_probability=dict(ce_probability or {}),
+            ce_detection_delay=delays,
         )
 
-    def attempt_fails(self, rng: np.random.Generator) -> bool:
-        """Sample whether one attempt fails."""
-        if self.probability == 0.0:
-            return False
-        return bool(rng.random() < self.probability)
+    def probability_for(self, ce: Optional[str] = None) -> float:
+        """The failure probability governing an attempt on *ce*."""
+        if ce is not None and ce in self.ce_probability:
+            return self.ce_probability[ce]
+        return self.probability
 
-    def sample_detection_delay(self, rng: np.random.Generator) -> float:
+    def attempt_fails(self, rng: np.random.Generator, ce: Optional[str] = None) -> bool:
+        """Sample whether one attempt (on *ce*, when known) fails.
+
+        The random stream is consumed whenever *any* CE can fail, so
+        which CE the broker happened to pick never shifts the draws
+        seen by later jobs — keeps seeded runs comparable across
+        feedback on/off ablations.
+        """
+        if self.probability == 0.0 and not self.ce_probability:
+            return False
+        return bool(rng.random() < self.probability_for(ce))
+
+    def sample_detection_delay(
+        self, rng: np.random.Generator, ce: Optional[str] = None
+    ) -> float:
         """How long a failure goes unnoticed before resubmission."""
+        if ce is not None and ce in self.ce_detection_delay:
+            return self.ce_detection_delay[ce].sample(rng)
         return self.detection_delay.sample(rng)
 
     def expected_attempts(self) -> float:

@@ -23,7 +23,13 @@ from typing import Any, Callable, Mapping, Optional, Sequence, Tuple
 
 from repro.util.distributions import Distribution, as_distribution
 
-__all__ = ["JobState", "JobDescription", "JobRecord", "JobFailedError"]
+__all__ = [
+    "JobState",
+    "JobDescription",
+    "JobRecord",
+    "JobFailedError",
+    "JobCancelledError",
+]
 
 _job_ids = itertools.count(1)
 
@@ -54,6 +60,20 @@ class JobFailedError(RuntimeError):
         super().__init__(f"job {record.job_id} ({record.name}) failed: {cause}")
         self.record = record
         self.cause = cause
+
+
+class JobCancelledError(RuntimeError):
+    """A queued job was withdrawn from its CE before running.
+
+    Not terminal for the job: the middleware catches this and
+    resubmits elsewhere without spending a fault attempt — the
+    proactive-resubmission half of the monitoring feedback loop.
+    """
+
+    def __init__(self, record: "JobRecord", reason: str) -> None:
+        super().__init__(f"job {record.job_id} ({record.name}) cancelled: {reason}")
+        self.record = record
+        self.reason = reason
 
 
 @dataclass(frozen=True)

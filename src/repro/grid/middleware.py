@@ -30,7 +30,13 @@ from typing import Dict, List, Optional
 
 from repro.grid.broker import ResourceBroker
 from repro.grid.faults import FaultModel
-from repro.grid.job import JobDescription, JobFailedError, JobRecord, JobState
+from repro.grid.job import (
+    JobCancelledError,
+    JobDescription,
+    JobFailedError,
+    JobRecord,
+    JobState,
+)
 from repro.grid.overhead import OverheadModel
 from repro.grid.resources import ComputingElement, Site
 from repro.grid.storage import LogicalFile, ReplicaCatalog, StorageElement
@@ -243,6 +249,40 @@ class Grid:
         )
         return SubmissionHandle(record, completion)
 
+    # -- monitoring feedback ------------------------------------------------
+    def set_health_provider(self, provider) -> None:
+        """Wire a live health provider (e.g. a ``RunMonitor``) into
+        brokering: least-loaded ranking demotes degraded CEs and avoids
+        flagged ones while healthy alternatives exist."""
+        self.broker.health = provider
+
+    def alert_reactor(self, kinds=("straggler", "blackhole", "fault-burst")):
+        """An alert sink that proactively resubmits queued jobs.
+
+        Register the returned callable on a monitor
+        (``monitor.add_sink(grid.alert_reactor())``): whenever a
+        CE-scope alert of one of *kinds* fires, every job still waiting
+        in that CE's batch queue is withdrawn and resubmitted through
+        the broker — which, with the health provider wired, now steers
+        them away from the flagged CE.  The Figure 6 operator reaction
+        ("D0 was submitted twice because an error occurred"), automated.
+        """
+        by_name = {ce.name: ce for ce in self.computing_elements}
+
+        def react(alert) -> None:
+            if getattr(alert, "scope", None) != "ce" or alert.kind not in kinds:
+                return
+            ce = by_name.get(alert.subject)
+            if ce is None:
+                return
+            cancelled = ce.cancel_queued(reason=f"{alert.kind} alert on {ce.name}")
+            if cancelled and self.instrumentation is not None:
+                self.instrumentation.metrics.counter(
+                    "grid.jobs.proactive_resubmissions"
+                ).inc(len(cancelled))
+
+        return react
+
     def attempt_span(self, job_id: int) -> Optional[Span]:
         """The currently open ``job.attempt`` span of *job_id*, if any.
 
@@ -277,6 +317,11 @@ class Grid:
                 bus.metrics.gauge("grid.in_flight").set(self._in_flight)
             self._attempt_spans.pop(record.job_id, None)
 
+    #: cancellations a single job may absorb without spending fault
+    #: attempts; beyond this, each further cancellation consumes one
+    #: (a termination guard against pathological cancel/resubmit loops)
+    MAX_FREE_CANCELLATIONS = 5
+
     def _attempts(
         self,
         record: JobRecord,
@@ -288,8 +333,12 @@ class Grid:
         engine = self.engine
         bus = self.instrumentation
         last_error = "unknown"
-        for attempt in range(1, self.faults.max_attempts + 1):
-            record.attempts = attempt
+        fault_attempts = 0
+        tries = 0
+        cancellations = 0
+        while fault_attempts < self.faults.max_attempts:
+            tries += 1
+            record.attempts = tries
             record.enter(JobState.SUBMITTED, engine.now)
             submitted_at = engine.now
             attempt_span: Optional[Span] = None
@@ -300,7 +349,7 @@ class Grid:
                     submitted_at,
                     parent=job_span,
                     job_id=record.job_id,
-                    attempt=attempt,
+                    attempt=tries,
                 )
                 self._attempt_spans[record.job_id] = attempt_span
             sample = self.overhead.sample(rng).under_load(self._overhead_scale())
@@ -320,16 +369,17 @@ class Grid:
                     matched_at,
                     parent=attempt_span,
                     job_id=record.job_id,
-                    attempt=attempt,
+                    attempt=tries,
                     ce=chosen.name,
                 )
 
-            if self.faults.attempt_fails(fault_rng):
-                delay = self.faults.sample_detection_delay(fault_rng)
+            if self.faults.attempt_fails(fault_rng, ce=chosen.name):
+                fault_attempts += 1
+                delay = self.faults.sample_detection_delay(fault_rng, ce=chosen.name)
                 if delay > 0:
                     yield engine.timeout(delay)
                 record.enter(JobState.FAILED, engine.now)
-                last_error = f"attempt {attempt} failed on {chosen.name}"
+                last_error = f"attempt {tries} failed on {chosen.name}"
                 record.failure_reason = last_error
                 if bus is not None:
                     bus.metrics.counter("grid.jobs.retries").inc()
@@ -341,8 +391,9 @@ class Grid:
                         parent=attempt_span,
                         status="error",
                         job_id=record.job_id,
-                        attempt=attempt,
+                        attempt=tries,
                         ce=chosen.name,
+                        job_name=record.description.name,
                     )
                     if attempt_span is not None:
                         bus.end(attempt_span, engine.now, status="error", error=last_error)
@@ -350,7 +401,36 @@ class Grid:
                 continue
 
             done_on_ce = chosen.submit(record, queue_extra=sample.queue_extra)
-            yield done_on_ce
+            try:
+                yield done_on_ce
+            except JobCancelledError as exc:
+                # Proactive resubmission: the monitor (via an alert
+                # sink) pulled this job off a flagged CE's queue.  Not
+                # a fault — resubmit without spending the attempt
+                # budget, up to the free-cancellation cap.
+                cancellations += 1
+                if cancellations > self.MAX_FREE_CANCELLATIONS:
+                    fault_attempts += 1
+                last_error = f"attempt {tries} cancelled on {chosen.name}"
+                record.failure_reason = str(exc)
+                if bus is not None:
+                    bus.metrics.counter("grid.jobs.cancellations").inc()
+                    bus.record(
+                        "job.cancel",
+                        "grid",
+                        matched_at,
+                        engine.now,
+                        parent=attempt_span,
+                        status="cancelled",
+                        job_id=record.job_id,
+                        attempt=tries,
+                        ce=chosen.name,
+                        reason=exc.reason,
+                    )
+                    if attempt_span is not None:
+                        bus.end(attempt_span, engine.now, status="cancelled")
+                        self._attempt_spans.pop(record.job_id, None)
+                continue
             if sample.completion_notification > 0:
                 yield engine.timeout(sample.completion_notification)
             record.enter(JobState.DONE, engine.now)
@@ -358,7 +438,7 @@ class Grid:
             if bus is not None:
                 self._record_success(record, attempt_span, matched_at, chosen.name)
                 if job_span is not None and job_span.open:
-                    bus.end(job_span, engine.now, ce=chosen.name, attempts=attempt)
+                    bus.end(job_span, engine.now, ce=chosen.name, attempts=tries)
             completion.succeed(record)
             return
 
@@ -390,7 +470,12 @@ class Grid:
         queued_at = record.last(JobState.QUEUED)
         running_at = record.last(JobState.RUNNING)
         if queued_at is not None and running_at is not None:
-            common = {"job_id": record.job_id, "attempt": record.attempts, "ce": ce_name}
+            common = {
+                "job_id": record.job_id,
+                "attempt": record.attempts,
+                "ce": ce_name,
+                "job_name": record.description.name,
+            }
             bus.record(
                 "job.schedule", "grid", matched_at, queued_at, parent=attempt_span, **common
             )

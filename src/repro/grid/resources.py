@@ -149,6 +149,30 @@ class ComputingElement:
         yield self.engine.timeout(delay)
         self.policy.put(entry)
 
+    def cancel_queued(self, reason: str = "cancelled") -> List[JobRecord]:
+        """Withdraw every job still waiting in the batch queue.
+
+        Each withdrawn entry's completion event fails with
+        :class:`~repro.grid.job.JobCancelledError`, which the
+        middleware treats as "resubmit elsewhere, for free" — the
+        proactive-resubmission arm of the monitoring feedback loop
+        (an operator pulling jobs off a site that went bad).  Jobs
+        already dispatched to a worker are left alone.  Returns the
+        withdrawn records.
+        """
+        from repro.grid.job import JobCancelledError
+
+        cancelled: List[JobRecord] = []
+        for entry in self.policy.entries():
+            if not self.policy.remove(entry):
+                continue
+            record = entry.record
+            record.enter(JobState.CANCELLED, self.engine.now)
+            cancelled.append(record)
+            if not entry.completion.triggered:
+                entry.completion.fail(JobCancelledError(record, reason))
+        return cancelled
+
     # -- dispatch ------------------------------------------------------------
     def _dispatch_loop(self):
         """Forever: pick next queued entry, grab a slot, run the job."""

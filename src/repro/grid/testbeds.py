@@ -20,6 +20,13 @@ Three regimes matter to the reproduction:
     paper's "around 10 minutes ± 5 minutes"), optional failures and
     background load.  This is the testbed behind the Table 1 / Table 2 /
     Figure 10 reproductions.
+
+``faulty_testbed``
+    A small grid with *known-bad* sites injected: one blackhole CE
+    (fails almost every attempt, fast) and one straggler CE (workers an
+    order of magnitude slower than the fleet).  Ground truth for the
+    live monitor's detection tests and for the broker-feedback ablation
+    benchmark — the monitor must flag exactly the injected sites.
 """
 
 from __future__ import annotations
@@ -39,7 +46,7 @@ from repro.util.distributions import LogNormal, TruncatedNormal, Uniform
 from repro.util.rng import RandomStreams
 from repro.util.units import MEBIBYTE, MINUTE
 
-__all__ = ["ideal_testbed", "cluster_testbed", "egee_like_testbed"]
+__all__ = ["ideal_testbed", "cluster_testbed", "egee_like_testbed", "faulty_testbed"]
 
 
 def ideal_testbed(engine: Engine, streams: Optional[RandomStreams] = None) -> Grid:
@@ -190,6 +197,93 @@ def egee_like_testbed(
             duration=LogNormal(mean_value=background_duration_mean, sigma_log=0.9),
         )
     return grid
+
+
+def faulty_testbed(
+    engine: Engine,
+    streams: Optional[RandomStreams] = None,
+    n_sites: int = 6,
+    workers_per_ce: int = 8,
+    slots_per_worker: int = 2,
+    blackhole_site: int = 1,
+    straggler_site: int = 2,
+    blackhole_probability: float = 0.9,
+    blackhole_detection_delay: float = 30.0,
+    straggler_speed: float = 0.3,
+    base_failure_probability: float = 0.02,
+    max_attempts: int = 25,
+) -> Grid:
+    """A grid with one injected blackhole CE and one straggler CE.
+
+    The blackhole site (index *blackhole_site*) fails
+    ``blackhole_probability`` of its attempts and fails them *fast*
+    (``blackhole_detection_delay`` seconds) — so its queue stays empty
+    and least-loaded ranking keeps feeding it, the self-reinforcing
+    EGEE pathology.  The straggler site's workers run at
+    ``straggler_speed`` of fleet speed.  Healthy sites have mild speed
+    spread (±5%) and a small background failure probability.
+    ``max_attempts`` is generous so the *no-feedback* baseline still
+    completes: without monitoring, jobs bounce off the blackhole many
+    times before landing somewhere healthy.
+
+    Overheads are small constants — the variability under study is the
+    injected pathology, not the middleware.
+    """
+    if n_sites < 3:
+        raise ValueError(f"faulty_testbed needs >= 3 sites, got {n_sites}")
+    if blackhole_site == straggler_site:
+        raise ValueError("blackhole and straggler must be different sites")
+    for index, label in ((blackhole_site, "blackhole_site"), (straggler_site, "straggler_site")):
+        if not 0 <= index < n_sites:
+            raise ValueError(f"{label} must be in [0, {n_sites}), got {index}")
+    streams = streams or RandomStreams(seed=0)
+    speed_rng = streams.get("worker-speeds")
+
+    sites = []
+    for s in range(n_sites):
+        site_name = f"site{s:02d}"
+        nodes = []
+        for w in range(workers_per_ce):
+            if s == straggler_site:
+                speed = straggler_speed
+            else:
+                speed = float(Uniform(0.95, 1.05).sample(speed_rng))
+            nodes.append(
+                WorkerNode(name=f"{site_name}-wn{w:03d}", slots=slots_per_worker, speed=speed)
+            )
+        ce = ComputingElement(
+            engine,
+            name=f"{site_name}-ce",
+            site=site_name,
+            workers=nodes,
+            policy=FifoPolicy(engine),
+        )
+        se = StorageElement(f"{site_name}-se", site=site_name)
+        sites.append(Site(name=site_name, computing_elements=[ce], storage_element=se))
+
+    blackhole_ce = f"site{blackhole_site:02d}-ce"
+    faults = FaultModel.from_values(
+        probability=base_failure_probability,
+        detection_delay=TruncatedNormal(mu=120.0, sigma=30.0, floor=30.0),
+        max_attempts=max_attempts,
+        ce_probability={blackhole_ce: blackhole_probability},
+        ce_detection_delay={blackhole_ce: blackhole_detection_delay},
+    )
+    return Grid(
+        engine,
+        streams,
+        sites=sites,
+        overhead=OverheadModel.from_values(
+            submission=2.0,
+            brokering=3.0,
+            queue_extra=5.0,
+            completion_notification=1.0,
+        ),
+        network=NetworkModel(),
+        faults=faults,
+        broker_strategy="least-loaded",
+        name="faulty",
+    )
 
 
 def _sigma_log_for(target_std: float, mean_value: float) -> float:

@@ -34,7 +34,16 @@ Pieces (all dependency-free, all in simulated time):
   renderer;
 * :mod:`~repro.observability.runstore` — the append-only run-history
   store (one JSON summary per run) and the budgeted
-  :func:`~repro.observability.runstore.compare` regression gate.
+  :func:`~repro.observability.runstore.compare` regression gate;
+* :mod:`~repro.observability.health` — rolling robust statistics
+  (median/MAD with a zero-variance guard) scoring every computing
+  element online: straggler and blackhole detection;
+* :mod:`~repro.observability.alerts` — typed :class:`Alert` records,
+  threshold configuration and the streaming JSONL alert writer;
+* :mod:`~repro.observability.monitor` — the live :class:`RunMonitor`
+  subscriber: per-service progress/ETA blending the Section 3.5 model
+  with the observed rate, per-CE health, the alert pipeline, and the
+  health-provider hook the broker uses to demote flagged CEs.
 
 Usage::
 
@@ -51,6 +60,16 @@ Usage::
 
 from __future__ import annotations
 
+from repro.observability.alerts import (
+    ALERT_KINDS,
+    Alert,
+    AlertError,
+    AlertRules,
+    JsonlAlertWriter,
+    alert_sort_key,
+    alerts_from_jsonl,
+    alerts_to_jsonl,
+)
 from repro.observability.bus import (
     ChromeTraceExporter,
     InMemoryCollector,
@@ -77,6 +96,15 @@ from repro.observability.drift import (
     policy_key,
     time_matrix,
 )
+from repro.observability.health import (
+    CEHealth,
+    FleetHealth,
+    HealthThresholds,
+    RobustStats,
+    RollingSample,
+    robust_stats,
+    robust_z,
+)
 from repro.observability.logbridge import LoggingSubscriber, cli_logger, get_logger
 from repro.observability.metrics import (
     Counter,
@@ -86,6 +114,7 @@ from repro.observability.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.observability.monitor import HealthProvider, RunMonitor, ServiceProgress
 from repro.observability.runstore import (
     Budgets,
     Regression,
@@ -152,4 +181,22 @@ __all__ = [
     "RunComparison",
     "summarize_run",
     "compare",
+    "RobustStats",
+    "robust_stats",
+    "robust_z",
+    "RollingSample",
+    "HealthThresholds",
+    "CEHealth",
+    "FleetHealth",
+    "ALERT_KINDS",
+    "Alert",
+    "AlertError",
+    "AlertRules",
+    "JsonlAlertWriter",
+    "alert_sort_key",
+    "alerts_to_jsonl",
+    "alerts_from_jsonl",
+    "HealthProvider",
+    "RunMonitor",
+    "ServiceProgress",
 ]

@@ -198,6 +198,15 @@ class JsonlExporter(Subscriber):
     file-like object (left open; the caller owns it).  Lines appear in
     span *completion* order — a stream, not a sorted report; readers
     sort by start time.
+
+    Every line is flushed as it is written: the file on disk is always
+    a valid JSONL prefix of the trace, so ``tail -f`` (or the live
+    monitor's replay tests) can read it *mid-run* instead of finding an
+    empty buffer.  Usable as a context manager::
+
+        with JsonlExporter("run.jsonl") as exporter:
+            bus.subscribe(exporter)
+            ...
     """
 
     def __init__(self, destination: Union[str, os.PathLike, io.TextIOBase]) -> None:
@@ -220,6 +229,7 @@ class JsonlExporter(Subscriber):
         handle = self._handle()
         handle.write(json.dumps(span.to_dict(), sort_keys=True))
         handle.write("\n")
+        handle.flush()
         self.lines_written += 1
 
     def close(self) -> None:
@@ -229,6 +239,12 @@ class JsonlExporter(Subscriber):
             if self._owns_file:
                 self._file.close()
                 self._file = None
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class ChromeTraceExporter(Subscriber):

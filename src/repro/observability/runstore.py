@@ -303,8 +303,10 @@ class Budgets:
 
     Relative budgets are fractions (0.05 = +5% allowed); ``drift`` and
     ``hit_rate`` are absolute deltas on quantities that are themselves
-    ratios.  Phases smaller than ``min_seconds`` in both runs are noise
-    and never compared.
+    ratios.  ``alerts`` is the allowed absolute growth of the live
+    monitor's ``monitor.alerts.total`` counter — the default 0.0 means
+    any *new* health alert fails the gate.  Phases smaller than
+    ``min_seconds`` in both runs are noise and never compared.
     """
 
     makespan: float = 0.05
@@ -312,6 +314,7 @@ class Budgets:
     drift: float = 0.05
     hit_rate: float = 0.05
     jobs: float = 0.0
+    alerts: float = 0.0
     min_seconds: float = 1.0
 
 
@@ -475,6 +478,20 @@ def compare(
             candidate.counters.get(jobs_key, 0.0),
             budgets.jobs,
             "relative",
+            regressions,
+            improvements,
+        )
+    alerts_key = "monitor.alerts.total"
+    if alerts_key in baseline.counters or alerts_key in candidate.counters:
+        checked.append(f"counter.{alerts_key}")
+        # absolute: alerts are small counts, and a baseline of zero must
+        # still fail the gate when the candidate starts alerting.
+        _check(
+            f"counter.{alerts_key}",
+            baseline.counters.get(alerts_key, 0.0),
+            candidate.counters.get(alerts_key, 0.0),
+            budgets.alerts,
+            "absolute",
             regressions,
             improvements,
         )

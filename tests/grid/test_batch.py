@@ -93,3 +93,52 @@ class TestShortestJobFirst:
         policy.put(entry(engine, "first", compute=5.0))
         policy.put(entry(engine, "second", compute=5.0))
         assert drain(policy, 2) == ["first", "second"]
+
+
+@pytest.mark.parametrize(
+    "policy_cls", [FifoPolicy, FairSharePolicy, ShortestJobFirstPolicy]
+)
+class TestWithdrawal:
+    """remove()/entries() back job cancellation across every policy."""
+
+    def test_entries_snapshot_covers_everything_queued(self, engine, policy_cls):
+        policy = policy_cls(engine)
+        queued = [entry(engine, f"j{i}", owner=f"u{i % 2}") for i in range(4)]
+        for item in queued:
+            policy.put(item)
+        assert sorted(e.record.name for e in policy.entries()) == [
+            "j0", "j1", "j2", "j3",
+        ]
+
+    def test_remove_withdraws_and_updates_len(self, engine, policy_cls):
+        policy = policy_cls(engine)
+        keep = entry(engine, "keep")
+        gone = entry(engine, "gone", owner="other")
+        policy.put(keep)
+        policy.put(gone)
+        assert policy.remove(gone)
+        assert len(policy) == 1
+        assert [e.record.name for e in policy.entries()] == ["keep"]
+        assert drain(policy, 1) == ["keep"]
+
+    def test_remove_is_idempotent_on_absent_entries(self, engine, policy_cls):
+        policy = policy_cls(engine)
+        present = entry(engine, "present")
+        never_queued = entry(engine, "never")
+        policy.put(present)
+        assert not policy.remove(never_queued)
+        assert policy.remove(present)
+        assert not policy.remove(present)  # already dispatched/removed
+        assert len(policy) == 0
+
+    def test_removing_everything_leaves_a_clean_queue(self, engine, policy_cls):
+        policy = policy_cls(engine)
+        queued = [entry(engine, f"j{i}", owner=f"u{i}") for i in range(3)]
+        for item in queued:
+            policy.put(item)
+        for item in queued:
+            assert policy.remove(item)
+        assert len(policy) == 0 and policy.entries() == []
+        # the queue still works after a full withdrawal
+        policy.put(entry(engine, "fresh"))
+        assert drain(policy, 1) == ["fresh"]

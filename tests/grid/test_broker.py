@@ -44,6 +44,24 @@ class TestRanking:
         chosen = [match_one(engine, broker).name for _ in range(6)]
         assert chosen == ["ce0", "ce1", "ce2", "ce0", "ce1", "ce2"]
 
+    def test_round_robin_state_is_per_broker(self, engine, streams):
+        # regression: the rotation used to be shared module state, so a
+        # second broker over the same fleet resumed mid-cycle instead of
+        # starting at ce0 — two identical testbeds diverged
+        ces = make_ces(engine, 3)
+        first = ResourceBroker(
+            engine, ces, rng=streams.get("b1"), strategy="round-robin"
+        )
+        assert [match_one(engine, first).name for _ in range(2)] == ["ce0", "ce1"]
+        second = ResourceBroker(
+            engine, ces, rng=streams.get("b2"), strategy="round-robin"
+        )
+        assert [match_one(engine, second).name for _ in range(3)] == [
+            "ce0", "ce1", "ce2",
+        ]
+        # and the first broker's own rotation was not disturbed
+        assert match_one(engine, first).name == "ce2"
+
     def test_random_is_reproducible(self, engine):
         ces = make_ces(engine, 4)
         s1 = RandomStreams(seed=5)
@@ -98,3 +116,54 @@ class TestBrokerConcurrency:
         for _ in range(4):
             match_one(engine, broker)
         assert broker.matchmaking_count == 4
+
+
+class FakeHealth:
+    """Scripted HealthProvider stand-in."""
+
+    def __init__(self, blacklist=(), penalties=None):
+        self.blacklist = set(blacklist)
+        self.penalties = dict(penalties or {})
+
+    def blacklisted(self, ce):
+        return ce in self.blacklist
+
+    def penalty(self, ce):
+        return self.penalties.get(ce, 0.0)
+
+
+class TestHealthFeedback:
+    def test_blacklisted_ce_avoided(self, engine, streams):
+        ces = make_ces(engine, 3)
+        broker = ResourceBroker(
+            engine, ces, rng=streams.get("b"), strategy="least-loaded",
+            health=FakeHealth(blacklist={"ce0"}),
+        )
+        assert match_one(engine, broker).name == "ce1"
+        assert broker.demotions == 1
+
+    def test_all_blacklisted_still_places_the_job(self, engine, streams):
+        # a blacklist is a strong preference, never a deadlock
+        ces = make_ces(engine, 2)
+        broker = ResourceBroker(
+            engine, ces, rng=streams.get("b"),
+            health=FakeHealth(blacklist={"ce0", "ce1"}),
+        )
+        assert match_one(engine, broker).name == "ce0"
+
+    def test_penalty_demotes_without_blacklisting(self, engine, streams):
+        ces = make_ces(engine, 2)
+        broker = ResourceBroker(
+            engine, ces, rng=streams.get("b"), strategy="least-loaded",
+            health=FakeHealth(penalties={"ce0": 5.0}),
+        )
+        assert match_one(engine, broker).name == "ce1"
+        assert broker.demotions == 0  # demotion counts blacklist exclusions only
+
+    def test_healthy_provider_changes_nothing(self, engine, streams):
+        ces = make_ces(engine, 3)
+        plain = ResourceBroker(engine, ces, rng=streams.get("a"))
+        wired = ResourceBroker(
+            engine, ces, rng=streams.get("b"), health=FakeHealth()
+        )
+        assert match_one(engine, plain).name == match_one(engine, wired).name

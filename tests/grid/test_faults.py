@@ -45,3 +45,55 @@ class TestFaultModel:
         low = FaultModel.from_values(probability=0.05, max_attempts=3)
         high = FaultModel.from_values(probability=0.5, max_attempts=3)
         assert high.expected_attempts() > low.expected_attempts()
+
+
+class TestPerCEOverrides:
+    def test_probability_for(self):
+        model = FaultModel.from_values(
+            probability=0.02, ce_probability={"hole-ce": 0.9}
+        )
+        assert model.probability_for("hole-ce") == 0.9
+        assert model.probability_for("ok-ce") == 0.02
+        assert model.probability_for(None) == 0.02
+
+    def test_ce_probability_validated(self):
+        with pytest.raises(ValueError, match="hole"):
+            FaultModel.from_values(probability=0.0, ce_probability={"hole": 1.5})
+
+    def test_blackhole_ce_fails_much_more_often(self, rng):
+        model = FaultModel.from_values(
+            probability=0.02, ce_probability={"hole": 0.9}
+        )
+        hole = sum(model.attempt_fails(rng, ce="hole") for _ in range(2000))
+        ok = sum(model.attempt_fails(rng, ce="ok") for _ in range(2000))
+        assert hole / 2000 == pytest.approx(0.9, abs=0.03)
+        assert ok / 2000 == pytest.approx(0.02, abs=0.02)
+
+    def test_ce_choice_never_shifts_the_stream(self):
+        # one draw per attempt regardless of which CE was picked: seeded
+        # runs stay comparable across feedback on/off ablations that
+        # route jobs differently
+        model = FaultModel.from_values(probability=0.1, ce_probability={"hole": 0.9})
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        for i in range(200):
+            model.attempt_fails(rng_a, ce="hole" if i % 2 else "ok")
+            model.attempt_fails(rng_b, ce="ok")
+        assert rng_a.random() == rng_b.random()
+
+    def test_zero_probability_everywhere_consumes_nothing(self):
+        model = FaultModel.none()
+        rng_a = np.random.default_rng(4)
+        rng_b = np.random.default_rng(4)
+        for _ in range(50):
+            model.attempt_fails(rng_a, ce="any")
+        assert rng_a.random() == rng_b.random()
+
+    def test_per_ce_detection_delay(self, rng):
+        model = FaultModel.from_values(
+            probability=0.5,
+            detection_delay=120.0,
+            ce_detection_delay={"hole": 5.0},
+        )
+        assert model.sample_detection_delay(rng, ce="hole") == 5.0
+        assert model.sample_detection_delay(rng, ce="ok") == 120.0

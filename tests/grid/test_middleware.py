@@ -154,6 +154,89 @@ class TestLoadCoupling:
         assert grid.load_factor() == 0.0
 
 
+class TestAlertReactor:
+    def _feedback_grid(self, engine, streams):
+        from repro.observability.bus import InstrumentationBus
+        from repro.observability.monitor import RunMonitor
+
+        sites = []
+        for i in range(2):
+            name = f"s{i}"
+            ce = ComputingElement(
+                engine, f"ce{i}", name, workers=[WorkerNode(f"w{i}", slots=1)]
+            )
+            sites.append(
+                Site(
+                    name=name,
+                    computing_elements=[ce],
+                    storage_element=StorageElement(f"se{i}", site=name),
+                )
+            )
+        bus = InstrumentationBus()
+        grid = Grid(
+            engine,
+            streams,
+            sites=sites,
+            overhead=OverheadModel.zero(),
+            network=NetworkModel(
+                lan=LinkParameters(latency=1.0, bandwidth=10 * MEBIBYTE),
+                wan=LinkParameters(latency=5.0, bandwidth=1 * MEBIBYTE),
+            ),
+            faults=FaultModel.none(),
+            instrumentation=bus,
+        )
+        monitor = RunMonitor.attach(bus)
+        grid.set_health_provider(monitor)
+        monitor.add_sink(grid.alert_reactor())
+        return grid, bus, monitor
+
+    def test_ce_alert_pulls_queued_jobs_to_a_healthy_ce(self, engine, streams):
+        grid, bus, monitor = self._feedback_grid(engine, streams)
+        # least-loaded alternates plugs ce0/ce1/ce0/ce1; each CE ends up
+        # with one running job and one in dispatch limbo.  The victim
+        # then ties back to ce0 as the *third* entry — the first one
+        # cancel_queued can actually withdraw (limbo entries are already
+        # off the policy queue).
+        for i in range(4):
+            grid.submit(JobDescription(name=f"plug{i}", compute_time=300.0))
+            engine.run(until=float(i + 1))
+        victim = grid.submit(JobDescription(name="victim", compute_time=5.0))
+        engine.run(until=5.0)
+        assert victim.record.computing_element == "ce0"
+
+        # four fast faults brand ce0 a blackhole; the reactor must pull
+        # the victim off its queue and the blacklist must steer the
+        # resubmission to ce1
+        for i in range(4):
+            bus.record(
+                "job.fault", "grid", 5.0, 10.0, ce="ce0", job_id=900 + i,
+                job_name=f"bg#{i}",
+            )
+        assert monitor.flagged_ces() == ["ce0"]
+        record = engine.run(until=victim.completion)
+        assert record.state is JobState.DONE
+        assert record.computing_element == "ce1"
+        assert record.timestamps[JobState.CANCELLED]
+        assert bus.metrics.counter("grid.jobs.proactive_resubmissions").value == 1
+        assert bus.metrics.counter("grid.jobs.cancellations").value == 1
+
+    def test_non_ce_alerts_are_ignored(self, engine, streams):
+        from repro.observability.alerts import Alert
+
+        grid, bus, _ = self._feedback_grid(engine, streams)
+        grid.submit(JobDescription(name="plug", compute_time=100.0))
+        engine.run(until=1.0)
+        queued = grid.submit(JobDescription(name="waits", compute_time=1.0))
+        engine.run(until=2.0)
+        react = grid.alert_reactor()
+        react(Alert(kind="straggler", time=2.0, subject="job:1", scope="job"))
+        react(Alert(kind="eta-blowout", time=2.0, subject="run", scope="run"))
+        react(Alert(kind="blackhole", time=2.0, subject="no-such-ce", scope="ce"))
+        record = engine.run(until=queued.completion)
+        assert record.state is JobState.DONE
+        assert bus.metrics.counter("grid.jobs.cancellations").value == 0
+
+
 class TestTestbeds:
     def test_ideal_job_costs_exactly_compute(self, engine):
         grid = ideal_testbed(engine)

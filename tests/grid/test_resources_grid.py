@@ -109,6 +109,44 @@ class TestComputingElement:
         assert record.result == {"v": 9}
 
 
+class TestCancelQueued:
+    def test_queued_jobs_are_withdrawn_with_cancelled_error(self, engine):
+        from repro.grid.job import JobCancelledError
+
+        ce = ComputingElement(engine, "ce", "site", workers=[WorkerNode("w0")])
+        blocker = ce.submit(JobRecord(JobDescription(name="run", compute_time=100.0)))
+        waiting = [
+            ce.submit(JobRecord(JobDescription(name=f"q{i}", compute_time=1.0)))
+            for i in range(3)
+        ]
+        engine.run(until=1.0)  # "run" holds the only slot, the rest queue
+        cancelled = ce.cancel_queued(reason="site flagged")
+        # q0 is already in dispatch limbo (picked by the dispatch loop,
+        # waiting on a slot) so only the entries still held by the queue
+        # policy are withdrawn
+        assert [r.name for r in cancelled] == ["q1", "q2"]
+        assert all(r.state is JobState.CANCELLED for r in cancelled)
+        assert not waiting[0].triggered
+        for completion in waiting[1:]:
+            assert completion.triggered and not completion.ok
+            assert isinstance(completion.value, JobCancelledError)
+            assert "site flagged" in str(completion.value)
+        assert not blocker.triggered  # the dispatched job is untouched
+
+    def test_dispatched_job_still_completes(self, engine):
+        ce = ComputingElement(engine, "ce", "site", workers=[WorkerNode("w0")])
+        running = ce.submit(JobRecord(JobDescription(name="run", compute_time=10.0)))
+        engine.run(until=1.0)
+        assert ce.cancel_queued() == []
+        record = engine.run(until=running)
+        assert record.name == "run"
+        assert engine.now == 10.0
+
+    def test_cancel_on_empty_queue_is_a_noop(self, engine):
+        ce = ComputingElement(engine, "ce", "site", workers=[WorkerNode("w0")])
+        assert ce.cancel_queued() == []
+
+
 class TestSite:
     def test_requires_a_ce(self):
         with pytest.raises(ValueError):

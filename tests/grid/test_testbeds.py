@@ -3,7 +3,12 @@
 import pytest
 
 from repro.grid.job import JobDescription
-from repro.grid.testbeds import cluster_testbed, egee_like_testbed, ideal_testbed
+from repro.grid.testbeds import (
+    cluster_testbed,
+    egee_like_testbed,
+    faulty_testbed,
+    ideal_testbed,
+)
 from repro.util.rng import RandomStreams
 
 
@@ -87,3 +92,35 @@ class TestEgeeLike:
     def test_invalid_site_count_rejected(self, engine):
         with pytest.raises(ValueError):
             egee_like_testbed(engine, RandomStreams(1), n_sites=0)
+
+
+class TestFaulty:
+    def test_needs_three_sites(self, engine):
+        with pytest.raises(ValueError, match=">= 3 sites"):
+            faulty_testbed(engine, RandomStreams(1), n_sites=2)
+
+    def test_pathological_sites_must_differ(self, engine):
+        with pytest.raises(ValueError, match="must be different"):
+            faulty_testbed(engine, RandomStreams(1), blackhole_site=1, straggler_site=1)
+
+    def test_pathological_site_indices_bounded(self, engine):
+        with pytest.raises(ValueError, match="blackhole_site"):
+            faulty_testbed(engine, RandomStreams(1), n_sites=3, blackhole_site=3)
+        with pytest.raises(ValueError, match="straggler_site"):
+            faulty_testbed(engine, RandomStreams(1), n_sites=3, straggler_site=-1)
+
+    def test_blackhole_ce_fails_fast_and_often(self, engine):
+        grid = faulty_testbed(engine, RandomStreams(1))
+        assert grid.faults.probability_for("site01-ce") == 0.9
+        assert grid.faults.probability_for("site00-ce") == 0.02
+        rng = RandomStreams(1).get("check")
+        assert grid.faults.sample_detection_delay(rng, ce="site01-ce") == 30.0
+        # healthy sites detect failures on the slow middleware timescale
+        assert grid.faults.sample_detection_delay(rng, ce="site00-ce") >= 30.0
+
+    def test_straggler_site_is_uniformly_slow(self, engine):
+        grid = faulty_testbed(engine, RandomStreams(1), straggler_speed=0.3)
+        by_name = {ce.name: ce for ce in grid.computing_elements}
+        assert {w.speed for w in by_name["site02-ce"].workers} == {0.3}
+        healthy_speeds = [w.speed for w in by_name["site00-ce"].workers]
+        assert all(0.95 <= s <= 1.05 for s in healthy_speeds)

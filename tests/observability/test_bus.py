@@ -96,6 +96,36 @@ class TestJsonlExporter:
         assert exporter.lines_written == 1
         assert len(spans_from_jsonl(path.read_text())) == 1
 
+    def test_every_line_flushed_mid_run(self, tmp_path):
+        # the trace on disk must be a readable JSONL prefix while the
+        # run is still going (tail -f, live monitor replay) — not an
+        # empty OS buffer that only materializes at close()
+        path = tmp_path / "run.jsonl"
+        exporter = JsonlExporter(path)
+        bus = InstrumentationBus(subscribers=[exporter])
+        bus.record("job.run", "grid", 0.0, 5.0, job_id=1)
+        mid_run = spans_from_jsonl(path.read_text())
+        assert [s.attributes["job_id"] for s in mid_run] == [1]
+        bus.record("job.run", "grid", 5.0, 9.0, job_id=2)
+        assert len(spans_from_jsonl(path.read_text())) == 2
+        exporter.close()
+
+    def test_context_manager_closes_owned_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlExporter(path) as exporter:
+            bus = InstrumentationBus(subscribers=[exporter])
+            bus.record("job.run", "grid", 0.0, 5.0)
+        assert exporter._file is None  # owned handle released
+        assert len(spans_from_jsonl(path.read_text())) == 1
+
+    def test_context_manager_leaves_borrowed_handle_open(self):
+        buffer = io.StringIO()
+        with JsonlExporter(buffer) as exporter:
+            bus = InstrumentationBus(subscribers=[exporter])
+            bus.record("job.run", "grid", 0.0, 5.0)
+        assert not buffer.closed
+        assert len(spans_from_jsonl(buffer.getvalue())) == 1
+
 
 class TestChromeTraceExporter:
     def _spans(self, bus):

@@ -1,0 +1,192 @@
+"""Tests for the rolling robust health statistics."""
+
+import math
+
+import pytest
+
+from repro.observability.health import (
+    MAD_SCALE,
+    MEAN_AD_SCALE,
+    FleetHealth,
+    HealthThresholds,
+    RollingSample,
+    robust_stats,
+    robust_z,
+)
+
+
+class TestRobustStats:
+    def test_median_and_mad(self):
+        stats = robust_stats([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert stats.median == 3.0
+        assert stats.mad == 1.0  # deviations 2,1,0,1,97 -> median 1
+        assert stats.scale == pytest.approx(MAD_SCALE)
+
+    def test_even_sample_interpolates_median(self):
+        assert robust_stats([1.0, 3.0]).median == 2.0
+
+    def test_mad_zero_falls_back_to_mean_ad(self):
+        # more than half the sample on the median: MAD degenerates, but
+        # the spread is real and must yield a usable scale
+        values = [5.0, 5.0, 5.0, 5.0, 100.0]
+        stats = robust_stats(values)
+        assert stats.mad == 0.0
+        mean_ad = 95.0 / 5
+        assert stats.scale == pytest.approx(MEAN_AD_SCALE * mean_ad)
+
+    def test_constant_sample_has_zero_scale(self):
+        stats = robust_stats([7.0, 7.0, 7.0])
+        assert stats.mad == 0.0
+        assert stats.scale == 0.0
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            robust_stats([])
+
+
+class TestRobustZ:
+    def test_normal_scale(self):
+        stats = robust_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert robust_z(3.0, stats) == 0.0
+        assert robust_z(3.0 + MAD_SCALE, stats) == pytest.approx(1.0)
+
+    def test_degenerate_scale_never_divides_by_zero(self):
+        stats = robust_stats([7.0, 7.0, 7.0])
+        assert robust_z(7.0, stats) == 0.0
+        assert robust_z(8.0, stats) == math.inf
+        assert robust_z(6.0, stats) == -math.inf
+
+
+class TestRollingSample:
+    def test_window_evicts_oldest(self):
+        sample = RollingSample(maxlen=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            sample.add(v)
+        assert sample.values() == [2.0, 3.0, 4.0]
+        assert len(sample) == 3
+
+    def test_stats_cache_invalidated_by_add(self):
+        sample = RollingSample()
+        sample.add(1.0)
+        assert sample.stats().median == 1.0
+        sample.add(3.0)
+        assert sample.stats().median == 2.0
+
+    def test_maxlen_validated(self):
+        with pytest.raises(ValueError):
+            RollingSample(maxlen=0)
+
+
+class TestHealthThresholds:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthThresholds(min_samples=0)
+        with pytest.raises(ValueError):
+            HealthThresholds(ce_straggler_fraction=0.0)
+        with pytest.raises(ValueError):
+            HealthThresholds(blackhole_fault_rate=1.5)
+
+
+class TestFleetHealth:
+    def test_single_sample_ce_scores_healthy(self):
+        # one unlucky job can neither brand a blackhole nor a straggler
+        fleet = FleetHealth()
+        fleet.observe_fault("ce0", time_to_failure=1.0)
+        health = fleet.health_of("ce0")
+        assert not health.flagged
+        assert health.fault_rate == 1.0  # evidence recorded, flag gated
+
+    def test_all_faulted_ce_is_blackhole_via_floor(self):
+        # no successful run anywhere: "fast" falls back to the absolute
+        # time-to-failure floor
+        fleet = FleetHealth()
+        for _ in range(4):
+            fleet.observe_fault("hole", time_to_failure=10.0)
+        health = fleet.health_of("hole")
+        assert health.is_blackhole
+        assert health.score == 0.0
+
+    def test_slow_failures_are_not_a_blackhole(self):
+        # a CE failing every attempt but *slowly* (above the floor, no
+        # fleet context) is broken, not a blackhole
+        fleet = FleetHealth()
+        for _ in range(4):
+            fleet.observe_fault("slowfail", time_to_failure=500.0)
+        assert not fleet.health_of("slowfail").is_blackhole
+
+    def test_blackhole_relative_to_fleet_run_median(self):
+        fleet = FleetHealth()
+        # fleet context: healthy CEs run ~100s
+        for i in range(6):
+            fleet.observe_phase("ok", "job.run", 100.0, job_id=i)
+        for _ in range(4):
+            fleet.observe_fault("hole", time_to_failure=130.0)
+        # 130s ttf > floor but <= 0.5 * fleet median? 0.5*100 = 50 -> NOT fast
+        assert not fleet.health_of("hole").is_blackhole
+        fleet2 = FleetHealth()
+        for i in range(6):
+            fleet2.observe_phase("ok", "job.run", 100.0, job_id=i)
+        for _ in range(4):
+            fleet2.observe_fault("hole", time_to_failure=40.0)
+        assert fleet2.health_of("hole").is_blackhole
+
+    def test_straggler_jobs_flag_the_ce(self):
+        fleet = FleetHealth()
+        # reference population: 8 ordinary completions elsewhere
+        for i in range(8):
+            fleet.observe_phase("ok", "job.run", 100.0 + i, job_id=i)
+        # slowpoke completes 4 jobs, all wildly beyond the fleet z-threshold
+        flagged = [
+            fleet.observe_phase("slow", "job.run", 5000.0, job_id=100 + i)
+            for i in range(4)
+        ]
+        assert all(flagged)
+        health = fleet.health_of("slow")
+        assert health.is_straggler
+        assert health.straggler_fraction == 1.0
+
+    def test_grouped_windows_isolate_services(self):
+        fleet = FleetHealth()
+        # service A runs ~1000s, service B ~50s; without grouping B's
+        # population would make every A job look like a straggler
+        for i in range(6):
+            fleet.observe_phase("ce0", "job.run", 50.0, job_id=i, group="B")
+        for i in range(6):
+            straggler = fleet.observe_phase(
+                "ce1", "job.run", 1000.0, job_id=100 + i, group="A"
+            )
+            assert not straggler
+        assert not fleet.health_of("ce1").is_straggler
+
+    def test_ungrouped_observations_share_one_window(self):
+        fleet = FleetHealth()
+        for i in range(6):
+            fleet.observe_phase("ce0", "job.run", 50.0, job_id=i)
+        assert fleet.observe_phase("ce1", "job.run", 5000.0, job_id=99)
+
+    def test_z_computed_before_adding_the_observation(self):
+        fleet = FleetHealth(HealthThresholds(min_samples=4))
+        for i in range(4):
+            fleet.observe_phase("ce0", "job.queue", 10.0, job_id=i)
+        # the outlier may not drag the reference median toward itself
+        assert fleet.observe_phase("ce0", "job.queue", 10_000.0, job_id=9)
+
+    def test_seen_and_first_seen_order(self):
+        fleet = FleetHealth()
+        assert not fleet.seen("ce0")
+        fleet.observe_phase("ce0", "job.run", 1.0)
+        fleet.observe_fault("ce1", 1.0)
+        assert fleet.seen("ce0") and fleet.seen("ce1")
+        assert fleet.ces() == ["ce0", "ce1"]
+        assert [h.ce for h in fleet.table()] == ["ce0", "ce1"]
+
+    def test_score_composition(self):
+        fleet = FleetHealth()
+        for i in range(2):
+            fleet.observe_phase("mixed", "job.run", 100.0, job_id=i)
+        fleet.observe_fault("mixed", 60.0)
+        fleet.observe_fault("mixed", 60.0)
+        health = fleet.health_of("mixed")
+        # fault rate 0.5, no flags (ttf 60 > 0.5 * fleet median 100 = 50)
+        assert not health.flagged
+        assert health.score == pytest.approx(0.5)
