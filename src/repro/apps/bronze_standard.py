@@ -204,6 +204,9 @@ class BronzeStandardApplication:
         method_to_test: str = "crestMatch",
         cache: "Optional[ResultCache]" = None,
         instrumentation=None,
+        journal=None,
+        resume: bool = False,
+        crash_after: Optional[int] = None,
     ) -> EnactmentResult:
         """Run the workflow under *config* over *n_pairs* image pairs.
 
@@ -214,6 +217,12 @@ class BronzeStandardApplication:
         An :class:`~repro.observability.InstrumentationBus` turns the
         run into a correlated span stream (enactor + grid layers) and
         attaches the per-run metrics snapshot to the result.
+
+        *journal* (an :class:`~repro.core.journal.EnactmentJournal` or a
+        path) enables the crash-safe WAL; ``resume=True`` replays the
+        journal's completed invocations before executing the rest.
+        *crash_after* raises a simulated crash once that many new
+        invocations completed (crash-resume testing).
         """
         if dataset is None:
             dataset = self.build_dataset(n_pairs, method_to_test=method_to_test)
@@ -224,7 +233,11 @@ class BronzeStandardApplication:
             grid=self.grid,
             cache=cache,
             instrumentation=instrumentation,
+            journal=journal,
+            crash_after_n_invocations=crash_after,
         )
+        if resume:
+            return enactor.resume(dataset)
         return enactor.run(dataset)
 
     @staticmethod

@@ -39,7 +39,7 @@ from repro.services.descriptor import (
 from repro.services.wrapper import GenericWrapperService
 from repro.sim.engine import Engine
 from repro.util.distributions import Distribution, TruncatedNormal, as_distribution
-from repro.util.rng import RandomStreams
+from repro.util.rng import RandomStreams, stable_hash64
 from repro.util.units import KIBIBYTE, MEBIBYTE
 
 __all__ = [
@@ -147,16 +147,24 @@ def build_registration_services(
             return as_distribution(timings[name])
         return table[name].compute_time
 
-    def rng_of(name: str) -> np.random.Generator:
-        return streams.get(f"algorithm:{name}")
+    def rng_for(name: str, pair_id: int) -> np.random.Generator:
+        # One generator per (algorithm, image pair), derived from the
+        # master seed: an algorithm's draws for pair k are the same no
+        # matter which invocations ran before it.  That input-determinism
+        # is what makes a crash-resumed run byte-identical to an
+        # uninterrupted one — a shared per-algorithm stream would hand
+        # out draws in completion order, which a resume reshuffles.
+        seq = np.random.SeedSequence(
+            [streams.seed, stable_hash64(f"algorithm:{name}"), int(pair_id)]
+        )
+        return np.random.default_rng(seq)
 
     services: Dict[str, GenericWrapperService] = {}
 
     # -- crestLines: pre-processing, extracts crest lines from both images
-    crestlines_rng = rng_of("crestLines")
-
     def crestlines_program(floating_image, reference_image, scale):
         pair = _pair_of(floating_image)
+        crestlines_rng = rng_for("crestLines", pair.pair_id)
         n_ref = int(crestlines_rng.integers(1500, 4000))
         n_flo = int(crestlines_rng.integers(1500, 4000))
         return {
@@ -193,12 +201,11 @@ def build_registration_services(
 
     # -- crestMatch: feature-based registration, initializes the others
     crestmatch_profile = table["crestMatch"]
-    crestmatch_rng = rng_of("crestMatch")
 
     def crestmatch_program(crest_reference, crest_floating):
         pair = _pair_of(crest_reference)
         estimate = pair.true_transform.perturb(
-            crestmatch_rng,
+            rng_for("crestMatch", pair.pair_id),
             crestmatch_profile.rotation_sigma_deg,
             crestmatch_profile.translation_sigma_mm,
         )
@@ -225,12 +232,13 @@ def build_registration_services(
     # -- Baladin and Yasmina: intensity-based, need an initialization
     def intensity_method(method: str, executable: str) -> GenericWrapperService:
         profile = table[method]
-        method_rng = rng_of(method)
 
         def program(floating_image, reference_image, init_transform):
             pair = _pair_of(floating_image)
             estimate = pair.true_transform.perturb(
-                method_rng, profile.rotation_sigma_deg, profile.translation_sigma_mm
+                rng_for(method, pair.pair_id),
+                profile.rotation_sigma_deg,
+                profile.translation_sigma_mm,
             )
             return {"transform": RegistrationResult(method, pair.pair_id, estimate)}
 
@@ -257,13 +265,12 @@ def build_registration_services(
     services["Yasmina"] = intensity_method("Yasmina", "yasmina")
 
     # -- PFMatchICP -> PFRegister: the two-step point/feature pipeline
-    pfmatch_rng = rng_of("PFMatchICP")
-
     def pfmatch_program(floating_image, reference_image, init_transform):
         pair = _pair_of(floating_image)
+        rng = rng_for("PFMatchICP", pair.pair_id)
         return {
             "matched_points": MatchedPointSet(
-                pair=pair, n_matches=int(pfmatch_rng.integers(800, 2500))
+                pair=pair, n_matches=int(rng.integers(800, 2500))
             )
         }
 
@@ -287,12 +294,11 @@ def build_registration_services(
     )
 
     pfregister_profile = table["PFRegister"]
-    pfregister_rng = rng_of("PFRegister")
 
     def pfregister_program(matched_points):
         pair = matched_points.pair
         estimate = pair.true_transform.perturb(
-            pfregister_rng,
+            rng_for("PFRegister", pair.pair_id),
             pfregister_profile.rotation_sigma_deg,
             pfregister_profile.translation_sigma_mm,
         )

@@ -45,6 +45,8 @@ __all__ = [
     "FileStore",
     "CacheStoreError",
     "estimate_entry_bytes",
+    "encode_datum",
+    "decode_datum",
 ]
 
 #: pinned pickle protocol so FileStore entries are portable across the
@@ -183,6 +185,12 @@ def _decode_datum(doc: dict) -> GridData:
     else:
         value = pickle.loads(base64.b64decode(value_doc["data"]))
     return GridData(value=value, file=file)
+
+
+#: public datum codec: the enactment journal (repro.core.journal) shares
+#: this wire format so journaled outputs round-trip exactly like cached ones
+encode_datum = _encode_datum
+decode_datum = _decode_datum
 
 
 def entry_to_document(entry: CacheEntry) -> dict:

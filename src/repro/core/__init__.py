@@ -21,7 +21,9 @@ contribution of the paper, reimplemented on the simulated grid:
 
 from repro.core.config import OptimizationConfig
 from repro.core.enactor import EnactmentResult, MoteurEnactor
+from repro.core.failures import DeadLetter, FailureReport, InvocationFailure
 from repro.core.grouping import GroupInfo, group_workflow
+from repro.core.journal import EnactmentJournal, JournalEntry, SimulatedCrash
 from repro.core.provenance import HistoryTree, compatible
 from repro.core.tokens import NO_DATA, DataToken
 from repro.core.trace import ExecutionTrace, TraceEvent
@@ -38,4 +40,10 @@ __all__ = [
     "TraceEvent",
     "GroupInfo",
     "group_workflow",
+    "InvocationFailure",
+    "DeadLetter",
+    "FailureReport",
+    "EnactmentJournal",
+    "JournalEntry",
+    "SimulatedCrash",
 ]

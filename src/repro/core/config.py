@@ -49,8 +49,15 @@ class OptimizationConfig:
     cache_max_entries: Optional[int] = None
     #: seconds a cached result stays valid (None = forever)
     cache_ttl: Optional[float] = None
+    #: "strict" aborts the run on the first unrecoverable invocation;
+    #: "best_effort" contains it to its lineage (see repro.core.failures)
+    failure_mode: str = "strict"
 
     def __post_init__(self) -> None:
+        if self.failure_mode not in ("strict", "best_effort"):
+            raise ValueError(
+                f"failure_mode must be 'strict' or 'best_effort', got {self.failure_mode!r}"
+            )
         if self.data_parallelism_cap is not None:
             if not self.data_parallelism:
                 raise ValueError("data_parallelism_cap requires data_parallelism=True")
@@ -84,6 +91,15 @@ class OptimizationConfig:
         if self.cache:
             parts.append("cache")
         return "+".join(parts) if parts else "NOP"
+
+    @property
+    def best_effort(self) -> bool:
+        """True when per-item failure containment is on."""
+        return self.failure_mode == "best_effort"
+
+    def with_best_effort(self) -> "OptimizationConfig":
+        """This configuration with per-item failure containment on."""
+        return replace(self, failure_mode="best_effort")
 
     @property
     def service_concurrency(self) -> "int | float":

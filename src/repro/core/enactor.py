@@ -39,20 +39,24 @@ stream lengths cannot be known in advance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.cache import CacheStatsSnapshot, ResultCache
+from repro.cache import CacheStatsSnapshot, ResultCache, invocation_key
 from repro.core.config import OptimizationConfig
+from repro.core.failures import DeadLetter, FailureReport, InvocationFailure
 from repro.core.grouping import GroupInfo, group_workflow
 from repro.core.iteration import Binding, IterationEngine, expected_bindings
+from repro.core.journal import EnactmentJournal, JournalEntry, SimulatedCrash
 from repro.core.provenance import HistoryTree
 from repro.core.tokens import DataToken, NoData
 from repro.core.trace import ExecutionTrace, TraceEvent
+from repro.grid.job import JobFailedError
 from repro.grid.middleware import Grid
 from repro.observability.bus import InstrumentationBus
 from repro.observability.metrics import MetricsSnapshot
 from repro.observability.spans import Span
-from repro.services.base import GridData
+from repro.services.base import GridData, ServiceError
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import Resource
 from repro.workflow.analysis import find_cycles
@@ -86,6 +90,10 @@ class EnactmentResult:
     cache_stats: Optional[CacheStatsSnapshot] = None
     #: metrics snapshot for THIS run (None when instrumentation is off)
     metrics: Optional[MetricsSnapshot] = None
+    #: what a best-effort run lost (None under strict failure mode)
+    failures: Optional[FailureReport] = None
+    #: invocations satisfied from the enactment journal on a resume
+    replayed_count: int = 0
 
     @property
     def makespan(self) -> float:
@@ -178,11 +186,20 @@ class MoteurEnactor:
         grid: Optional[Grid] = None,
         cache: Optional[ResultCache] = None,
         instrumentation: Optional[InstrumentationBus] = None,
+        journal: "Optional[EnactmentJournal | str | Path]" = None,
+        crash_after_n_invocations: Optional[int] = None,
     ) -> None:
         self.engine = engine
         self.config = config or OptimizationConfig.nop()
         self.grid = grid
         self.instrumentation = instrumentation
+        if isinstance(journal, (str, Path)):
+            journal = EnactmentJournal(journal)
+        #: crash-safe WAL of completed invocations (see repro.core.journal)
+        self.journal = journal
+        #: simulated-crash hook: raise SimulatedCrash once this many
+        #: non-replayed invocations have completed (crash-resume tests)
+        self.crash_after_n_invocations = crash_after_n_invocations
         if grid is not None and instrumentation is not None and grid.instrumentation is None:
             grid.instrumentation = instrumentation
         self.cache = cache if cache is not None else ResultCache.from_config(self.config)
@@ -233,22 +250,59 @@ class MoteurEnactor:
         self._run_span: Optional[Span] = None
         self._trace_id = ""
         self._metrics_baseline: Optional[MetricsSnapshot] = None
+        self._report = FailureReport()
+        self._replay: Dict[str, JournalEntry] = {}
+        self._replayed_count = 0
+        self._progress = 0  # non-replayed completions (crash hook counter)
 
     # -- public API ----------------------------------------------------------
-    def run(self, dataset: "InputDataSet | Mapping[str, Sequence[Any]]") -> EnactmentResult:
+    def run(
+        self,
+        dataset: "InputDataSet | Mapping[str, Sequence[Any]]",
+        replay: Optional[Mapping[str, JournalEntry]] = None,
+    ) -> EnactmentResult:
         """Enact the workflow on *dataset*, driving the engine to completion."""
-        completion = self.enact(dataset)
+        completion = self.enact(dataset, replay=replay)
         return self.engine.run(until=completion)
 
-    def enact(self, dataset: "InputDataSet | Mapping[str, Sequence[Any]]") -> Event:
+    def resume(
+        self,
+        dataset: "InputDataSet | Mapping[str, Sequence[Any]]",
+        journal: "Optional[EnactmentJournal | str | Path]" = None,
+    ) -> EnactmentResult:
+        """Continue an interrupted enactment from its journal.
+
+        Every invocation recorded in the journal (this enactor's own,
+        unless *journal* overrides it) is replayed instantly — zero grid
+        jobs, ``kind="replayed"`` trace events — and only the remaining
+        work executes.  With the same seed and dataset, the final
+        outputs are byte-identical to an uninterrupted run.
+        """
+        source = journal if journal is not None else self.journal
+        if source is None:
+            raise ValueError("resume() needs a journal (none configured on this enactor)")
+        if isinstance(source, (str, Path)):
+            source = EnactmentJournal(source)
+        return self.run(dataset, replay=source.load())
+
+    def enact(
+        self,
+        dataset: "InputDataSet | Mapping[str, Sequence[Any]]",
+        replay: Optional[Mapping[str, JournalEntry]] = None,
+    ) -> Event:
         """Start an enactment; returns an event yielding the result.
 
         Use this form to embed the enactment in a larger simulation (or
         to run several enactments concurrently on one engine — each
-        needs its own enactor instance).
+        needs its own enactor instance).  *replay* is a journal's
+        replay map (see :meth:`resume`).
         """
         data = self._normalize_dataset(dataset)
         self._reset()
+        if replay:
+            self._replay = dict(replay)
+        if self.journal is not None:
+            self.journal.append_run(self.workflow.name, self.config.label, self.engine.now)
         self._build_states()
         self._register_input_files(data)
         self._emit_sources(data)
@@ -280,6 +334,10 @@ class MoteurEnactor:
         self._run_span = None
         self._trace_id = ""
         self._metrics_baseline = None
+        self._report = FailureReport()
+        self._replay = {}
+        self._replayed_count = 0
+        self._progress = 0
         bus = self.instrumentation
         if bus is not None:
             self._metrics_baseline = bus.metrics.snapshot()
@@ -383,8 +441,15 @@ class MoteurEnactor:
         state = self._states[name]
         processor = state.processor
         if processor.kind is ProcessorKind.SINK:
-            state.collected.append(token.data)
-            state.collected_histories.append(token.history)
+            if token.poisoned and token.failure is not None:
+                # Dead letter: the lineage died upstream; the sink keeps
+                # the obituary, not a data item.
+                self._report.dead_letters.append(
+                    DeadLetter(sink=name, label=token.label, root=token.failure)
+                )
+            else:
+                state.collected.append(token.data)
+                state.collected_histories.append(token.history)
             state.arrived += 1
             self._check_drained(state)
             return
@@ -437,6 +502,8 @@ class MoteurEnactor:
         end: float,
         kind: str,
         job_ids: Tuple[int, ...],
+        status: Optional[str] = None,
+        **extra: Any,
     ) -> None:
         """The invocation span, id tied to the token lineage label."""
         bus = self.instrumentation
@@ -456,6 +523,8 @@ class MoteurEnactor:
             label=label,
             kind=kind,
             job_ids=list(job_ids),
+            status=status,
+            **extra,
         )
 
     # -- invocation lifecycle ---------------------------------------------------------
@@ -463,93 +532,104 @@ class MoteurEnactor:
         processor = state.processor
         key: Optional[str] = None
         flight_open = False
+        began = self.engine.now
+        parents = tuple(binding[port].history for port in sorted(binding))
+        history = HistoryTree.derive(processor.name, parents)
         try:
             # Stage barrier: without service parallelism a service only
             # starts once its predecessors finished their whole streams.
             if not self.config.service_parallelism and state.preds_drained is not None:
                 yield state.preds_drained
 
-            outputs: Optional[Mapping[str, GridData]] = None
-            job_ids: Tuple[int, ...] = ()
-            kind = "grouped" if getattr(processor.service, "stages", None) else "invocation"
-            if self.cache is not None:
-                lookup_start = self.engine.now
-                facts = {
-                    port: ((token.history, token.data),)
-                    for port, token in binding.items()
-                }
-                key = self.cache.key_for(processor.service, facts)
-                outputs = self.cache.lookup(key, processor.name)
-                if outputs is not None:
-                    kind = "cached"
-                    self._record_cache_lookup(processor.name, lookup_start, "hit")
-                else:
-                    leader = self.cache.flight_leader(self.engine, key)
-                    if leader is not None:
-                        # Single-flight: an identical invocation is already
-                        # executing; wait for its result instead of
-                        # submitting the same work twice.
-                        outputs = yield leader
-                        self.cache.record_coalesced(processor.name)
-                        kind = "cached"
-                        self._record_cache_lookup(processor.name, lookup_start, "coalesced")
-                    else:
-                        self.cache.open_flight(self.engine, key)
-                        flight_open = True
-                        self.cache.record_miss(processor.name)
-                        self._record_cache_lookup(processor.name, lookup_start, "miss")
-
-            if outputs is None:
-                request = state.gate.request()
-                gate_requested = self.engine.now
-                yield request
-                start = self.engine.now
-                if self.instrumentation is not None:
-                    self.instrumentation.metrics.histogram("enactor.gate_wait").observe(
-                        start - gate_requested
-                    )
-                try:
-                    inputs = {port: token.data for port, token in binding.items()}
-                    call, record = processor.service.invoke_recorded(inputs)
-                    outputs = yield call
-                finally:
-                    state.gate.release(request)
-                end = self.engine.now
-                job_ids = tuple(record.job_ids)
-                if key is not None:
-                    self.cache.put(key, processor.name, outputs)
-                    self.cache.close_flight(self.engine, key, outputs=outputs)
-                    flight_open = False
+            poisoned = next((t for t in binding.values() if t.poisoned), None)
+            if poisoned is not None and poisoned.failure is not None:
+                # A parent lineage already died: skip this invocation and
+                # propagate the error token so only this lineage is lost.
+                self._skip_poisoned(state, history, poisoned.failure)
             else:
-                # Cache hit: the dataflow advances right now, with no
-                # grid job and without occupying a concurrency slot.
-                start = end = self.engine.now
-                self._register_cached_files(outputs)
-
-            parents = tuple(binding[port].history for port in sorted(binding))
-            history = HistoryTree.derive(processor.name, parents)
-            self._trace.add(
-                TraceEvent(
-                    processor=processor.name,
-                    label=history.label(),
-                    start=start,
-                    end=end,
-                    kind=kind,
-                    job_ids=job_ids,
+                outputs: Optional[Mapping[str, GridData]] = None
+                job_ids: Tuple[int, ...] = ()
+                kind = (
+                    "grouped"
+                    if getattr(processor.service, "stages", None)
+                    else "invocation"
                 )
-            )
-            self._record_invocation_span(
-                processor.name, history.label(), start, end, kind, job_ids
-            )
-            self._invocation_count += 1
-            self._emit_outputs(state, history, outputs)
-            state.invocations_done += 1
-            self._check_drained(state)
+                if self.cache is not None or self.journal is not None or self._replay:
+                    facts = {
+                        port: ((token.history, token.data),)
+                        for port, token in binding.items()
+                    }
+                    key = invocation_key(processor.service, facts)
+                if key is not None and key in self._replay:
+                    # Journal replay: the previous (interrupted) run already
+                    # completed this invocation and persisted its outputs.
+                    entry = self._replay[key]
+                    outputs = dict(entry.outputs)
+                    job_ids = entry.job_ids
+                    kind = "replayed"
+                    start = end = self.engine.now
+                    self._register_cached_files(outputs)
+                    self._replayed_count += 1
+                elif self.cache is not None:
+                    lookup_start = self.engine.now
+                    outputs = self.cache.lookup(key, processor.name)
+                    if outputs is not None:
+                        kind = "cached"
+                        start = end = self.engine.now
+                        self._register_cached_files(outputs)
+                        self._record_cache_lookup(processor.name, lookup_start, "hit")
+                    else:
+                        leader = self.cache.flight_leader(self.engine, key)
+                        if leader is not None:
+                            # Single-flight: an identical invocation is already
+                            # executing; wait for its result instead of
+                            # submitting the same work twice.
+                            outputs = yield leader
+                            self.cache.record_coalesced(processor.name)
+                            kind = "cached"
+                            start = end = self.engine.now
+                            self._register_cached_files(outputs)
+                            self._record_cache_lookup(
+                                processor.name, lookup_start, "coalesced"
+                            )
+                        else:
+                            self.cache.open_flight(self.engine, key)
+                            flight_open = True
+                            self.cache.record_miss(processor.name)
+                            self._record_cache_lookup(processor.name, lookup_start, "miss")
+
+                if outputs is None:
+                    request = state.gate.request()
+                    gate_requested = self.engine.now
+                    yield request
+                    start = self.engine.now
+                    if self.instrumentation is not None:
+                        self.instrumentation.metrics.histogram("enactor.gate_wait").observe(
+                            start - gate_requested
+                        )
+                    try:
+                        inputs = {port: token.data for port, token in binding.items()}
+                        call, record = processor.service.invoke_recorded(inputs)
+                        outputs = yield call
+                    finally:
+                        state.gate.release(request)
+                    end = self.engine.now
+                    job_ids = tuple(record.job_ids)
+                    if self.cache is not None and key is not None:
+                        self.cache.put(key, processor.name, outputs)
+                        self.cache.close_flight(self.engine, key, outputs=outputs)
+                        flight_open = False
+
+                self._complete_invocation(
+                    state, history, outputs, start, end, kind, job_ids, key
+                )
+                self._check_drained(state)
         except Exception as exc:
             if flight_open and key is not None:
                 self.cache.close_flight(self.engine, key, error=exc)
-            self._fail(exc)
-            return
+            if not self._contain(state, history, began, exc):
+                self._fail(exc)
+                return
         finally:
             self._in_flight -= 1
             self._note_in_flight()
@@ -567,103 +647,306 @@ class MoteurEnactor:
         processor = state.processor
         key: Optional[str] = None
         flight_open = False
+        history: Optional[HistoryTree] = None
+        began = self.engine.now
         try:
             if state.preds_drained is not None:
                 yield state.preds_drained
 
-            outputs: Optional[Mapping[str, GridData]] = None
-            job_ids: Tuple[int, ...] = ()
-            kind = "synchronization"
-            if self.cache is not None:
-                lookup_start = self.engine.now
-                # A barrier consumes whole streams whose arrival order is
-                # a DP+SP race artifact, so its key treats each port's
-                # tokens as a multiset (unordered=True): a warm run whose
-                # tokens arrive in a different order still hits.
-                facts = {
-                    port: tuple((t.history, t.data) for t in tokens)
+            # Failure containment at the barrier: poisoned tokens are
+            # dropped so the synchronization runs over the survivors.  A
+            # port whose *whole* stream died starves the barrier — then
+            # the barrier itself is skipped and emits an error token.
+            survivors = state.sync_buffers
+            starved: List[str] = []
+            if self.config.best_effort:
+                survivors = {
+                    port: [t for t in tokens if not t.poisoned]
                     for port, tokens in state.sync_buffers.items()
                 }
-                key = self.cache.key_for(processor.service, facts, unordered=True)
-                outputs = self.cache.lookup(key, processor.name)
-                if outputs is not None:
-                    kind = "cached"
-                    self._record_cache_lookup(processor.name, lookup_start, "hit")
-                else:
-                    leader = self.cache.flight_leader(self.engine, key)
-                    if leader is not None:
-                        outputs = yield leader
-                        self.cache.record_coalesced(processor.name)
-                        kind = "cached"
-                        self._record_cache_lookup(processor.name, lookup_start, "coalesced")
-                    else:
-                        self.cache.open_flight(self.engine, key)
-                        flight_open = True
-                        self.cache.record_miss(processor.name)
-                        self._record_cache_lookup(processor.name, lookup_start, "miss")
+                dropped = sum(
+                    len(state.sync_buffers[port]) - len(tokens)
+                    for port, tokens in survivors.items()
+                )
+                if dropped:
+                    self._report.barrier_drops += dropped
+                starved = [
+                    port
+                    for port, tokens in state.sync_buffers.items()
+                    if tokens and not survivors[port]
+                ]
 
-            if outputs is None:
-                request = state.gate.request()
-                gate_requested = self.engine.now
-                yield request
-                start = self.engine.now
-                if self.instrumentation is not None:
-                    self.instrumentation.metrics.histogram("enactor.gate_wait").observe(
-                        start - gate_requested
-                    )
-                try:
-                    inputs = {
-                        port: GridData(value=[t.value for t in tokens])
-                        for port, tokens in state.sync_buffers.items()
-                    }
-                    call, record = processor.service.invoke_recorded(inputs)
-                    outputs = yield call
-                finally:
-                    state.gate.release(request)
-                end = self.engine.now
-                job_ids = tuple(record.job_ids)
-                if key is not None:
-                    self.cache.put(key, processor.name, outputs)
-                    self.cache.close_flight(self.engine, key, outputs=outputs)
-                    flight_open = False
-            else:
-                start = end = self.engine.now
-                self._register_cached_files(outputs)
-
-            parents = tuple(
+            all_parents = tuple(
                 token.history
                 for port in sorted(state.sync_buffers)
                 for token in state.sync_buffers[port]
             )
-            history = HistoryTree.derive(processor.name, parents)
-            self._trace.add(
-                TraceEvent(
-                    processor=processor.name,
-                    label=history.label(),
-                    start=start,
-                    end=end,
-                    kind=kind,
-                    job_ids=job_ids,
+            if starved:
+                history = HistoryTree.derive(processor.name, all_parents)
+                root = next(
+                    t.failure
+                    for port in starved
+                    for t in state.sync_buffers[port]
+                    if t.failure is not None
                 )
-            )
-            self._record_invocation_span(
-                processor.name, history.label(), start, end, kind, job_ids
-            )
-            self._invocation_count += 1
-            self._emit_outputs(state, history, outputs)
-            state.invocations_done += 1
-            state.expected = 1
-            if state.drained is not None and not state.drained.triggered:
-                state.drained.succeed(state.invocations_done)
+                self._skip_poisoned(state, history, root)
+                state.expected = 1
+                if state.drained is not None and not state.drained.triggered:
+                    state.drained.succeed(state.invocations_done)
+            else:
+                outputs: Optional[Mapping[str, GridData]] = None
+                job_ids: Tuple[int, ...] = ()
+                kind = "synchronization"
+                if self.cache is not None or self.journal is not None or self._replay:
+                    # A barrier consumes whole streams whose arrival order is
+                    # a DP+SP race artifact, so its key treats each port's
+                    # tokens as a multiset (unordered=True): a warm run whose
+                    # tokens arrive in a different order still hits.
+                    facts = {
+                        port: tuple((t.history, t.data) for t in tokens)
+                        for port, tokens in survivors.items()
+                    }
+                    key = invocation_key(processor.service, facts, unordered=True)
+                if key is not None and key in self._replay:
+                    entry = self._replay[key]
+                    outputs = dict(entry.outputs)
+                    job_ids = entry.job_ids
+                    kind = "replayed"
+                    start = end = self.engine.now
+                    self._register_cached_files(outputs)
+                    self._replayed_count += 1
+                elif self.cache is not None:
+                    lookup_start = self.engine.now
+                    outputs = self.cache.lookup(key, processor.name)
+                    if outputs is not None:
+                        kind = "cached"
+                        start = end = self.engine.now
+                        self._register_cached_files(outputs)
+                        self._record_cache_lookup(processor.name, lookup_start, "hit")
+                    else:
+                        leader = self.cache.flight_leader(self.engine, key)
+                        if leader is not None:
+                            outputs = yield leader
+                            self.cache.record_coalesced(processor.name)
+                            kind = "cached"
+                            start = end = self.engine.now
+                            self._register_cached_files(outputs)
+                            self._record_cache_lookup(
+                                processor.name, lookup_start, "coalesced"
+                            )
+                        else:
+                            self.cache.open_flight(self.engine, key)
+                            flight_open = True
+                            self.cache.record_miss(processor.name)
+                            self._record_cache_lookup(processor.name, lookup_start, "miss")
+
+                if outputs is None:
+                    request = state.gate.request()
+                    gate_requested = self.engine.now
+                    yield request
+                    start = self.engine.now
+                    if self.instrumentation is not None:
+                        self.instrumentation.metrics.histogram("enactor.gate_wait").observe(
+                            start - gate_requested
+                        )
+                    try:
+                        inputs = {
+                            port: GridData(value=[t.value for t in tokens])
+                            for port, tokens in survivors.items()
+                        }
+                        call, record = processor.service.invoke_recorded(inputs)
+                        outputs = yield call
+                    finally:
+                        state.gate.release(request)
+                    end = self.engine.now
+                    job_ids = tuple(record.job_ids)
+                    if self.cache is not None and key is not None:
+                        self.cache.put(key, processor.name, outputs)
+                        self.cache.close_flight(self.engine, key, outputs=outputs)
+                        flight_open = False
+
+                parents = tuple(
+                    token.history
+                    for port in sorted(survivors)
+                    for token in survivors[port]
+                )
+                history = HistoryTree.derive(processor.name, parents)
+                self._complete_invocation(
+                    state, history, outputs, start, end, kind, job_ids, key
+                )
+                state.expected = 1
+                if state.drained is not None and not state.drained.triggered:
+                    state.drained.succeed(state.invocations_done)
         except Exception as exc:
             if flight_open and key is not None:
                 self.cache.close_flight(self.engine, key, error=exc)
-            self._fail(exc)
-            return
+            if history is None:
+                history = HistoryTree.derive(
+                    processor.name,
+                    tuple(
+                        token.history
+                        for port in sorted(state.sync_buffers)
+                        for token in state.sync_buffers[port]
+                    ),
+                )
+            if not self._contain(state, history, began, exc):
+                self._fail(exc)
+                return
+            state.expected = 1
+            if state.drained is not None and not state.drained.triggered:
+                state.drained.succeed(state.invocations_done)
         finally:
             self._in_flight -= 1
             self._note_in_flight()
         self._check_completion()
+
+    def _complete_invocation(
+        self,
+        state: _ProcessorState,
+        history: HistoryTree,
+        outputs: Mapping[str, GridData],
+        start: float,
+        end: float,
+        kind: str,
+        job_ids: Tuple[int, ...],
+        key: Optional[str],
+    ) -> None:
+        """Record one completed invocation and let its outputs take effect.
+
+        Ordering is the WAL contract: the journal line is durable
+        *before* the outputs are emitted downstream, so a crash can
+        never have published results it did not persist.
+        """
+        self._trace.add(
+            TraceEvent(
+                processor=state.processor.name,
+                label=history.label(),
+                start=start,
+                end=end,
+                kind=kind,
+                job_ids=job_ids,
+            )
+        )
+        self._record_invocation_span(
+            state.processor.name, history.label(), start, end, kind, job_ids
+        )
+        self._invocation_count += 1
+        if kind != "replayed":
+            if self.journal is not None and key is not None:
+                self.journal.append_invocation(
+                    JournalEntry(
+                        key=key,
+                        processor=state.processor.name,
+                        label=history.label(),
+                        kind=kind,
+                        started=start,
+                        finished=end,
+                        job_ids=job_ids,
+                        outputs=dict(outputs),
+                    )
+                )
+            self._progress += 1
+            crash_after = self.crash_after_n_invocations
+            if crash_after is not None and self._progress >= crash_after:
+                raise SimulatedCrash(self._progress)
+        self._emit_outputs(state, history, outputs)
+        state.invocations_done += 1
+
+    def _contain(
+        self,
+        state: _ProcessorState,
+        history: HistoryTree,
+        began: float,
+        exc: Exception,
+    ) -> bool:
+        """Absorb an invocation failure under best-effort mode.
+
+        Returns True when the failure was contained: the dead-letter
+        report gains an :class:`InvocationFailure`, an error token
+        poisons exactly this lineage downstream, and the run carries
+        on.  Returns False (caller aborts the run) under strict mode or
+        for non-service errors (bugs, simulated crashes).
+        """
+        if not self.config.best_effort or isinstance(exc, SimulatedCrash):
+            return False
+        if not isinstance(exc, (ServiceError, JobFailedError)):
+            return False
+        failure = InvocationFailure.from_exception(
+            state.processor.name, history, exc, self.engine.now
+        )
+        self._report.failures.append(failure)
+        self._trace.add(
+            TraceEvent(
+                processor=state.processor.name,
+                label=history.label(),
+                start=began,
+                end=self.engine.now,
+                kind="failed",
+                job_ids=failure.job_ids,
+            )
+        )
+        self._record_invocation_span(
+            state.processor.name,
+            history.label(),
+            began,
+            self.engine.now,
+            "failed",
+            failure.job_ids,
+            status="error",
+            error=failure.error,
+        )
+        self._emit_error_tokens(state, history, failure)
+        state.invocations_done += 1
+        self._check_drained(state)
+        return True
+
+    def _skip_poisoned(
+        self, state: _ProcessorState, history: HistoryTree, failure: InvocationFailure
+    ) -> None:
+        """Skip an invocation whose input lineage already died upstream."""
+        self._report.skipped += 1
+        now = self.engine.now
+        self._trace.add(
+            TraceEvent(
+                processor=state.processor.name,
+                label=history.label(),
+                start=now,
+                end=now,
+                kind="poisoned",
+                job_ids=(),
+            )
+        )
+        self._record_invocation_span(
+            state.processor.name,
+            history.label(),
+            now,
+            now,
+            "poisoned",
+            (),
+            status="skipped",
+            root=failure.processor,
+        )
+        self._emit_error_tokens(state, history, failure)
+        state.invocations_done += 1
+        self._check_drained(state)
+
+    def _emit_error_tokens(
+        self, state: _ProcessorState, history: HistoryTree, failure: InvocationFailure
+    ) -> None:
+        """Propagate a failure as typed error tokens on every output port.
+
+        Error tokens keep the normal derived history, so dot/cross
+        iteration downstream still pairs them with their siblings (and
+        the stream accounting stays exact) — the poison only kills the
+        lineage it belongs to.
+        """
+        for port in state.processor.effective_output_ports():
+            state.emitted[port] += 1
+            self._deliver(
+                state.processor.name,
+                port,
+                DataToken(GridData(value=None), history, failure=failure),
+            )
 
     def _register_cached_files(self, outputs: Mapping[str, GridData]) -> None:
         """Re-advertise a hit's grid files in the replica catalog.
@@ -728,9 +1011,13 @@ class MoteurEnactor:
         if not self._failed and self._completion is not None and not self._completion.triggered:
             self._failed = True
             self._close_run_span(status="error", error=str(exc))
-            self._completion.fail(
-                EnactmentError(f"enactment of {self.workflow.name!r} failed: {exc}")
-            )
+            if isinstance(exc, SimulatedCrash):
+                # Crash tests must see the interrupt itself, not a wrapper.
+                self._completion.fail(exc)
+            else:
+                self._completion.fail(
+                    EnactmentError(f"enactment of {self.workflow.name!r} failed: {exc}")
+                )
 
     def _close_run_span(self, status: Optional[str] = None, **attributes: Any) -> None:
         bus = self.instrumentation
@@ -768,4 +1055,6 @@ class MoteurEnactor:
             groups=list(self.groups),
             cache_stats=cache_stats,
             metrics=metrics,
+            failures=self._report if self.config.best_effort else None,
+            replayed_count=self._replayed_count,
         )

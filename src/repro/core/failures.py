@@ -1,0 +1,166 @@
+"""Typed failure records: what a best-effort enactment reports.
+
+Under ``failure_mode="best_effort"`` the enactor no longer dies when a
+job exhausts its resubmission budget (the Section 5.1 reality: on a
+production grid *some* jobs always fail).  Instead the failed
+invocation becomes an :class:`InvocationFailure`, its would-be outputs
+become *error tokens* that poison only the descendant lineage, and the
+run completes with the surviving data items plus a
+:class:`FailureReport` on the result — the dead-letter queue of the
+workflow.
+
+The report keeps the full history-tree lineage of every failure so a
+user (or a re-run) can tell exactly which input items were lost, plus
+per-service and per-CE failure counts and the attempt-level error
+reasons accumulated by the grid middleware
+(:class:`~repro.grid.job.AttemptFailure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+from repro.core.provenance import HistoryTree
+from repro.grid.job import AttemptFailure, JobFailedError
+
+__all__ = ["InvocationFailure", "DeadLetter", "FailureReport"]
+
+
+@dataclass(frozen=True)
+class InvocationFailure:
+    """One invocation that exhausted every recovery option."""
+
+    processor: str
+    #: paper-style item label of the failed invocation (e.g. ``D3``)
+    label: str
+    #: source name -> input item indices this invocation descended from
+    lineage: Mapping[str, Tuple[int, ...]]
+    error: str
+    failed_at: float
+    job_ids: Tuple[int, ...] = ()
+    #: attempt-level reasons accumulated by the middleware, oldest first
+    attempts: Tuple[AttemptFailure, ...] = ()
+
+    @property
+    def computing_elements(self) -> Tuple[str, ...]:
+        """Distinct CEs that failed attempts of this invocation, first-seen order."""
+        seen: List[str] = []
+        for attempt in self.attempts:
+            if attempt.computing_element and attempt.computing_element not in seen:
+                seen.append(attempt.computing_element)
+        return tuple(seen)
+
+    @classmethod
+    def from_exception(
+        cls, processor: str, history: HistoryTree, exc: BaseException, now: float
+    ) -> "InvocationFailure":
+        """Build a failure record, digging the cause chain for job details.
+
+        Service wrappers raise :class:`~repro.services.base.ServiceError`
+        with the underlying :class:`~repro.grid.job.JobFailedError` as
+        ``__cause__``; that error's record carries the per-attempt
+        failure history and the job id.
+        """
+        job_ids: Tuple[int, ...] = ()
+        attempts: Tuple[AttemptFailure, ...] = ()
+        cause: BaseException | None = exc
+        while cause is not None:
+            if isinstance(cause, JobFailedError):
+                record = cause.record
+                job_ids = (record.job_id,)
+                attempts = tuple(record.failure_history)
+                break
+            cause = cause.__cause__
+        lineage = {
+            source: tuple(sorted(indices))
+            for source, indices in history.lineage.items()
+        }
+        return cls(
+            processor=processor,
+            label=history.label(),
+            lineage=lineage,
+            error=str(exc),
+            failed_at=now,
+            job_ids=job_ids,
+            attempts=attempts,
+        )
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A poisoned token that reached a sink instead of a data item."""
+
+    sink: str
+    label: str
+    root: InvocationFailure
+
+
+@dataclass
+class FailureReport:
+    """Everything a best-effort run lost, and why."""
+
+    #: invocations that failed outright (the roots of every poisoning)
+    failures: List[InvocationFailure] = field(default_factory=list)
+    #: poisoned tokens that arrived at sinks
+    dead_letters: List[DeadLetter] = field(default_factory=list)
+    #: downstream invocations skipped because an input was poisoned
+    skipped: int = 0
+    #: poisoned tokens filtered out at synchronization barriers
+    barrier_drops: int = 0
+
+    @property
+    def empty(self) -> bool:
+        """True when the run lost nothing."""
+        return not self.failures and not self.dead_letters
+
+    def by_service(self) -> Dict[str, int]:
+        """Root failure counts per processor."""
+        counts: Dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.processor] = counts.get(failure.processor, 0) + 1
+        return counts
+
+    def by_computing_element(self) -> Dict[str, int]:
+        """Failed-attempt counts per CE, over every root failure."""
+        counts: Dict[str, int] = {}
+        for failure in self.failures:
+            for attempt in failure.attempts:
+                ce = attempt.computing_element or "?"
+                counts[ce] = counts.get(ce, 0) + 1
+        return counts
+
+    def poisoned_lineage(self) -> Dict[str, FrozenSet[int]]:
+        """Union of failed lineages: source name -> lost input indices."""
+        union: Dict[str, set] = {}
+        for failure in self.failures:
+            for source, indices in failure.lineage.items():
+                union.setdefault(source, set()).update(indices)
+        return {source: frozenset(indices) for source, indices in union.items()}
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Flat dead-letter rows (one per root failure) for table rendering."""
+        rows: List[Dict[str, object]] = []
+        for failure in self.failures:
+            rows.append(
+                {
+                    "processor": failure.processor,
+                    "label": failure.label,
+                    "kind": "failed",
+                    "lineage": {s: list(ix) for s, ix in sorted(failure.lineage.items())},
+                    "error": failure.error,
+                    "failed_at": failure.failed_at,
+                    "job_ids": list(failure.job_ids),
+                    "attempts": len(failure.attempts),
+                    "computing_elements": list(failure.computing_elements),
+                    "attempt_reasons": [a.reason for a in failure.attempts],
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailureReport failures={len(self.failures)} "
+            f"dead_letters={len(self.dead_letters)} skipped={self.skipped} "
+            f"barrier_drops={self.barrier_drops}>"
+        )

@@ -15,9 +15,13 @@ result on one of its two output ports" — expressible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.provenance import HistoryTree
 from repro.services.base import GridData
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.core.failures import InvocationFailure
 
 __all__ = ["DataToken", "NO_DATA", "NoData"]
 
@@ -44,10 +48,23 @@ NO_DATA = NoData()
 
 @dataclass(frozen=True)
 class DataToken:
-    """One datum on one link: payload + provenance."""
+    """One datum on one link: payload + provenance.
+
+    Under best-effort failure containment, a token may instead be an
+    *error token*: ``failure`` names the root
+    :class:`~repro.core.failures.InvocationFailure` it descends from,
+    the payload is empty, and every downstream invocation fed by it is
+    skipped rather than invoked — the poison stays inside one lineage.
+    """
 
     data: GridData
     history: HistoryTree
+    failure: "Optional[InvocationFailure]" = None
+
+    @property
+    def poisoned(self) -> bool:
+        """True for error tokens (a failed ancestor, not a data item)."""
+        return self.failure is not None
 
     @property
     def label(self) -> str:
@@ -60,4 +77,6 @@ class DataToken:
         return self.data.value
 
     def __repr__(self) -> str:
+        if self.failure is not None:
+            return f"<DataToken {self.label} poisoned by {self.failure.processor}>"
         return f"<DataToken {self.label}>"

@@ -24,7 +24,9 @@ class TraceEvent:
     label: str  # paper-style item label, e.g. "D0"
     start: float
     end: float
-    #: "invocation" | "grouped" | "synchronization" | "cached"
+    #: "invocation" | "grouped" | "synchronization" | "cached" |
+    #: "replayed" (journal resume) | "failed" (contained failure) |
+    #: "poisoned" (skipped: input lineage died upstream)
     kind: str = "invocation"
     job_ids: Tuple[int, ...] = ()
 

@@ -9,6 +9,11 @@ Usage::
                                         [--chrome-trace run.trace.json]
                                         [--monitor] [--alerts alerts.jsonl]
                                         [--feedback] [--testbed faulty]
+                                        [--best-effort] [--strict]
+                                        [--journal run.wal] [--resume]
+                                        [--crash-after N]
+    python -m repro.experiments report-failures [--trace run.jsonl]
+                                        [--testbed faulty] [--strict]
     python -m repro.experiments report-health [--trace run.jsonl]
                                         [--testbed faulty]
     python -m repro.experiments report-trace run.jsonl [--policy SP+DP]
@@ -28,7 +33,12 @@ as JSONL, ``--chrome-trace`` as Chrome trace-event JSON for Perfetto;
 ``--monitor`` attaches the live run monitor for streaming progress/ETA
 lines, ``--alerts`` writes its alert log as JSONL, ``--feedback``
 closes the loop into the broker, and ``--testbed faulty`` runs on the
-fault-injected grid); ``report-health`` prints per-CE health scores and
+fault-injected grid; ``--best-effort`` contains per-item failures into
+a dead-letter report instead of aborting — add ``--strict`` to exit 3
+on any loss; ``--journal`` keeps a crash-safe WAL, ``--resume`` replays
+it, and ``--crash-after N`` simulates an interrupt, exiting 4);
+``report-failures`` prints the dead-letter table either from a fresh
+best-effort run or from an exported trace; ``report-health`` prints per-CE health scores and
 the alert log, either from a fresh run or by replaying an exported
 trace; ``report-trace`` renders the phase breakdown and model-drift
 tables of a previously exported JSONL trace.
@@ -142,6 +152,9 @@ def _make_testbed(args: argparse.Namespace, engine, streams):
 
     name = getattr(args, "testbed", "egee")
     if name == "faulty":
+        max_attempts = getattr(args, "max_attempts", None)
+        if max_attempts is not None:
+            return faulty_testbed(engine, streams, max_attempts=max_attempts)
         return faulty_testbed(engine, streams)
     return egee_like_testbed(
         engine, streams, n_sites=6, workers_per_ce=40, with_background_load=False
@@ -169,6 +182,10 @@ def cmd_bronze(args: argparse.Namespace) -> int:
     grid = _make_testbed(args, engine, streams)
     app = BronzeStandardApplication(engine, grid, streams)
     config = _config_by_label(args.config)
+    if args.best_effort:
+        config = config.with_best_effort()
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal PATH")
 
     monitoring = args.monitor or args.alerts or args.feedback
     bus = None
@@ -191,10 +208,29 @@ def cmd_bronze(args: argparse.Namespace) -> int:
             if args.feedback:
                 grid.set_health_provider(monitor)
                 monitor.add_sink(grid.alert_reactor())
-    result = app.enact(config, n_pairs=args.pairs, instrumentation=bus)
+    from repro.core.journal import SimulatedCrash
+
+    try:
+        result = app.enact(
+            config,
+            n_pairs=args.pairs,
+            instrumentation=bus,
+            journal=args.journal,
+            resume=args.resume,
+            crash_after=args.crash_after,
+        )
+    except SimulatedCrash as crash:
+        out.info(f"simulated crash after {crash.completed} invocations")
+        if args.journal:
+            out.info(f"journal: {args.journal} (resume with --resume)")
+        if jsonl is not None:
+            jsonl.close()
+        return 4
 
     out.info(f"configuration: {config.label}, {args.pairs} image pairs")
     out.info(f"makespan: {format_duration(result.makespan)}")
+    if result.replayed_count:
+        out.info(f"replayed from journal: {result.replayed_count} invocations")
     if result.groups:
         out.info(f"groups: {', '.join(g.name for g in result.groups)}")
     stats = job_statistics(grid.records)
@@ -211,9 +247,38 @@ def cmd_bronze(args: argparse.Namespace) -> int:
             f"queue->run {phases.queued_to_running:.0f}s, "
             f"run->done {phases.running_to_done:.0f}s"
         )
-    rotation = result.output_values("accuracy_rotation")[0]
-    translation = result.output_values("accuracy_translation")[0]
-    out.info(f"accuracy: {rotation:.3f} deg rotation, {translation:.3f} mm translation")
+    rotations = result.output_values("accuracy_rotation")
+    translations = result.output_values("accuracy_translation")
+    if rotations and translations:
+        out.info(
+            f"accuracy: {rotations[0]:.3f} deg rotation, "
+            f"{translations[0]:.3f} mm translation"
+        )
+    else:
+        out.info("accuracy: unavailable (the assessment lineage died; see failures)")
+    lost_something = False
+    if result.failures is not None:
+        from repro.experiments.reporting import format_failures
+
+        report = result.failures
+        lost_something = not report.empty
+        if lost_something:
+            out.info(
+                f"\n=== contained failures ===\n"
+                f"failed: {len(report.failures)}, skipped downstream: "
+                f"{report.skipped}, dropped at barriers: {report.barrier_drops}, "
+                f"dead letters: {len(report.dead_letters)}"
+            )
+            out.info(format_failures(report.to_rows()))
+            by_ce = report.by_computing_element()
+            if by_ce:
+                worst = ", ".join(
+                    f"{ce} x{n}"
+                    for ce, n in sorted(by_ce.items(), key=lambda kv: -kv[1])
+                )
+                out.info(f"failures by CE: {worst}")
+        else:
+            out.info("contained failures: none")
     if monitor is not None:
         counts = monitor.alert_counts()
         summary = ", ".join(f"{k} x{v}" for k, v in sorted(counts.items()))
@@ -236,6 +301,50 @@ def cmd_bronze(args: argparse.Namespace) -> int:
     if chrome is not None:
         chrome.write(args.chrome_trace)
         out.info(f"chrome trace written: {args.chrome_trace} (load in Perfetto)")
+    if args.strict and lost_something:
+        out.info("exit 3: --strict and the best-effort run lost items")
+        return 3
+    return 0
+
+
+def cmd_report_failures(args: argparse.Namespace) -> int:
+    """Dead-letter report: from an exported trace, or from a live run."""
+    from repro.experiments.reporting import format_failures
+    from repro.observability.failures import failure_rows_from_spans, failure_summary
+
+    out = cli_logger()
+    if args.trace:
+        spans = _load_spans(args.trace)
+        rows = failure_rows_from_spans(spans)
+        source = args.trace
+    else:
+        from repro.apps.bronze_standard import BronzeStandardApplication
+        from repro.sim.engine import Engine
+        from repro.util.rng import RandomStreams
+
+        engine = Engine()
+        streams = RandomStreams(seed=args.seed)
+        grid = _make_testbed(args, engine, streams)
+        app = BronzeStandardApplication(engine, grid, streams)
+        config = _config_by_label(args.config).with_best_effort()
+        result = app.enact(config, n_pairs=args.pairs)
+        assert result.failures is not None
+        rows = result.failures.to_rows()
+        source = f"live run ({config.label}, {args.pairs} pairs, {args.testbed})"
+    out.info(f"=== failure report: {source} ===")
+    out.info(format_failures(rows))
+    summary = failure_summary(rows)
+    for title, counts in (
+        ("failures by service", summary["by_service"]),
+        ("failures by computing element", summary["by_computing_element"]),
+    ):
+        if counts:
+            listed = ", ".join(
+                f"{k} x{v}" for k, v in sorted(counts.items(), key=lambda kv: -kv[1])
+            )
+            out.info(f"{title}: {listed}")
+    if args.strict and rows:
+        return 3
     return 0
 
 
@@ -490,6 +599,11 @@ def build_parser() -> argparse.ArgumentParser:
         "fault-injected monitoring testbed (default: egee)",
     )
     bronze.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="override the faulty testbed's resubmission cap "
+        "(only meaningful with --testbed faulty)",
+    )
+    bronze.add_argument(
         "--trace", metavar="PATH",
         help="export the run's span stream as JSONL (read back with report-trace)",
     )
@@ -510,6 +624,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--feedback", action="store_true",
         help="wire monitor feedback into the broker: demote/blacklist "
         "flagged CEs and proactively resubmit jobs queued on them",
+    )
+    bronze.add_argument(
+        "--best-effort", action="store_true",
+        help="contain per-item failures: exhausted jobs become dead "
+        "letters and the run completes with the surviving items",
+    )
+    bronze.add_argument(
+        "--strict", action="store_true",
+        help="with --best-effort: exit 3 when the run lost any item "
+        "(default: partial success exits 0)",
+    )
+    bronze.add_argument(
+        "--journal", metavar="PATH",
+        help="append-only enactment journal (WAL) of completed invocations",
+    )
+    bronze.add_argument(
+        "--resume", action="store_true",
+        help="replay the journal's completed invocations before "
+        "executing the rest (requires --journal)",
+    )
+    bronze.add_argument(
+        "--crash-after", type=int, metavar="N",
+        help="simulate a crash after N completed invocations (exit 4); "
+        "combine with --journal, then rerun with --resume",
     )
     bronze.set_defaults(func=cmd_bronze)
 
@@ -536,6 +674,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument(
             "--testbed", choices=["egee", "faulty"], default="egee",
             help="grid to run on (default: egee)",
+        )
+        sub_parser.add_argument(
+            "--max-attempts", type=int, default=None, metavar="N",
+            help="override the faulty testbed's resubmission cap",
         )
 
     crit = sub.add_parser(
@@ -577,6 +719,23 @@ def build_parser() -> argparse.ArgumentParser:
         "exact health state)",
     )
     health.set_defaults(func=cmd_report_health)
+
+    failures = sub.add_parser(
+        "report-failures",
+        help="dead-letter report: what a best-effort run lost, and why",
+    )
+    add_run_options(failures)
+    failures.add_argument(
+        "--trace", metavar="PATH",
+        help="report from an exported JSONL span stream instead of "
+        "running a fresh best-effort enactment",
+    )
+    failures.add_argument(
+        "--strict", action="store_true",
+        help="exit 3 when the report contains any failure",
+    )
+    # dead letters only happen where faults do: default to the faulty grid
+    failures.set_defaults(func=cmd_report_failures, testbed="faulty")
 
     record = sub.add_parser(
         "record-run", help="run one enactment and append its summary to a store"

@@ -41,6 +41,7 @@ __all__ = [
     "format_run_comparison",
     "format_health",
     "format_alerts",
+    "format_failures",
     "paper_comparison",
     "check_ordering",
     "SECTION52_PAIRS",
@@ -414,6 +415,35 @@ def format_alerts(alerts: Sequence[Alert]) -> str:
         for alert in alerts
     ]
     return _grid(headers, rows)
+
+
+def format_failures(rows: Sequence[Mapping[str, object]]) -> str:
+    """Dead-letter table from failure-report rows.
+
+    Accepts :meth:`repro.core.failures.FailureReport.to_rows` (live run)
+    or :func:`repro.observability.failure_rows_from_spans` (exported
+    trace) — the two produce the same row schema.
+    """
+    if not rows:
+        return "(no contained failures)"
+    headers = ["processor", "item", "kind", "computing elements", "error"]
+    table = []
+    for row in rows:
+        ces = row.get("computing_elements") or ()
+        table.append(
+            [
+                str(row.get("processor", "")),
+                str(row.get("label", "")),
+                str(row.get("kind", "failed")),
+                ", ".join(str(c) for c in ces) or "-",
+                _truncate(str(row.get("error", "")), 60),
+            ]
+        )
+    return _grid(headers, table)
+
+
+def _truncate(text: str, limit: int) -> str:
+    return text if len(text) <= limit else text[: limit - 3] + "..."
 
 
 def paper_comparison(sweep: SweepResult) -> str:

@@ -113,9 +113,14 @@ class FaultModel:
             return self.ce_detection_delay[ce].sample(rng)
         return self.detection_delay.sample(rng)
 
-    def expected_attempts(self) -> float:
-        """Expected number of attempts per job (truncated geometric)."""
-        p = self.probability
+    def expected_attempts(self, ce: Optional[str] = None) -> float:
+        """Expected attempts per job (truncated geometric).
+
+        With *ce* given, uses that CE's override probability — the
+        planning number behind retry budgets and the wasted-grid-time
+        accounting of the retry-policy ablation.
+        """
+        p = self.probability_for(ce)
         if p == 0.0:
             return 1.0
         n = self.max_attempts

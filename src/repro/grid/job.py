@@ -27,6 +27,7 @@ __all__ = [
     "JobState",
     "JobDescription",
     "JobRecord",
+    "AttemptFailure",
     "JobFailedError",
     "JobCancelledError",
 ]
@@ -53,6 +54,18 @@ class JobState(Enum):
     CANCELLED = "cancelled"
 
 
+@dataclass(frozen=True)
+class AttemptFailure:
+    """Why one attempt of a job went wrong (fault, timeout, cancellation...)."""
+
+    attempt: int
+    computing_element: Optional[str]
+    reason: str
+    at: float
+    #: "fault" | "timeout" | "cancelled" | "deadline" | "budget" | "error"
+    kind: str = "fault"
+
+
 class JobFailedError(RuntimeError):
     """Raised to submitters when a job exhausts its resubmission budget."""
 
@@ -60,6 +73,11 @@ class JobFailedError(RuntimeError):
         super().__init__(f"job {record.job_id} ({record.name}) failed: {cause}")
         self.record = record
         self.cause = cause
+
+    @property
+    def attempt_failures(self) -> Tuple[AttemptFailure, ...]:
+        """Every attempt-level failure the record accumulated, oldest first."""
+        return tuple(self.record.failure_history)
 
 
 class JobCancelledError(RuntimeError):
@@ -149,7 +167,11 @@ class JobRecord:
         self.worker_node: Optional[str] = None
         self.attempts: int = 0
         self.result: Any = None
+        #: latest failure reason (None after a successful completion)
         self.failure_reason: Optional[str] = None
+        #: every attempt-level failure, oldest first — resubmissions
+        #: accumulate here instead of overwriting each other
+        self.failure_history: list[AttemptFailure] = []
         #: seconds spent moving input/output files for the final attempt
         self.stage_in_time: float = 0.0
         self.stage_out_time: float = 0.0
@@ -165,6 +187,26 @@ class JobRecord:
         """Record entering *state* at simulated time *now*."""
         self.state = state
         self.timestamps[state].append(now)
+
+    def record_failure(
+        self,
+        attempt: int,
+        computing_element: Optional[str],
+        reason: str,
+        at: float,
+        kind: str = "fault",
+    ) -> AttemptFailure:
+        """Append one attempt-level failure; keeps ``failure_reason`` current."""
+        failure = AttemptFailure(
+            attempt=attempt,
+            computing_element=computing_element,
+            reason=reason,
+            at=at,
+            kind=kind,
+        )
+        self.failure_history.append(failure)
+        self.failure_reason = reason
+        return failure
 
     def first(self, state: JobState) -> Optional[float]:
         """First time the job entered *state*, or None."""

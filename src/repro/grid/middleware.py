@@ -39,6 +39,7 @@ from repro.grid.job import (
 )
 from repro.grid.overhead import OverheadModel
 from repro.grid.resources import ComputingElement, Site
+from repro.grid.retry import RetryBudget, RetryPolicy
 from repro.grid.storage import LogicalFile, ReplicaCatalog, StorageElement
 from repro.grid.transfer import NetworkModel
 from repro.observability.bus import InstrumentationBus
@@ -86,6 +87,8 @@ class Grid:
         overhead_load_coupling: float = 0.0,
         name: str = "grid",
         instrumentation: Optional[InstrumentationBus] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_budget: Optional[RetryBudget] = None,
     ) -> None:
         if not sites:
             raise ValueError("a grid needs at least one site")
@@ -103,6 +106,11 @@ class Grid:
         self.overhead_load_coupling = overhead_load_coupling
         self.network = network if network is not None else NetworkModel()
         self.faults = faults if faults is not None else FaultModel.none()
+        #: resubmission policy; the default reproduces the bare
+        #: immediate-resubmit loop bounded by the fault model's cap
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy.default()
+        #: run-wide / per-service retry allowance (unlimited by default)
+        self.retry_budget = retry_budget if retry_budget is not None else RetryBudget.unlimited()
         self.catalog = ReplicaCatalog()
         self.computing_elements: List[ComputingElement] = []
         self._storage_by_site: Dict[str, StorageElement] = {}
@@ -306,7 +314,9 @@ class Grid:
             # CE-level failures (e.g. a payload raising) must reach the
             # submitter through the handle, not crash the simulation.
             record.enter(JobState.FAILED, engine.now)
-            record.failure_reason = str(exc)
+            record.record_failure(
+                record.attempts, record.computing_element, str(exc), engine.now, kind="error"
+            )
             if bus is not None and job_span is not None and job_span.open:
                 bus.end(job_span, engine.now, status="error", error=str(exc))
             if not completion.triggered:
@@ -322,6 +332,31 @@ class Grid:
     #: (a termination guard against pathological cancel/resubmit loops)
     MAX_FREE_CANCELLATIONS = 5
 
+    def _service_tag(self, record: JobRecord) -> str:
+        """What retry budgets account a job under (service tag, else owner)."""
+        return str(record.description.tags.get("service", record.description.owner))
+
+    def _retry_pause(self, record: JobRecord, failures: int, backoff_rng, job_span):
+        """Backoff pause between attempts, instrumented; generator helper."""
+        delay = self.retry_policy.backoff(failures, backoff_rng)
+        if delay <= 0:
+            return
+        bus = self.instrumentation
+        started = self.engine.now
+        yield self.engine.timeout(delay)
+        if bus is not None:
+            bus.metrics.histogram("grid.retry.backoff_seconds").observe(delay)
+            bus.record(
+                "job.backoff",
+                "grid",
+                started,
+                self.engine.now,
+                parent=job_span,
+                job_id=record.job_id,
+                attempt=record.attempts,
+                seconds=delay,
+            )
+
     def _attempts(
         self,
         record: JobRecord,
@@ -332,11 +367,33 @@ class Grid:
     ):
         engine = self.engine
         bus = self.instrumentation
+        policy = self.retry_policy
+        budget = self.retry_budget
+        service_tag = self._service_tag(record)
+        backoff_rng = self.streams.get("retry-backoff")
+        max_attempts = (
+            policy.max_attempts if policy.max_attempts is not None else self.faults.max_attempts
+        )
         last_error = "unknown"
         fault_attempts = 0
         tries = 0
         cancellations = 0
-        while fault_attempts < self.faults.max_attempts:
+        first_submitted = engine.now
+        while fault_attempts < max_attempts:
+            if (
+                policy.job_deadline is not None
+                and engine.now - first_submitted >= policy.job_deadline
+            ):
+                last_error = (
+                    f"job deadline ({policy.job_deadline:g}s) exceeded "
+                    f"after {tries} attempts"
+                )
+                record.record_failure(
+                    tries, record.computing_element, last_error, engine.now, kind="deadline"
+                )
+                if bus is not None:
+                    bus.metrics.counter("grid.jobs.deadline_exceeded").inc()
+                break
             tries += 1
             record.attempts = tries
             record.enter(JobState.SUBMITTED, engine.now)
@@ -380,7 +437,7 @@ class Grid:
                     yield engine.timeout(delay)
                 record.enter(JobState.FAILED, engine.now)
                 last_error = f"attempt {tries} failed on {chosen.name}"
-                record.failure_reason = last_error
+                record.record_failure(tries, chosen.name, last_error, engine.now, kind="fault")
                 if bus is not None:
                     bus.metrics.counter("grid.jobs.retries").inc()
                     bus.record(
@@ -398,11 +455,30 @@ class Grid:
                     if attempt_span is not None:
                         bus.end(attempt_span, engine.now, status="error", error=last_error)
                         self._attempt_spans.pop(record.job_id, None)
+                if fault_attempts >= max_attempts:
+                    break
+                if not budget.try_spend(service_tag):
+                    last_error += " (retry budget exhausted)"
+                    record.record_failure(
+                        tries, chosen.name, last_error, engine.now, kind="budget"
+                    )
+                    if bus is not None:
+                        bus.metrics.counter("grid.jobs.budget_denied").inc()
+                    break
+                yield from self._retry_pause(record, fault_attempts, backoff_rng, job_span)
                 continue
 
             done_on_ce = chosen.submit(record, queue_extra=sample.queue_extra)
+            timed_out = False
             try:
-                yield done_on_ce
+                if policy.attempt_timeout is not None:
+                    timer = engine.timeout(policy.attempt_timeout)
+                    winner, _value = yield engine.any_of(
+                        [done_on_ce, timer], name=f"attempt:{record.job_id}"
+                    )
+                    timed_out = winner is timer
+                else:
+                    yield done_on_ce
             except JobCancelledError as exc:
                 # Proactive resubmission: the monitor (via an alert
                 # sink) pulled this job off a flagged CE's queue.  Not
@@ -412,7 +488,9 @@ class Grid:
                 if cancellations > self.MAX_FREE_CANCELLATIONS:
                     fault_attempts += 1
                 last_error = f"attempt {tries} cancelled on {chosen.name}"
-                record.failure_reason = str(exc)
+                record.record_failure(
+                    tries, chosen.name, str(exc), engine.now, kind="cancelled"
+                )
                 if bus is not None:
                     bus.metrics.counter("grid.jobs.cancellations").inc()
                     bus.record(
@@ -431,6 +509,49 @@ class Grid:
                         bus.end(attempt_span, engine.now, status="cancelled")
                         self._attempt_spans.pop(record.job_id, None)
                 continue
+            if timed_out:
+                fault_attempts += 1
+                # Still queued: withdraw it.  Already running: the slot
+                # is lost for the attempt's duration (a wall-clock kill
+                # does not refund grid time); AnyOf defuses the stale
+                # completion either way.
+                if not chosen.cancel_job(record, reason=f"attempt {tries} timed out"):
+                    done_on_ce.defused = True
+                record.enter(JobState.FAILED, engine.now)
+                last_error = (
+                    f"attempt {tries} timed out on {chosen.name} "
+                    f"after {policy.attempt_timeout:g}s"
+                )
+                record.record_failure(tries, chosen.name, last_error, engine.now, kind="timeout")
+                if bus is not None:
+                    bus.metrics.counter("grid.jobs.timeouts").inc()
+                    bus.record(
+                        "job.timeout",
+                        "grid",
+                        matched_at,
+                        engine.now,
+                        parent=attempt_span,
+                        status="error",
+                        job_id=record.job_id,
+                        attempt=tries,
+                        ce=chosen.name,
+                        job_name=record.description.name,
+                    )
+                    if attempt_span is not None:
+                        bus.end(attempt_span, engine.now, status="error", error=last_error)
+                        self._attempt_spans.pop(record.job_id, None)
+                if fault_attempts >= max_attempts:
+                    break
+                if not budget.try_spend(service_tag):
+                    last_error += " (retry budget exhausted)"
+                    record.record_failure(
+                        tries, chosen.name, last_error, engine.now, kind="budget"
+                    )
+                    if bus is not None:
+                        bus.metrics.counter("grid.jobs.budget_denied").inc()
+                    break
+                yield from self._retry_pause(record, fault_attempts, backoff_rng, job_span)
+                continue
             if sample.completion_notification > 0:
                 yield engine.timeout(sample.completion_notification)
             record.enter(JobState.DONE, engine.now)
@@ -442,7 +563,14 @@ class Grid:
             completion.succeed(record)
             return
 
-        error = JobFailedError(record, f"{last_error} (all {record.attempts} attempts)")
+        cause = f"{last_error} (all {record.attempts} attempts)"
+        if record.failure_history:
+            history = "; ".join(
+                f"#{a.attempt}@{a.computing_element or '?'}: {a.kind}"
+                for a in record.failure_history
+            )
+            cause = f"{cause} [{history}]"
+        error = JobFailedError(record, cause)
         if bus is not None:
             bus.metrics.counter("grid.jobs.failed").inc()
             if job_span is not None and job_span.open:

@@ -173,6 +173,27 @@ class ComputingElement:
                 entry.completion.fail(JobCancelledError(record, reason))
         return cancelled
 
+    def cancel_job(self, record: JobRecord, reason: str = "cancelled") -> bool:
+        """Withdraw one specific job still waiting in the batch queue.
+
+        The timeout-enforcement arm of the retry policies: an attempt
+        that sat queued past its deadline is pulled back so the
+        middleware can resubmit it elsewhere.  Returns False when the
+        job already left the queue (dispatched or running) — a running
+        attempt cannot be reclaimed, the middleware abandons it instead.
+        """
+        from repro.grid.job import JobCancelledError
+
+        for entry in self.policy.entries():
+            if entry.record is record:
+                if not self.policy.remove(entry):
+                    return False
+                record.enter(JobState.CANCELLED, self.engine.now)
+                if not entry.completion.triggered:
+                    entry.completion.fail(JobCancelledError(record, reason))
+                return True
+        return False
+
     # -- dispatch ------------------------------------------------------------
     def _dispatch_loop(self):
         """Forever: pick next queued entry, grab a slot, run the job."""

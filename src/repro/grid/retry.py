@@ -1,0 +1,204 @@
+"""Retry policies and budgets for grid job resubmission.
+
+The middleware's original behavior — resubmit immediately, up to the
+fault model's ``max_attempts`` — is the paper's Figure 6 story ("D0 was
+submitted twice because an error occurred") taken literally.  Real
+users do better: they back off before hammering a sick site again, cap
+how long a single attempt may sit in a queue, and stop burning grid
+time on a job (or a service) that keeps failing.
+
+:class:`RetryPolicy` captures those choices declaratively:
+
+* **backoff** — ``fixed`` (constant pause) or ``exponential``
+  (``base * multiplier**(n-1)``, capped by ``max_delay``), with
+  deterministic seeded jitter so seeded runs stay reproducible,
+* **per-attempt timeout** — an attempt still queued after
+  ``attempt_timeout`` seconds is withdrawn (or, if already running,
+  abandoned) and retried elsewhere,
+* **per-job deadline** — no new attempt starts once ``job_deadline``
+  seconds have elapsed since first submission,
+* **attempt cap** — ``max_attempts`` overrides the fault model's cap.
+
+:class:`RetryBudget` bounds *retries* (attempts beyond the first)
+across a whole run and/or per service, so one pathological service
+cannot starve the rest of the workflow of grid time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "RetryBudget"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative resubmission policy applied by the middleware."""
+
+    #: "fixed" or "exponential"
+    kind: str = "fixed"
+    #: pause before retry n=1 (seconds); 0 = immediate resubmission
+    base_delay: float = 0.0
+    #: exponential growth factor (ignored for fixed backoff)
+    multiplier: float = 2.0
+    #: ceiling on any single backoff pause (None = uncapped)
+    max_delay: Optional[float] = None
+    #: +/- fraction of the pause drawn from the seeded retry stream
+    jitter: float = 0.0
+    #: total attempts allowed (None = defer to FaultModel.max_attempts)
+    max_attempts: Optional[int] = None
+    #: seconds one attempt may take before being withdrawn/abandoned
+    attempt_timeout: Optional[float] = None
+    #: seconds after first submission beyond which no attempt starts
+    job_deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fixed", "exponential"):
+            raise ValueError(f"kind must be 'fixed' or 'exponential', got {self.kind!r}")
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay is not None and self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ValueError(f"attempt_timeout must be > 0, got {self.attempt_timeout}")
+        if self.job_deadline is not None and self.job_deadline <= 0:
+            raise ValueError(f"job_deadline must be > 0, got {self.job_deadline}")
+
+    @classmethod
+    def default(cls) -> "RetryPolicy":
+        """Immediate resubmission, fault-model attempt cap — the legacy loop."""
+        return cls()
+
+    @classmethod
+    def fixed(cls, delay: float, **overrides) -> "RetryPolicy":
+        """Constant *delay* seconds between attempts."""
+        return cls(kind="fixed", base_delay=delay, **overrides)
+
+    @classmethod
+    def exponential(
+        cls,
+        base_delay: float,
+        multiplier: float = 2.0,
+        max_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        **overrides,
+    ) -> "RetryPolicy":
+        """Exponential backoff: ``base * multiplier**(n-1)``, capped, jittered."""
+        return cls(
+            kind="exponential",
+            base_delay=base_delay,
+            multiplier=multiplier,
+            max_delay=max_delay,
+            jitter=jitter,
+            **overrides,
+        )
+
+    def backoff(self, failures: int, rng: np.random.Generator) -> float:
+        """The pause before the retry following the *failures*-th failure.
+
+        Jitter draws exactly one number from *rng* whenever jitter is
+        configured, so seeded runs remain reproducible and comparable
+        across policies with the same jitter setting.
+        """
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        if self.kind == "exponential":
+            delay = self.base_delay * self.multiplier ** (failures - 1)
+        else:
+            delay = self.base_delay
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(0.0, delay)
+
+    def describe(self) -> str:
+        """One-line human summary (shows up in benchmark tables)."""
+        parts = [self.kind]
+        if self.base_delay:
+            parts.append(f"base={self.base_delay:g}s")
+        if self.kind == "exponential":
+            parts.append(f"x{self.multiplier:g}")
+            if self.max_delay is not None:
+                parts.append(f"cap={self.max_delay:g}s")
+        if self.jitter:
+            parts.append(f"jitter={self.jitter:.0%}")
+        if self.max_attempts is not None:
+            parts.append(f"attempts<={self.max_attempts}")
+        if self.attempt_timeout is not None:
+            parts.append(f"attempt_timeout={self.attempt_timeout:g}s")
+        if self.job_deadline is not None:
+            parts.append(f"deadline={self.job_deadline:g}s")
+        return " ".join(parts)
+
+
+class RetryBudget:
+    """Mutable retry allowance shared by every job of one grid.
+
+    Counts *retries* — attempts beyond a job's first — against a
+    run-wide cap and/or a per-service cap (services are identified by
+    the ``service`` job tag; untagged jobs count under their owner).
+    ``try_spend`` is atomic: it either books the retry or denies it
+    without partial accounting.
+    """
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        per_service: Optional[int] = None,
+    ) -> None:
+        if total is not None and total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        if per_service is not None and per_service < 0:
+            raise ValueError(f"per_service must be >= 0, got {per_service}")
+        self.total = total
+        self.per_service = per_service
+        self.spent = 0
+        self.spent_by_service: Dict[str, int] = {}
+        self.denied = 0
+
+    @classmethod
+    def unlimited(cls) -> "RetryBudget":
+        """No cap anywhere — the legacy behavior."""
+        return cls()
+
+    def remaining(self, service: Optional[str] = None) -> Optional[float]:
+        """Retries left (run-wide, or for *service*); None = unlimited."""
+        bounds = []
+        if self.total is not None:
+            bounds.append(self.total - self.spent)
+        if service is not None and self.per_service is not None:
+            bounds.append(self.per_service - self.spent_by_service.get(service, 0))
+        if not bounds:
+            return None
+        return max(0, min(bounds))
+
+    def try_spend(self, service: str) -> bool:
+        """Book one retry for *service*; False when a cap is exhausted."""
+        if self.total is not None and self.spent >= self.total:
+            self.denied += 1
+            return False
+        if (
+            self.per_service is not None
+            and self.spent_by_service.get(service, 0) >= self.per_service
+        ):
+            self.denied += 1
+            return False
+        self.spent += 1
+        self.spent_by_service[service] = self.spent_by_service.get(service, 0) + 1
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"<RetryBudget total={self.total} per_service={self.per_service} "
+            f"spent={self.spent} denied={self.denied}>"
+        )

@@ -39,6 +39,7 @@ from repro.grid.load import BackgroundLoad
 from repro.grid.middleware import Grid
 from repro.grid.overhead import OverheadModel
 from repro.grid.resources import ComputingElement, Site, WorkerNode
+from repro.grid.retry import RetryBudget, RetryPolicy
 from repro.grid.storage import StorageElement
 from repro.grid.transfer import LinkParameters, NetworkModel
 from repro.sim.engine import Engine
@@ -212,6 +213,8 @@ def faulty_testbed(
     straggler_speed: float = 0.3,
     base_failure_probability: float = 0.02,
     max_attempts: int = 25,
+    retry_policy: Optional[RetryPolicy] = None,
+    retry_budget: Optional[RetryBudget] = None,
 ) -> Grid:
     """A grid with one injected blackhole CE and one straggler CE.
 
@@ -283,6 +286,8 @@ def faulty_testbed(
         faults=faults,
         broker_strategy="least-loaded",
         name="faulty",
+        retry_policy=retry_policy,
+        retry_budget=retry_budget,
     )
 
 

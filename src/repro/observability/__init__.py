@@ -40,6 +40,10 @@ Pieces (all dependency-free, all in simulated time):
   element online: straggler and blackhole detection;
 * :mod:`~repro.observability.alerts` — typed :class:`Alert` records,
   threshold configuration and the streaming JSONL alert writer;
+* :mod:`~repro.observability.failures` — failure-report rows rebuilt
+  from an exported span stream (``kind="failed"`` / ``"poisoned"``
+  invocation spans joined with per-attempt grid spans), the post-mortem
+  side of the enactor's live :class:`~repro.core.failures.FailureReport`;
 * :mod:`~repro.observability.monitor` — the live :class:`RunMonitor`
   subscriber: per-service progress/ETA blending the Section 3.5 model
   with the observed rate, per-CE health, the alert pipeline, and the
@@ -96,6 +100,7 @@ from repro.observability.drift import (
     policy_key,
     time_matrix,
 )
+from repro.observability.failures import failure_rows_from_spans, failure_summary
 from repro.observability.health import (
     CEHealth,
     FleetHealth,
@@ -199,4 +204,6 @@ __all__ = [
     "HealthProvider",
     "RunMonitor",
     "ServiceProgress",
+    "failure_rows_from_spans",
+    "failure_summary",
 ]

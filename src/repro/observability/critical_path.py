@@ -241,10 +241,12 @@ def _attribute(span: Span, phase_index: Mapping[int, List[Span]]) -> Dict[str, f
     if buckets["execute"] < 0.0:  # float residue of the staging split
         buckets["execute"] = 0.0
     residual = duration - covered
-    if residual > _EPS:
+    if residual > (_EPS if saw_jobs else 0.0):
         # no grid jobs: the whole invocation is compute (local services,
-        # synchronization statistics steps).  With jobs, the remainder
-        # is enactor/service-layer coordination around the submissions.
+        # synchronization statistics steps), however short — only job
+        # steps carry float residue worth filtering.  With jobs, the
+        # remainder is enactor/service-layer coordination around the
+        # submissions.
         buckets["execute" if not saw_jobs else "enactor"] += residual
     return {key: seconds for key, seconds in buckets.items() if seconds > 0.0}
 

@@ -1,0 +1,97 @@
+"""Failure reporting from exported span streams.
+
+A best-effort run records what it lost twice: live, as the
+:class:`~repro.core.failures.FailureReport` on the enactment result,
+and durably, as ``kind="failed"`` / ``kind="poisoned"`` invocation
+spans in the exported trace.  This module rebuilds the report-shaped
+rows from the spans, so ``python -m repro.experiments report-failures
+--trace run.jsonl`` works on a file long after the run is gone —
+the post-mortem path, where the live path is the dashboard.
+
+Correlation: a failed invocation span carries the grid ``job_ids`` of
+its attempts; the matching ``job.fault`` / ``job.timeout`` /
+``job.cancel`` spans (keyed by ``job_id``) supply the per-attempt
+reasons and computing elements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping
+
+from repro.observability.spans import Span
+
+__all__ = ["failure_rows_from_spans", "failure_summary"]
+
+#: grid span names that describe one failed attempt of a job
+_ATTEMPT_SPANS = ("job.fault", "job.timeout", "job.cancel")
+
+
+def failure_rows_from_spans(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Report rows (one per failed or skipped invocation) from *spans*.
+
+    Row keys mirror :meth:`repro.core.failures.FailureReport.to_rows`:
+    ``processor``, ``label``, ``kind`` (``failed`` | ``poisoned``),
+    ``error``, ``failed_at``, ``job_ids``, ``computing_elements`` and
+    ``attempt_reasons``.  Rows keep span order (enactment time).
+    """
+    spans = list(spans)
+    attempts_by_job: Dict[int, List[Mapping[str, Any]]] = {}
+    for span in spans:
+        if span.name not in _ATTEMPT_SPANS:
+            continue
+        job_id = span.attributes.get("job_id")
+        if job_id is None:
+            continue
+        attempts_by_job.setdefault(int(job_id), []).append(
+            {
+                "kind": span.name.split(".", 1)[1],
+                "computing_element": span.attributes.get("ce", ""),
+                "reason": span.attributes.get("reason", span.status),
+                "at": span.end if span.end is not None else span.start,
+            }
+        )
+
+    rows: List[Dict[str, Any]] = []
+    for span in spans:
+        if span.name != "invocation":
+            continue
+        kind = span.attributes.get("kind")
+        if kind not in ("failed", "poisoned"):
+            continue
+        job_ids = [int(j) for j in span.attributes.get("job_ids", ())]
+        attempts = [a for job in job_ids for a in attempts_by_job.get(job, [])]
+        error = span.attributes.get("error", "")
+        if kind == "poisoned" and not error:
+            root = span.attributes.get("root", "")
+            error = f"input lineage died upstream at {root!r}" if root else "poisoned input"
+        rows.append(
+            {
+                "processor": span.attributes.get("processor", ""),
+                "label": span.attributes.get("label", ""),
+                "kind": kind,
+                "error": error,
+                "failed_at": span.end if span.end is not None else span.start,
+                "job_ids": job_ids,
+                "computing_elements": sorted(
+                    {a["computing_element"] for a in attempts if a["computing_element"]}
+                ),
+                "attempt_reasons": [
+                    f"{a['kind']}@{a['computing_element']}: {a['reason']}" for a in attempts
+                ],
+            }
+        )
+    return rows
+
+
+def failure_summary(rows: Iterable[Mapping[str, Any]]) -> Dict[str, Dict[str, int]]:
+    """Aggregate counts: failures per service and per computing element."""
+    by_service: Dict[str, int] = {}
+    by_ce: Dict[str, int] = {}
+    for row in rows:
+        if row.get("kind") != "failed":
+            continue
+        service = str(row.get("processor", ""))
+        by_service[service] = by_service.get(service, 0) + 1
+        for ce in row.get("computing_elements", ()):  # type: ignore[union-attr]
+            by_ce[str(ce)] = by_ce.get(str(ce), 0) + 1
+    return {"by_service": by_service, "by_computing_element": by_ce}

@@ -148,7 +148,11 @@ class Service:
         except Exception as exc:
             record.completed_at = self.engine.now
             record.error = str(exc)
-            result.fail(ServiceError(f"{self.name}: {exc}"))
+            wrapper = ServiceError(f"{self.name}: {exc}")
+            # Keep the cause chain: the enactor's failure containment
+            # digs through it for the JobFailedError and its record.
+            wrapper.__cause__ = exc
+            result.fail(wrapper)
             return
         bad = set(outputs) ^ set(self.output_ports)
         if bad:

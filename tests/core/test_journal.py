@@ -1,0 +1,112 @@
+"""The enactment journal: WAL round-trips, torn lines, crash markers."""
+
+import json
+
+import pytest
+
+from repro.core.journal import EnactmentJournal, JournalEntry, SimulatedCrash
+from repro.services.base import GridData
+
+
+def make_entry(key="k1", processor="P1", value=42, **overrides):
+    fields = dict(
+        key=key,
+        processor=processor,
+        label="D0",
+        kind="invocation",
+        started=10.0,
+        finished=25.0,
+        job_ids=(3, 7),
+        outputs={"y": GridData(value=value)},
+    )
+    fields.update(overrides)
+    return JournalEntry(**fields)
+
+
+class TestJournalEntry:
+    def test_document_round_trip(self):
+        entry = make_entry()
+        doc = entry.to_document()
+        # the document must be plain JSON (the WAL is JSONL)
+        restored = JournalEntry.from_document(json.loads(json.dumps(doc)))
+        assert restored.key == entry.key
+        assert restored.processor == entry.processor
+        assert restored.job_ids == (3, 7)
+        assert restored.outputs["y"].value == 42
+
+    def test_document_is_tagged(self):
+        assert make_entry().to_document()["event"] == "invocation"
+
+
+class TestEnactmentJournal:
+    def test_append_and_load(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with EnactmentJournal(path) as journal:
+            journal.append_run("bronze", "SP+DP", at=0.0)
+            journal.append_invocation(make_entry(key="a", value=1))
+            journal.append_invocation(make_entry(key="b", value=2))
+            assert journal.appended == 3  # run marker + 2 invocations
+
+        loaded = EnactmentJournal(path).load()
+        assert set(loaded) == {"a", "b"}
+        assert loaded["a"].outputs["y"].value == 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        journal = EnactmentJournal(tmp_path / "absent.jsonl")
+        assert journal.load() == {}
+        assert journal.runs() == []
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with EnactmentJournal(path) as journal:
+            journal.append_invocation(make_entry(key="a"))
+            journal.append_invocation(make_entry(key="b"))
+        # simulate a crash mid-write: truncate the last line
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) - 20])
+
+        loaded = EnactmentJournal(path).load()
+        assert set(loaded) == {"a"}  # entry b re-executes, nothing raises
+
+    def test_later_entries_win_on_key_collision(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with EnactmentJournal(path) as journal:
+            journal.append_invocation(make_entry(key="a", value=1))
+            journal.append_invocation(make_entry(key="a", value=99))
+        assert EnactmentJournal(path).load()["a"].outputs["y"].value == 99
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with EnactmentJournal(path) as journal:
+            journal.append_invocation(make_entry(key="a"))
+        with EnactmentJournal(path) as journal:
+            journal.append_invocation(make_entry(key="b"))
+            assert journal.appended == 1  # counts THIS process only
+        assert set(EnactmentJournal(path).load()) == {"a", "b"}
+
+    def test_run_markers(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with EnactmentJournal(path) as journal:
+            journal.append_run("bronze", "SP+DP", at=0.0)
+            journal.append_invocation(make_entry(key="a"))
+            journal.append_run("bronze", "SP+DP", at=120.0)
+        markers = journal.runs()
+        assert [m["at"] for m in markers] == [0.0, 120.0]
+        assert markers[0]["config"] == "SP+DP"
+
+    def test_non_invocation_lines_ignored_by_load(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with EnactmentJournal(path) as journal:
+            journal.append_run("bronze", "NOP", at=0.0)
+        assert EnactmentJournal(path).load() == {}
+
+
+class TestSimulatedCrash:
+    def test_carries_progress(self):
+        crash = SimulatedCrash(7)
+        assert crash.completed == 7
+        assert "7" in str(crash)
+
+    def test_is_a_runtime_error(self):
+        with pytest.raises(RuntimeError):
+            raise SimulatedCrash(1)

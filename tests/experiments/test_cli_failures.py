@@ -1,0 +1,123 @@
+"""CLI: best-effort flags, crash/resume exit codes, the dead-letter report."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_bronze_failure_flags(self):
+        args = build_parser().parse_args(
+            [
+                "bronze", "--pairs", "2", "--best-effort", "--strict",
+                "--journal", "run.wal", "--resume", "--crash-after", "5",
+            ]
+        )
+        assert args.best_effort and args.strict and args.resume
+        assert args.journal == "run.wal"
+        assert args.crash_after == 5
+
+    def test_report_failures_defaults(self):
+        args = build_parser().parse_args(["report-failures"])
+        assert args.testbed == "faulty"
+        assert args.trace is None
+        assert not args.strict
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit, match="--resume requires --journal"):
+            main(["bronze", "--pairs", "2", "--resume"])
+
+
+class TestBestEffortRuns:
+    def test_clean_run_reports_no_failures(self, capsys):
+        assert main(["bronze", "--pairs", "2", "--best-effort"]) == 0
+        out = capsys.readouterr().out
+        assert "contained failures: none" in out
+
+    def test_strict_mode_exits_3_on_losses(self, capsys):
+        # a harsh blackhole with a tight attempt cap guarantees losses
+        code = main(
+            [
+                "bronze", "--pairs", "3", "--config", "SP+DP", "--testbed",
+                "faulty", "--max-attempts", "2", "--best-effort", "--strict",
+                "--seed", "20060619",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "dead letters" in out or "failed invocations" in out
+
+    def test_failure_table_is_printed(self, capsys):
+        code = main(
+            [
+                "bronze", "--pairs", "3", "--config", "SP+DP", "--testbed",
+                "faulty", "--max-attempts", "2", "--best-effort",
+                "--seed", "20060619",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # without --strict, losses are reported, not fatal
+        assert "=== contained failures ===" in out
+        assert "site01-ce" in out  # the blackhole shows up in the CE ranking
+
+
+class TestCrashResume:
+    def test_crash_exits_4_then_resume_succeeds(self, tmp_path, capsys):
+        wal = str(tmp_path / "run.wal")
+        base = ["bronze", "--pairs", "2", "--config", "SP+DP", "--seed", "7",
+                "--journal", wal]
+
+        code = main(base + ["--crash-after", "5"])
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "simulated crash" in out
+        assert "resume with --resume" in out
+
+        code = main(base + ["--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed from journal: 5 invocations" in out
+
+    def test_journal_without_crash_is_harmless(self, tmp_path, capsys):
+        wal = str(tmp_path / "run.wal")
+        assert main(["bronze", "--pairs", "2", "--journal", wal]) == 0
+        capsys.readouterr()
+
+
+class TestReportFailures:
+    def test_live_report_on_faulty_testbed(self, capsys):
+        code = main(
+            [
+                "report-failures", "--pairs", "3", "--config", "SP+DP",
+                "--max-attempts", "2", "--seed", "20060619",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "failures by service" in out
+        assert "failures by computing element" in out
+
+    def test_strict_report_exits_3(self, capsys):
+        code = main(
+            [
+                "report-failures", "--pairs", "3", "--config", "SP+DP",
+                "--max-attempts", "2", "--seed", "20060619", "--strict",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 3
+
+    def test_report_from_exported_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        main(
+            [
+                "bronze", "--pairs", "3", "--config", "SP+DP", "--testbed",
+                "faulty", "--max-attempts", "2", "--best-effort",
+                "--seed", "20060619", "--trace", trace,
+            ]
+        )
+        capsys.readouterr()
+        code = main(["report-failures", "--trace", trace])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "failures by service" in out

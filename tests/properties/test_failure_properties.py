@@ -1,0 +1,126 @@
+"""Property-based tests for best-effort failure containment.
+
+For any random chain workflow and any random set of injected stage
+failures, under every optimization policy:
+
+* a best-effort enactment never raises,
+* the inputs partition exactly into *lost* (the union of the failed
+  lineages) and *survived* (those whose value reaches the sink) — no
+  item is both, none goes missing,
+* a failure-free workload produces the same outputs best-effort as
+  strict, with an empty report.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MoteurEnactor, OptimizationConfig
+from repro.services.base import LocalService
+from repro.sim.engine import Engine
+from repro.workflow.patterns import chain_workflow
+
+POLICIES = [
+    OptimizationConfig.nop(),
+    OptimizationConfig.dp(),
+    OptimizationConfig.sp(),
+    OptimizationConfig.sp_dp(),
+]
+
+# (chain length, number of inputs, set of (stage, input index) fault sites)
+scenarios = st.integers(1, 4).flatmap(
+    lambda length: st.integers(1, 5).flatmap(
+        lambda n_items: st.tuples(
+            st.just(length),
+            st.just(n_items),
+            st.sets(
+                st.tuples(
+                    st.integers(1, length), st.integers(0, n_items - 1)
+                ),
+                max_size=6,
+            ),
+        )
+    )
+)
+
+
+def enact_best_effort(length, n_items, faults, config):
+    """Run a +0 chain that dies at the given (stage, item) sites."""
+    engine = Engine()
+
+    def factory(name, inputs, outputs):
+        stage = int(name[1:])
+
+        def fn(x):
+            if (stage, x) in faults:
+                raise RuntimeError(f"injected at {name} item {x}")
+            return {"y": x}  # identity: the value IS the input index
+
+        return LocalService(engine, name, inputs, outputs, function=fn, duration=1.0)
+
+    workflow = chain_workflow(factory, length)
+    enactor = MoteurEnactor(engine, workflow, config.with_best_effort())
+    return enactor.run({"input": list(range(n_items))})
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios)
+def test_lost_and_survived_partition_the_inputs(scenario):
+    length, n_items, faults = scenario
+    poisoned_items = {item for _stage, item in faults}
+    for config in POLICIES:
+        result = enact_best_effort(length, n_items, faults, config)
+
+        survived = set(result.output_values("result"))
+        lost = set(result.failures.poisoned_lineage().get("input", frozenset()))
+
+        label = (config.label, length, n_items, sorted(faults))
+        # exact partition: no overlap, no missing item
+        assert survived & lost == set(), label
+        assert survived | lost == set(range(n_items)), label
+        # the first fault on an item kills it; later sites on the same
+        # (already poisoned) lineage are skipped, not re-failed
+        assert lost == poisoned_items, label
+        # every lost item is accounted for as a sink dead letter
+        assert len(result.failures.dead_letters) == len(lost), label
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenarios)
+def test_failure_count_matches_first_faults(scenario):
+    length, n_items, faults = scenario
+    # the root failure for item i happens at its EARLIEST faulty stage
+    first_fault = {}
+    for stage, item in sorted(faults):
+        first_fault.setdefault(item, stage)
+    for config in POLICIES:
+        result = enact_best_effort(length, n_items, faults, config)
+        report = result.failures
+        assert len(report.failures) == len(first_fault), config.label
+        observed = {
+            (failure.processor, failure.lineage["input"][0])
+            for failure in report.failures
+        }
+        expected = {(f"P{stage}", item) for item, stage in first_fault.items()}
+        assert observed == expected, config.label
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 5))
+def test_clean_runs_match_strict_and_report_nothing(length, n_items):
+    for config in POLICIES:
+        best_effort = enact_best_effort(length, n_items, frozenset(), config)
+        assert best_effort.failures.empty, config.label
+
+        engine = Engine()
+        workflow = chain_workflow(
+            lambda name, i, o: LocalService(
+                engine, name, i, o, function=lambda x: {"y": x}, duration=1.0
+            ),
+            length,
+        )
+        strict = MoteurEnactor(engine, workflow, config).run(
+            {"input": list(range(n_items))}
+        )
+        assert sorted(best_effort.output_values("result")) == sorted(
+            strict.output_values("result")
+        ), config.label
