@@ -69,6 +69,11 @@ class BronzeStandardApplication:
         suitable for model-validation runs.
     mtt_time:
         Compute-time model of the MultiTransfoTest statistics job.
+    owner, tags:
+        Accounting identity stamped on every submitted job description
+        (fair-share batch scheduling keys on ``owner``; a multi-tenant
+        scheduler passes ``tags={"tenant": ..., "run": ...}`` so jobs
+        stay attributable on a shared testbed).
     """
 
     def __init__(
@@ -78,12 +83,16 @@ class BronzeStandardApplication:
         streams: Optional[RandomStreams] = None,
         timings: Optional[Mapping[str, "float | Distribution"]] = None,
         mtt_time: "float | Distribution | None" = None,
+        owner: str = "user",
+        tags: Optional[Mapping[str, object]] = None,
     ) -> None:
         self.engine = engine
         self.grid = grid
         self.streams = streams or RandomStreams(seed=0)
         self.services: Dict[str, Service] = dict(
-            build_registration_services(engine, grid, self.streams, timings=timings)
+            build_registration_services(
+                engine, grid, self.streams, timings=timings, owner=owner, tags=tags
+            )
         )
         if mtt_time is None:
             mtt_time = (

@@ -130,14 +130,19 @@ def build_registration_services(
     streams: Optional[RandomStreams] = None,
     profiles: Optional[Mapping[str, AlgorithmProfile]] = None,
     timings: Optional[Mapping[str, "float | Distribution"]] = None,
+    owner: str = "user",
+    tags: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, GenericWrapperService]:
     """Build the six services of the Figure 9 workflow.
 
     ``profiles`` overrides the full error/cost models; ``timings``
     overrides just the compute-time models (handy for constant-time
-    model-validation runs).
+    model-validation runs).  ``owner`` and ``tags`` flow onto every
+    submitted job description (fair-share accounting and tenant/run
+    attribution when several enactments share the testbed).
     """
     streams = streams or RandomStreams(seed=0)
+    tags = dict(tags or {})
     table = dict(DEFAULT_PROFILES)
     if profiles:
         table.update(profiles)
@@ -197,6 +202,8 @@ def build_registration_services(
         program=crestlines_program,
         compute_time=time_of("crestLines"),
         output_sizes={"crest_reference": 1 * MEBIBYTE, "crest_floating": 1 * MEBIBYTE},
+        owner=owner,
+        tags=tags,
     )
 
     # -- crestMatch: feature-based registration, initializes the others
@@ -227,6 +234,8 @@ def build_registration_services(
         program=crestmatch_program,
         compute_time=time_of("crestMatch"),
         output_sizes={"transform": 4 * KIBIBYTE},
+        owner=owner,
+        tags=tags,
     )
 
     # -- Baladin and Yasmina: intensity-based, need an initialization
@@ -259,6 +268,8 @@ def build_registration_services(
             program=program,
             compute_time=time_of(method),
             output_sizes={"transform": 4 * KIBIBYTE},
+            owner=owner,
+            tags=tags,
         )
 
     services["Baladin"] = intensity_method("Baladin", "baladin")
@@ -291,6 +302,8 @@ def build_registration_services(
         program=pfmatch_program,
         compute_time=time_of("PFMatchICP"),
         output_sizes={"matched_points": 256 * KIBIBYTE},
+        owner=owner,
+        tags=tags,
     )
 
     pfregister_profile = table["PFRegister"]
@@ -317,6 +330,8 @@ def build_registration_services(
         program=pfregister_program,
         compute_time=time_of("PFRegister"),
         output_sizes={"transform": 4 * KIBIBYTE},
+        owner=owner,
+        tags=tags,
     )
 
     return services

@@ -64,11 +64,26 @@ from repro.workflow.datasets import InputDataSet
 from repro.workflow.graph import Processor, ProcessorKind, Workflow, WorkflowError
 from repro.workflow.validation import require_valid
 
-__all__ = ["MoteurEnactor", "EnactmentResult", "EnactmentError"]
+__all__ = ["MoteurEnactor", "EnactmentResult", "EnactmentError", "EnactmentCancelled"]
 
 
 class EnactmentError(RuntimeError):
     """The enactment failed (service error, job failure, deadlock...)."""
+
+
+class EnactmentCancelled(EnactmentError):
+    """An in-flight enactment was cancelled (see :meth:`MoteurEnactor.cancel`).
+
+    Carries the run's :class:`~repro.core.failures.FailureReport`, whose
+    ``cancelled_reason`` / ``cancelled_jobs`` fields describe the
+    cancellation itself on top of whatever the run had already lost.
+    """
+
+    def __init__(self, workflow: str, reason: str, report: FailureReport) -> None:
+        super().__init__(f"enactment of {workflow!r} cancelled: {reason}")
+        self.workflow = workflow
+        self.reason = reason
+        self.report = report
 
 
 @dataclass
@@ -188,11 +203,20 @@ class MoteurEnactor:
         instrumentation: Optional[InstrumentationBus] = None,
         journal: "Optional[EnactmentJournal | str | Path]" = None,
         crash_after_n_invocations: Optional[int] = None,
+        run_attributes: Optional[Mapping[str, Any]] = None,
+        claim_run_span: bool = True,
     ) -> None:
         self.engine = engine
         self.config = config or OptimizationConfig.nop()
         self.grid = grid
         self.instrumentation = instrumentation
+        #: extra attributes stamped on the run span (e.g. tenant / run id)
+        self.run_attributes: Dict[str, Any] = dict(run_attributes or {})
+        #: whether this enactor claims the bus-wide ``run_span`` slot.
+        #: The slot is single-occupancy, so a scheduler multiplexing
+        #: several concurrent enactments on one bus sets False and
+        #: relies on tenant/run tags for span attribution instead.
+        self.claim_run_span = claim_run_span
         if isinstance(journal, (str, Path)):
             journal = EnactmentJournal(journal)
         #: crash-safe WAL of completed invocations (see repro.core.journal)
@@ -246,6 +270,7 @@ class MoteurEnactor:
         self._trace = ExecutionTrace()
         self._invocation_count = 0
         self._failed = False
+        self._cancelled = False
         self._cache_baseline: Optional[CacheStatsSnapshot] = None
         self._run_span: Optional[Span] = None
         self._trace_id = ""
@@ -284,6 +309,59 @@ class MoteurEnactor:
         if isinstance(source, (str, Path)):
             source = EnactmentJournal(source)
         return self.run(dataset, replay=source.load())
+
+    def cancel(self, reason: str = "cancelled", job_filter=None) -> FailureReport:
+        """Cancel the in-flight enactment.
+
+        Blocks further invocations from spawning, withdraws this run's
+        queued grid jobs with ``resubmit=False`` (their slots go back to
+        the other tenants — no free resubmission), and fails the
+        completion event with :class:`EnactmentCancelled`.  Jobs already
+        executing on a worker are left to drain; their late completions
+        and failures are absorbed harmlessly.
+
+        *job_filter* is a predicate over
+        :class:`~repro.grid.job.JobRecord` selecting which queued jobs
+        belong to this run.  The default matches the ``run`` tag from
+        ``run_attributes`` when one is set (the multi-tenant case, where
+        several runs share the testbed), and otherwise withdraws every
+        queued job (the single-run case).
+
+        Returns the run's :class:`FailureReport` — also carried by the
+        :class:`EnactmentCancelled` the completion event fails with.
+        The caller must keep driving the engine (or have a callback on
+        the completion event) so the scheduled cancellations process.
+        """
+        if self._completion is None or self._completion.triggered:
+            raise EnactmentError(
+                f"no in-flight enactment of {self.workflow.name!r} to cancel"
+            )
+        if self._cancelled:
+            return self._report
+        self._cancelled = True
+        if job_filter is None:
+            run_id = self.run_attributes.get("run")
+            if run_id is not None:
+                def job_filter(record):  # noqa: E306
+                    return record.description.tags.get("run") == run_id
+        released = 0
+        if self.grid is not None:
+            for ce in self.grid.computing_elements:
+                released += len(
+                    ce.cancel_queued(reason=reason, resubmit=False, predicate=job_filter)
+                )
+        self._report.cancelled_reason = reason
+        self._report.cancelled_jobs = released
+        if self.instrumentation is not None:
+            self.instrumentation.metrics.counter("enactor.cancellations").inc()
+        self._close_run_span(status="cancelled", reason=reason)
+        self._failed = True
+        error = EnactmentCancelled(self.workflow.name, reason, self._report)
+        # Pre-defuse: the scheduler harvests via callbacks, and nothing
+        # should crash the shared engine if no-one is waiting.
+        self._completion.defused = True
+        self._completion.fail(error)
+        return self._report
 
     def enact(
         self,
@@ -330,6 +408,7 @@ class MoteurEnactor:
         self._trace = ExecutionTrace()
         self._invocation_count = 0
         self._failed = False
+        self._cancelled = False
         self._cache_baseline = self.cache.snapshot() if self.cache is not None else None
         self._run_span = None
         self._trace_id = ""
@@ -351,8 +430,10 @@ class MoteurEnactor:
                 data_parallelism=self.config.data_parallelism,
                 service_parallelism=self.config.service_parallelism,
                 job_grouping=self.config.job_grouping,
+                **self.run_attributes,
             )
-            bus.run_span = self._run_span
+            if self.claim_run_span:
+                bus.run_span = self._run_span
 
     def _build_states(self) -> None:
         for name, processor in self.workflow.processors.items():
@@ -461,6 +542,8 @@ class MoteurEnactor:
             self._spawn_invocation(state, binding)
 
     def _spawn_invocation(self, state: _ProcessorState, binding: Binding) -> None:
+        if self._cancelled:
+            return  # a cancelled run starts no new work
         self._in_flight += 1
         self._note_in_flight()
         self.engine.process(
@@ -636,6 +719,8 @@ class MoteurEnactor:
         self._check_completion()
 
     def _spawn_sync(self, state: _ProcessorState) -> None:
+        if self._cancelled:
+            return
         self._in_flight += 1
         self._note_in_flight()
         self.engine.process(

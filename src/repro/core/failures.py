@@ -19,7 +19,7 @@ reasons accumulated by the grid middleware
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.core.provenance import HistoryTree
 from repro.grid.job import AttemptFailure, JobFailedError
@@ -108,11 +108,18 @@ class FailureReport:
     skipped: int = 0
     #: poisoned tokens filtered out at synchronization barriers
     barrier_drops: int = 0
+    #: why the run was cancelled mid-flight (None for runs that ended
+    #: on their own); set by :meth:`MoteurEnactor.cancel`
+    cancelled_reason: Optional[str] = None
+    #: queued grid jobs withdrawn by the cancellation
+    cancelled_jobs: int = 0
 
     @property
     def empty(self) -> bool:
         """True when the run lost nothing."""
-        return not self.failures and not self.dead_letters
+        return (
+            not self.failures and not self.dead_letters and self.cancelled_reason is None
+        )
 
     def by_service(self) -> Dict[str, int]:
         """Root failure counts per processor."""
@@ -159,8 +166,11 @@ class FailureReport:
         return rows
 
     def __repr__(self) -> str:
+        cancelled = (
+            f" cancelled={self.cancelled_reason!r}" if self.cancelled_reason else ""
+        )
         return (
             f"<FailureReport failures={len(self.failures)} "
             f"dead_letters={len(self.dead_letters)} skipped={self.skipped} "
-            f"barrier_drops={self.barrier_drops}>"
+            f"barrier_drops={self.barrier_drops}{cancelled}>"
         )

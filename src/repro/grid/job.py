@@ -83,15 +83,19 @@ class JobFailedError(RuntimeError):
 class JobCancelledError(RuntimeError):
     """A queued job was withdrawn from its CE before running.
 
-    Not terminal for the job: the middleware catches this and
-    resubmits elsewhere without spending a fault attempt — the
-    proactive-resubmission half of the monitoring feedback loop.
+    With ``resubmit=True`` (the default) this is not terminal for the
+    job: the middleware catches it and resubmits elsewhere without
+    spending a fault attempt — the proactive-resubmission half of the
+    monitoring feedback loop.  With ``resubmit=False`` the withdrawal
+    is final (a user or the enactment service cancelled the run that
+    owns the job) and the middleware fails the submission instead.
     """
 
-    def __init__(self, record: "JobRecord", reason: str) -> None:
+    def __init__(self, record: "JobRecord", reason: str, resubmit: bool = True) -> None:
         super().__init__(f"job {record.job_id} ({record.name}) cancelled: {reason}")
         self.record = record
         self.reason = reason
+        self.resubmit = resubmit
 
 
 @dataclass(frozen=True)

@@ -244,6 +244,14 @@ class Grid:
         bus = self.instrumentation
         if bus is not None:
             bus.metrics.counter("grid.jobs.submitted").inc()
+            # Multi-tenant runs tag their jobs so spans stay attributable
+            # even when several enactments share this grid (the single
+            # bus.run_span slot cannot distinguish them).
+            tenancy = {
+                key: description.tags[key]
+                for key in ("tenant", "run")
+                if key in description.tags
+            }
             job_span = bus.begin(
                 "grid.job",
                 "grid",
@@ -251,6 +259,7 @@ class Grid:
                 parent=bus.run_span,
                 job_id=record.job_id,
                 job_name=description.name,
+                **tenancy,
             )
         self.engine.process(
             self._run_job(record, completion, job_span), name=f"job:{record.job_id}"
@@ -480,13 +489,6 @@ class Grid:
                 else:
                     yield done_on_ce
             except JobCancelledError as exc:
-                # Proactive resubmission: the monitor (via an alert
-                # sink) pulled this job off a flagged CE's queue.  Not
-                # a fault — resubmit without spending the attempt
-                # budget, up to the free-cancellation cap.
-                cancellations += 1
-                if cancellations > self.MAX_FREE_CANCELLATIONS:
-                    fault_attempts += 1
                 last_error = f"attempt {tries} cancelled on {chosen.name}"
                 record.record_failure(
                     tries, chosen.name, str(exc), engine.now, kind="cancelled"
@@ -508,6 +510,21 @@ class Grid:
                     if attempt_span is not None:
                         bus.end(attempt_span, engine.now, status="cancelled")
                         self._attempt_spans.pop(record.job_id, None)
+                if not exc.resubmit:
+                    # Final withdrawal: the run that owns this job was
+                    # cancelled.  Fail the handle with the cancellation
+                    # itself — no resubmission, no fault spent.
+                    if bus is not None and job_span is not None and job_span.open:
+                        bus.end(job_span, engine.now, status="cancelled")
+                    completion.fail(exc)
+                    return
+                # Proactive resubmission: the monitor (via an alert
+                # sink) pulled this job off a flagged CE's queue.  Not
+                # a fault — resubmit without spending the attempt
+                # budget, up to the free-cancellation cap.
+                cancellations += 1
+                if cancellations > self.MAX_FREE_CANCELLATIONS:
+                    fault_attempts += 1
                 continue
             if timed_out:
                 fault_attempts += 1

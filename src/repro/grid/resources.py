@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -93,6 +93,10 @@ class ComputingElement:
         self._dispatching = 0
         #: set by Grid when it adopts this CE; drives stage-in/out timing
         self.grid: Optional["Grid"] = None
+        # Instance-owned fallback for grid-less CEs (unit tests): a
+        # module-global generator here would couple the draws of every
+        # concurrent enactment in the process.
+        self._fallback_rng = np.random.default_rng(0)
         self.engine.process(self._dispatch_loop(), name=f"ce:{name}")
 
     # -- introspection ---------------------------------------------------
@@ -149,31 +153,45 @@ class ComputingElement:
         yield self.engine.timeout(delay)
         self.policy.put(entry)
 
-    def cancel_queued(self, reason: str = "cancelled") -> List[JobRecord]:
-        """Withdraw every job still waiting in the batch queue.
+    def cancel_queued(
+        self,
+        reason: str = "cancelled",
+        resubmit: bool = True,
+        predicate: "Optional[Callable[[JobRecord], bool]]" = None,
+    ) -> List[JobRecord]:
+        """Withdraw jobs still waiting in the batch queue.
 
         Each withdrawn entry's completion event fails with
-        :class:`~repro.grid.job.JobCancelledError`, which the
-        middleware treats as "resubmit elsewhere, for free" — the
-        proactive-resubmission arm of the monitoring feedback loop
-        (an operator pulling jobs off a site that went bad).  Jobs
-        already dispatched to a worker are left alone.  Returns the
-        withdrawn records.
+        :class:`~repro.grid.job.JobCancelledError`.  With
+        ``resubmit=True`` the middleware treats that as "resubmit
+        elsewhere, for free" — the proactive-resubmission arm of the
+        monitoring feedback loop (an operator pulling jobs off a site
+        that went bad).  With ``resubmit=False`` the withdrawal is
+        final: the enactment service uses this to release a cancelled
+        run's queued jobs back to the other tenants.  *predicate*
+        restricts the withdrawal to matching records (e.g. one run's
+        jobs on a shared testbed); None withdraws everything queued.
+        Jobs already dispatched to a worker are left alone.  Returns
+        the withdrawn records.
         """
         from repro.grid.job import JobCancelledError
 
         cancelled: List[JobRecord] = []
         for entry in self.policy.entries():
+            if predicate is not None and not predicate(entry.record):
+                continue
             if not self.policy.remove(entry):
                 continue
             record = entry.record
             record.enter(JobState.CANCELLED, self.engine.now)
             cancelled.append(record)
             if not entry.completion.triggered:
-                entry.completion.fail(JobCancelledError(record, reason))
+                entry.completion.fail(JobCancelledError(record, reason, resubmit=resubmit))
         return cancelled
 
-    def cancel_job(self, record: JobRecord, reason: str = "cancelled") -> bool:
+    def cancel_job(
+        self, record: JobRecord, reason: str = "cancelled", resubmit: bool = True
+    ) -> bool:
         """Withdraw one specific job still waiting in the batch queue.
 
         The timeout-enforcement arm of the retry policies: an attempt
@@ -190,7 +208,7 @@ class ComputingElement:
                     return False
                 record.enter(JobState.CANCELLED, self.engine.now)
                 if not entry.completion.triggered:
-                    entry.completion.fail(JobCancelledError(record, reason))
+                    entry.completion.fail(JobCancelledError(record, reason, resubmit=resubmit))
                 return True
         return False
 
@@ -245,7 +263,7 @@ class ComputingElement:
                 )
 
             # Execute the payload for its sampled duration.
-            rng = grid.streams.get(f"compute:{self.name}") if grid else _FALLBACK_RNG
+            rng = grid.streams.get(f"compute:{self.name}") if grid else self._fallback_rng
             duration = record.description.compute_distribution().sample(rng) / speed
             if duration > 0:
                 yield engine.timeout(duration)
@@ -299,9 +317,6 @@ class ComputingElement:
             f"<ComputingElement {self.name!r} site={self.site!r} "
             f"slots={self.total_slots} queued={self.queued} running={self.running}>"
         )
-
-
-_FALLBACK_RNG = np.random.default_rng(0)
 
 
 @dataclass

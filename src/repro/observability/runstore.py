@@ -22,8 +22,16 @@ import datetime
 import json
 import os
 import re
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+try:  # POSIX advisory file locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback path
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "RunStoreError",
@@ -216,24 +224,60 @@ _RUN_FILE = re.compile(r"^run-(\d{4,})\.json$")
 
 
 class RunStore:
-    """Append-only directory of run summaries (``run-0001.json``, ...)."""
+    """Append-only directory of run summaries (``run-0001.json``, ...).
+
+    Appends are safe for concurrent writers — threads in one process
+    and separate processes alike: the next run index is claimed under
+    an advisory lock (POSIX ``flock`` on ``.lock``; an ``O_EXCL``
+    spin lock where ``fcntl`` is unavailable), and each writer stages
+    through its own uniquely-named temp file before the atomic rename.
+    """
 
     def __init__(self, root: Union[str, os.PathLike]) -> None:
         self.root = os.fspath(root)
+        self._thread_lock = threading.Lock()
 
     # -- writing -----------------------------------------------------------
+    @contextmanager
+    def _locked(self):
+        """Advisory cross-process lock over index assignment."""
+        lock_path = os.path.join(self.root, ".lock")
+        with self._thread_lock:
+            if fcntl is not None:
+                fd = os.open(lock_path, os.O_CREAT | os.O_RDWR)
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                    yield
+                finally:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                    os.close(fd)
+            else:  # pragma: no cover - non-POSIX fallback path
+                excl = f"{lock_path}.excl"
+                while True:
+                    try:
+                        os.close(os.open(excl, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                        break
+                    except FileExistsError:
+                        time.sleep(0.005)
+                try:
+                    yield
+                finally:
+                    os.unlink(excl)
+
     def append(self, summary: RunSummary) -> RunSummary:
         """Assign the next run id, write the summary, return it updated."""
         os.makedirs(self.root, exist_ok=True)
-        next_index = max(self._indices(), default=0) + 1
-        summary.run_id = f"run-{next_index:04d}"
-        path = os.path.join(self.root, f"{summary.run_id}.json")
-        # tmp + rename: a crashed writer never leaves a half summary
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
+        with self._locked():
+            next_index = max(self._indices(), default=0) + 1
+            summary.run_id = f"run-{next_index:04d}"
+            path = os.path.join(self.root, f"{summary.run_id}.json")
+            # unique tmp + rename: a crashed writer never leaves a half
+            # summary, and writers never share a staging file
+            tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
         return summary
 
     # -- reading -----------------------------------------------------------

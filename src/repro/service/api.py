@@ -1,0 +1,157 @@
+"""Submission API types: the service's wire-shaped surface.
+
+These dataclasses are what a client (the CLI, a test, a future REST
+front) exchanges with the control plane — plain data, JSON-friendly,
+decoupled from the scheduler's internals.  Conversions from the
+internal :class:`~repro.service.logic.RunRecord` live here so the
+scheduler never needs to know how it is presented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.service.logic import RunRecord, RunState, TenantSpec
+
+__all__ = [
+    "SubmitRequest",
+    "RunStatus",
+    "TenantStatus",
+    "ServiceStatus",
+    "run_status",
+    "RunState",
+    "TenantSpec",
+]
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """One run submission, as a client states it."""
+
+    tenant: str
+    workload: str = "bronze"
+    n_items: int = 2
+    config_label: str = "SP+DP"
+    seed: Optional[int] = None
+    #: earliest simulated time the run may start (traffic scripts)
+    not_before: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "workload": self.workload,
+            "n_items": self.n_items,
+            "config_label": self.config_label,
+            "seed": self.seed,
+            "not_before": self.not_before,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SubmitRequest":
+        return cls(
+            tenant=str(payload["tenant"]),
+            workload=str(payload.get("workload", "bronze")),
+            n_items=int(payload.get("n_items", 2)),  # type: ignore[arg-type]
+            config_label=str(payload.get("config_label", "SP+DP")),
+            seed=(None if payload.get("seed") is None else int(payload["seed"])),  # type: ignore[arg-type]
+            not_before=float(payload.get("not_before", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class RunStatus:
+    """One run, as reported back to a client."""
+
+    run_id: str
+    tenant: str
+    state: str
+    workload: str
+    n_items: int
+    config_label: str
+    seed: int
+    submitted_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    makespan: Optional[float]
+    error: Optional[str]
+    resumed: bool
+    result: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "workload": self.workload,
+            "n_items": self.n_items,
+            "config_label": self.config_label,
+            "seed": self.seed,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "makespan": self.makespan,
+            "error": self.error,
+            "resumed": self.resumed,
+            "result": dict(self.result),
+        }
+
+
+def run_status(record: RunRecord) -> RunStatus:
+    """Present an internal run record to a client."""
+    return RunStatus(
+        run_id=record.run_id,
+        tenant=record.tenant,
+        state=record.state.value,
+        workload=record.workload,
+        n_items=record.n_items,
+        config_label=record.config_label,
+        seed=record.seed,
+        submitted_at=record.submitted_at,
+        started_at=record.started_at,
+        finished_at=record.finished_at,
+        makespan=record.makespan,
+        error=record.error,
+        resumed=record.resume,
+        result=dict(record.result),
+    )
+
+
+@dataclass(frozen=True)
+class TenantStatus:
+    """One tenant's spec plus current accounting."""
+
+    spec: TenantSpec
+    running: int
+    queued: int
+    finished: int
+    usage: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            **self.spec.to_dict(),
+            "running": self.running,
+            "queued": self.queued,
+            "finished": self.finished,
+            "usage": round(self.usage, 3),
+        }
+
+
+@dataclass(frozen=True)
+class ServiceStatus:
+    """The whole control plane at a glance."""
+
+    policy: str
+    now: float
+    max_concurrent_runs: int
+    tenants: List[TenantStatus]
+    runs: List[RunStatus]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "now": self.now,
+            "max_concurrent_runs": self.max_concurrent_runs,
+            "tenants": [t.to_dict() for t in self.tenants],
+            "runs": [r.to_dict() for r in self.runs],
+        }

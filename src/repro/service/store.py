@@ -1,0 +1,271 @@
+"""Swappable control-plane state: in-memory and SQLite stores.
+
+The scheduler talks to a :class:`StateStore` and never to a concrete
+backend, so the same control plane runs ephemeral (tests, demos) or
+durable (crash-safe service).  A store persists three things:
+
+* tenant specs (:class:`~repro.service.logic.TenantSpec`),
+* run records (:class:`~repro.service.logic.RunRecord`), keyed by id,
+* the fair-share ledger snapshot (tenant -> (usage, stamp)).
+
+The SQLite store additionally hands out per-run
+:class:`~repro.core.journal.EnactmentJournal` paths, so every run's
+enactment is journalled next to the control-plane database and a
+killed service can :meth:`~repro.service.scheduler.EnactmentService.recover`
+in-flight runs to identical results.  SQLite is opened in WAL mode
+with ``check_same_thread=False`` plus our own lock — the service may
+touch the store from both its API threads and the scheduler thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple
+
+from repro.service.logic import RunRecord, RunState, TenantSpec
+
+__all__ = ["StateStore", "InMemoryStateStore", "SQLiteStateStore"]
+
+
+class StateStore(Protocol):
+    """What the scheduler needs from control-plane persistence."""
+
+    def upsert_tenant(self, spec: TenantSpec) -> None:
+        """Create or replace a tenant spec."""
+        ...
+
+    def tenants(self) -> Dict[str, TenantSpec]:
+        """All tenant specs, keyed by name."""
+        ...
+
+    def next_run_seq(self) -> int:
+        """Allocate the next global submission sequence number (1-based)."""
+        ...
+
+    def put_run(self, run: RunRecord) -> None:
+        """Create or replace a run record."""
+        ...
+
+    def get_run(self, run_id: str) -> Optional[RunRecord]:
+        """The run with *run_id*, or None."""
+        ...
+
+    def runs(self, states: Optional[Iterable[RunState]] = None) -> List[RunRecord]:
+        """All runs (optionally filtered by state), in submission order."""
+        ...
+
+    def save_usage(self, snapshot: Dict[str, Tuple[float, float]]) -> None:
+        """Persist the fair-share ledger snapshot."""
+        ...
+
+    def load_usage(self) -> Dict[str, Tuple[float, float]]:
+        """The persisted fair-share ledger snapshot (may be empty)."""
+        ...
+
+    def journal_path(self, run_id: str) -> Optional[str]:
+        """Where to journal *run_id*'s enactment, or None (no durability)."""
+        ...
+
+    def close(self) -> None:
+        """Release any underlying resources."""
+        ...
+
+
+class InMemoryStateStore:
+    """Ephemeral store: plain dicts under a lock.
+
+    ``journal_path`` returns None — runs are not journalled, so a
+    process crash loses in-flight work (fine for tests and demos).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantSpec] = {}
+        self._runs: Dict[str, RunRecord] = {}
+        self._seq = 0
+        self._usage: Dict[str, Tuple[float, float]] = {}
+
+    def upsert_tenant(self, spec: TenantSpec) -> None:
+        with self._lock:
+            self._tenants[spec.name] = spec
+
+    def tenants(self) -> Dict[str, TenantSpec]:
+        with self._lock:
+            return dict(self._tenants)
+
+    def next_run_seq(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def put_run(self, run: RunRecord) -> None:
+        with self._lock:
+            self._runs[run.run_id] = run
+
+    def get_run(self, run_id: str) -> Optional[RunRecord]:
+        with self._lock:
+            return self._runs.get(run_id)
+
+    def runs(self, states: Optional[Iterable[RunState]] = None) -> List[RunRecord]:
+        wanted = None if states is None else set(states)
+        with self._lock:
+            records = [
+                run
+                for run in self._runs.values()
+                if wanted is None or run.state in wanted
+            ]
+        return sorted(records, key=lambda run: run.seq)
+
+    def save_usage(self, snapshot: Dict[str, Tuple[float, float]]) -> None:
+        with self._lock:
+            self._usage = dict(snapshot)
+
+    def load_usage(self) -> Dict[str, Tuple[float, float]]:
+        with self._lock:
+            return dict(self._usage)
+
+    def journal_path(self, run_id: str) -> Optional[str]:
+        return None
+
+    def close(self) -> None:
+        pass
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tenants (
+    name TEXT PRIMARY KEY,
+    spec TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id TEXT PRIMARY KEY,
+    seq INTEGER NOT NULL,
+    state TEXT NOT NULL,
+    record TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS counters (
+    name TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS usage (
+    tenant TEXT PRIMARY KEY,
+    amount REAL NOT NULL,
+    stamp REAL NOT NULL
+);
+"""
+
+
+class SQLiteStateStore:
+    """Durable store: one SQLite database plus per-run journal files.
+
+    Layout under *root*::
+
+        <root>/service.db            control-plane state (WAL mode)
+        <root>/journals/<run_id>.jsonl   per-run enactment journals
+
+    Records are stored as JSON documents with the state and sequence
+    number denormalized into columns for filtering/ordering — the
+    control plane is document-shaped, and JSON keeps the schema stable
+    across record evolution.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            os.path.join(root, "service.db"), check_same_thread=False
+        )
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def upsert_tenant(self, spec: TenantSpec) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO tenants(name, spec) VALUES(?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET spec=excluded.spec",
+                (spec.name, json.dumps(spec.to_dict(), sort_keys=True)),
+            )
+            self._conn.commit()
+
+    def tenants(self) -> Dict[str, TenantSpec]:
+        with self._lock:
+            rows = self._conn.execute("SELECT spec FROM tenants").fetchall()
+        specs = [TenantSpec.from_dict(json.loads(row[0])) for row in rows]
+        return {spec.name: spec for spec in specs}
+
+    def next_run_seq(self) -> int:
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO counters(name, value) VALUES('run_seq', 1) "
+                "ON CONFLICT(name) DO UPDATE SET value = value + 1"
+            )
+            row = self._conn.execute(
+                "SELECT value FROM counters WHERE name='run_seq'"
+            ).fetchone()
+            self._conn.commit()
+        return int(row[0])
+
+    def put_run(self, run: RunRecord) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO runs(run_id, seq, state, record) VALUES(?, ?, ?, ?) "
+                "ON CONFLICT(run_id) DO UPDATE SET "
+                "seq=excluded.seq, state=excluded.state, record=excluded.record",
+                (
+                    run.run_id,
+                    run.seq,
+                    run.state.value,
+                    json.dumps(run.to_dict(), sort_keys=True),
+                ),
+            )
+            self._conn.commit()
+
+    def get_run(self, run_id: str) -> Optional[RunRecord]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT record FROM runs WHERE run_id=?", (run_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        return RunRecord.from_dict(json.loads(row[0]))
+
+    def runs(self, states: Optional[Iterable[RunState]] = None) -> List[RunRecord]:
+        if states is None:
+            query, params = "SELECT record FROM runs ORDER BY seq", ()
+        else:
+            wanted = [state.value for state in states]
+            marks = ",".join("?" for _ in wanted)
+            query = f"SELECT record FROM runs WHERE state IN ({marks}) ORDER BY seq"
+            params = tuple(wanted)
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [RunRecord.from_dict(json.loads(row[0])) for row in rows]
+
+    def save_usage(self, snapshot: Dict[str, Tuple[float, float]]) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM usage")
+            self._conn.executemany(
+                "INSERT INTO usage(tenant, amount, stamp) VALUES(?, ?, ?)",
+                [(tenant, amount, stamp) for tenant, (amount, stamp) in snapshot.items()],
+            )
+            self._conn.commit()
+
+    def load_usage(self) -> Dict[str, Tuple[float, float]]:
+        with self._lock:
+            rows = self._conn.execute("SELECT tenant, amount, stamp FROM usage").fetchall()
+        return {tenant: (float(amount), float(stamp)) for tenant, amount, stamp in rows}
+
+    def journal_path(self, run_id: str) -> Optional[str]:
+        journals = os.path.join(self.root, "journals")
+        os.makedirs(journals, exist_ok=True)
+        return os.path.join(journals, f"{run_id}.jsonl")
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

@@ -237,7 +237,12 @@ class CompositeService(Service):
             output_files=tuple(produced),
             payload=payload,
             owner=self.stages[0].owner,
-            tags={"service": self.name, "grouped": True, "stages": len(self.stages)},
+            tags={
+                **self.stages[0].tags,
+                "service": self.name,
+                "grouped": True,
+                "stages": len(self.stages),
+            },
         )
         handle = self.grid.submit(description)
         job_record = yield handle.completion

@@ -83,6 +83,7 @@ class GenericWrapperService(Service):
         output_sizes: Optional[Mapping[str, float]] = None,
         owner: str = "user",
         sandbox_size: float = 64 * KIBIBYTE,
+        tags: Optional[Mapping[str, Any]] = None,
     ) -> None:
         super().__init__(
             engine, descriptor.name, descriptor.input_ports, descriptor.output_ports
@@ -93,6 +94,9 @@ class GenericWrapperService(Service):
         self.compute_model = as_distribution(compute_time)
         self.output_sizes = dict(output_sizes or {})
         self.owner = owner
+        #: extra accounting tags stamped on every job this service
+        #: submits (e.g. tenant / run id in multi-tenant enactments)
+        self.tags: Dict[str, Any] = dict(tags or {})
         # Publish sandboxed files once: they are fetched by every job
         # (Figure 8 lists three of them for CrestLines.pl).
         self.sandbox_gfns: Tuple[str, ...] = tuple(
@@ -164,7 +168,7 @@ class GenericWrapperService(Service):
             output_files=tuple(produced),
             payload=payload,
             owner=self.owner,
-            tags={"service": self.name},
+            tags={**self.tags, "service": self.name},
         )
         return PreparedJob(description=description, minted=minted)
 

@@ -44,6 +44,18 @@ class RandomStreams:
         built with the same seed hand out identical generators for
         identical names.
 
+    Ownership
+    ---------
+    An instance is the unit of randomness ownership — there is no
+    module-global generator state anywhere in the simulator.  Each
+    concurrent enactment constructs its own ``RandomStreams`` so its
+    draws are independent of how runs interleave on the shared engine;
+    shared *environment* randomness (grid overheads, faults) lives in
+    the grid's own instance, which is deliberately common to all runs.
+    Application outputs additionally key their generators by input
+    identity (see ``repro.apps.registration``), which is what makes an
+    interleaved run byte-identical to the same run executed serially.
+
     Examples
     --------
     >>> streams = RandomStreams(seed=42)

@@ -1,0 +1,52 @@
+"""Smoke tests for the ``python -m repro.service`` command line."""
+
+import json
+
+from repro.service.__main__ import main
+
+
+def test_submit_drain_status_cancel_round_trip(tmp_path):
+    state = str(tmp_path / "state")
+    base = ["--state", state]
+    assert main(base + ["tenants", "--add", "a", "--weight", "2"]) == 0
+    assert main(base + ["tenants"]) == 0
+    assert main(base + ["submit", "--tenant", "a", "--pairs", "1"]) == 0
+    assert main(base + ["status"]) == 0
+    assert main(base + ["drain"]) == 0
+    assert main(base + ["status", "svc-0001"]) == 0
+    # cancelling a finished run is a reported no-op, not an error
+    assert main(base + ["cancel", "svc-0001"]) == 0
+    assert main(base + ["status", "svc-9999"]) == 1
+
+
+def test_submit_for_unknown_tenant_fails_cleanly(tmp_path):
+    base = ["--state", str(tmp_path / "state")]
+    assert main(base + ["submit", "--tenant", "nobody"]) == 2
+
+
+def test_demo_replays_a_traffic_script(tmp_path):
+    script = {
+        "tenants": [
+            {"name": "a", "weight": 2.0, "max_concurrent_runs": 2},
+            {"name": "b", "weight": 1.0, "max_concurrent_runs": 1},
+        ],
+        "runs": [
+            {"tenant": "a", "n_items": 1},
+            {"tenant": "b", "n_items": 1},
+            {"tenant": "a", "n_items": 1, "not_before": 100.0},
+        ],
+    }
+    path = tmp_path / "traffic.json"
+    path.write_text(json.dumps(script), encoding="utf-8")
+    code = main(
+        [
+            "--store",
+            "memory",
+            "--state",
+            str(tmp_path / "unused"),
+            "demo",
+            "--script",
+            str(path),
+        ]
+    )
+    assert code == 0

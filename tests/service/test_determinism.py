@@ -1,0 +1,52 @@
+"""Interleaved multi-tenant runs are byte-identical to serial execution.
+
+The regression guard for the instance-owned RNG audit: two runs
+multiplexed on one engine (fair-share, two slots) must produce exactly
+the outputs they produce when executed one after the other (FIFO, one
+slot).  This only holds because every run owns its
+:class:`~repro.util.rng.RandomStreams` and application outputs key
+their generators by input identity — any module-global generator (or
+draw ordered by scheduling) would break it.
+"""
+
+from repro.grid.testbeds import cluster_testbed
+from repro.service import EnactmentService, InMemoryStateStore, RunState, TenantSpec
+
+
+def small_cluster(engine, streams):
+    return cluster_testbed(engine, streams, workers=4, slots_per_worker=2)
+
+
+def run_digests(policy, max_runs):
+    service = EnactmentService(
+        InMemoryStateStore(),
+        policy=policy,
+        max_concurrent_runs=max_runs,
+        testbed=small_cluster,
+        seed=0,
+    )
+    service.add_tenant(TenantSpec(name="a"))
+    service.add_tenant(TenantSpec(name="b"))
+    # 2 pairs: with a single pair the accuracy statistics degenerate
+    # to 0.0 for any seed, which would make the digest check vacuous.
+    service.submit("a", n_items=2, seed=11)
+    service.submit("b", n_items=2, seed=22)
+    runs = service.drain()
+    assert all(run.state is RunState.DONE for run in runs)
+    interleaved = _overlaps(runs)
+    digests = {run.run_id: run.result["outputs_digest"] for run in runs}
+    return digests, interleaved
+
+
+def _overlaps(runs):
+    (a, b) = sorted(runs, key=lambda r: r.started_at)
+    return b.started_at < a.finished_at
+
+
+def test_interleaved_runs_match_serial_byte_for_byte():
+    serial, serial_overlap = run_digests("fifo", max_runs=1)
+    concurrent, concurrent_overlap = run_digests("fair-share", max_runs=2)
+    # Sanity on the premise: one execution was serial, one interleaved.
+    assert not serial_overlap
+    assert concurrent_overlap
+    assert serial == concurrent

@@ -1,0 +1,120 @@
+"""State-store contract tests, run against both backends."""
+
+import threading
+
+import pytest
+
+from repro.service.logic import RunRecord, RunState, TenantSpec
+from repro.service.store import InMemoryStateStore, SQLiteStateStore
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend = InMemoryStateStore()
+    else:
+        backend = SQLiteStateStore(str(tmp_path / "state"))
+    yield backend
+    backend.close()
+
+
+def make_run(run_id, seq, state=RunState.QUEUED, tenant="a"):
+    return RunRecord(run_id=run_id, tenant=tenant, seq=seq, state=state)
+
+
+class TestContract:
+    def test_tenants_upsert_and_list(self, store):
+        store.upsert_tenant(TenantSpec(name="a", weight=1.0))
+        store.upsert_tenant(TenantSpec(name="a", weight=3.0, max_grid_jobs=10))
+        store.upsert_tenant(TenantSpec(name="b"))
+        tenants = store.tenants()
+        assert set(tenants) == {"a", "b"}
+        assert tenants["a"].weight == 3.0
+        assert tenants["a"].max_grid_jobs == 10
+
+    def test_run_seq_is_monotonic(self, store):
+        assert [store.next_run_seq() for _ in range(3)] == [1, 2, 3]
+
+    def test_runs_roundtrip_and_order_by_seq(self, store):
+        store.put_run(make_run("r2", 2))
+        store.put_run(make_run("r1", 1, state=RunState.DONE))
+        assert [r.run_id for r in store.runs()] == ["r1", "r2"]
+        assert store.get_run("r1").state is RunState.DONE
+        assert store.get_run("missing") is None
+
+    def test_runs_filter_by_state(self, store):
+        store.put_run(make_run("r1", 1, state=RunState.DONE))
+        store.put_run(make_run("r2", 2, state=RunState.QUEUED))
+        store.put_run(make_run("r3", 3, state=RunState.FAILED))
+        got = store.runs(states=[RunState.DONE, RunState.FAILED])
+        assert [r.run_id for r in got] == ["r1", "r3"]
+
+    def test_put_run_updates_in_place(self, store):
+        run = make_run("r1", 1)
+        store.put_run(run)
+        store.put_run(run.advance(RunState.RUNNING))
+        assert store.get_run("r1").state is RunState.RUNNING
+        assert len(store.runs()) == 1
+
+    def test_usage_roundtrip(self, store):
+        store.save_usage({"a": (120.5, 30.0), "b": (7.0, 0.0)})
+        assert store.load_usage() == {"a": (120.5, 30.0), "b": (7.0, 0.0)}
+        store.save_usage({"a": (1.0, 99.0)})
+        assert store.load_usage() == {"a": (1.0, 99.0)}
+
+    def test_result_payload_survives(self, store):
+        run = make_run("r1", 1, state=RunState.DONE)
+        run.result = {"makespan": 123.4, "outputs_digest": "abc"}
+        store.put_run(run)
+        assert store.get_run("r1").result == run.result
+
+
+class TestSQLiteSpecifics:
+    def test_state_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "state")
+        first = SQLiteStateStore(root)
+        first.upsert_tenant(TenantSpec(name="a", weight=2.0))
+        first.put_run(make_run("r1", 1, state=RunState.RUNNING))
+        first.save_usage({"a": (50.0, 10.0)})
+        assert first.next_run_seq() == 1
+        first.close()
+
+        second = SQLiteStateStore(root)
+        assert second.tenants()["a"].weight == 2.0
+        assert second.get_run("r1").state is RunState.RUNNING
+        assert second.load_usage() == {"a": (50.0, 10.0)}
+        assert second.next_run_seq() == 2
+        second.close()
+
+    def test_journal_paths_are_per_run(self, tmp_path):
+        store = SQLiteStateStore(str(tmp_path / "state"))
+        a = store.journal_path("r1")
+        b = store.journal_path("r2")
+        assert a != b and a.endswith("r1.jsonl")
+        store.close()
+
+    def test_memory_store_has_no_journals(self):
+        assert InMemoryStateStore().journal_path("r1") is None
+
+    def test_threaded_access_is_safe(self, tmp_path):
+        store = SQLiteStateStore(str(tmp_path / "state"))
+        errors = []
+
+        def worker(idx):
+            try:
+                for j in range(20):
+                    seq = store.next_run_seq()
+                    store.put_run(make_run(f"r-{idx}-{j}", seq))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        runs = store.runs()
+        assert len(runs) == 80
+        assert sorted(r.seq for r in runs) == list(range(1, 81))
+        store.close()
