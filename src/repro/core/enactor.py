@@ -607,6 +607,7 @@ class MoteurEnactor:
             kind=kind,
             job_ids=list(job_ids),
             status=status,
+            **self.run_attributes,
             **extra,
         )
 

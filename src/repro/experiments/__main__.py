@@ -498,6 +498,7 @@ def cmd_compare_runs(args: argparse.Namespace) -> int:
         hit_rate=args.budget_hit_rate,
         jobs=args.budget_jobs,
         alerts=args.budget_alerts,
+        throughput=args.budget_throughput,
         min_seconds=args.min_seconds,
     )
     store = RunStore(args.store)
@@ -792,6 +793,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget-alerts", type=float, default=0.0,
         help="allowed absolute growth of monitor alerts "
         "(default 0: any new health alert is a regression)",
+    )
+    compare_runs.add_argument(
+        "--budget-throughput", type=float, default=None,
+        help="when set, allowed relative loss of perf.events_per_sec / growth "
+        "of perf.us_per_invocation (off by default: wall-clock noise)",
     )
     compare_runs.add_argument(
         "--min-seconds", type=float, default=1.0,

@@ -247,11 +247,7 @@ class Grid:
             # Multi-tenant runs tag their jobs so spans stay attributable
             # even when several enactments share this grid (the single
             # bus.run_span slot cannot distinguish them).
-            tenancy = {
-                key: description.tags[key]
-                for key in ("tenant", "run")
-                if key in description.tags
-            }
+            tenancy = self._tenancy(record)
             job_span = bus.begin(
                 "grid.job",
                 "grid",
@@ -345,6 +341,21 @@ class Grid:
         """What retry budgets account a job under (service tag, else owner)."""
         return str(record.description.tags.get("service", record.description.owner))
 
+    @staticmethod
+    def _tenancy(record: JobRecord) -> Dict[str, str]:
+        """Tenant/run attribution for a job's spans.
+
+        Phase spans close in completion order, often *before* their
+        parent ``grid.job`` span — so per-tenant telemetry replaying
+        the stream cannot join through the parent.  Every span carries
+        the tags directly instead.
+        """
+        return {
+            key: record.description.tags[key]
+            for key in ("tenant", "run")
+            if key in record.description.tags
+        }
+
     def _retry_pause(self, record: JobRecord, failures: int, backoff_rng, job_span):
         """Backoff pause between attempts, instrumented; generator helper."""
         delay = self.retry_policy.backoff(failures, backoff_rng)
@@ -416,6 +427,7 @@ class Grid:
                     parent=job_span,
                     job_id=record.job_id,
                     attempt=tries,
+                    **self._tenancy(record),
                 )
                 self._attempt_spans[record.job_id] = attempt_span
             sample = self.overhead.sample(rng).under_load(self._overhead_scale())
@@ -437,6 +449,7 @@ class Grid:
                     job_id=record.job_id,
                     attempt=tries,
                     ce=chosen.name,
+                    **self._tenancy(record),
                 )
 
             if self.faults.attempt_fails(fault_rng, ce=chosen.name):
@@ -460,6 +473,7 @@ class Grid:
                         attempt=tries,
                         ce=chosen.name,
                         job_name=record.description.name,
+                        **self._tenancy(record),
                     )
                     if attempt_span is not None:
                         bus.end(attempt_span, engine.now, status="error", error=last_error)
@@ -620,6 +634,7 @@ class Grid:
                 "attempt": record.attempts,
                 "ce": ce_name,
                 "job_name": record.description.name,
+                **self._tenancy(record),
             }
             bus.record(
                 "job.schedule", "grid", matched_at, queued_at, parent=attempt_span, **common

@@ -260,6 +260,11 @@ class ComputingElement:
                     ce=self.name,
                     files=len(record.description.input_files),
                     bytes=stage_in_bytes,
+                    **{
+                        key: record.description.tags[key]
+                        for key in ("tenant", "run")
+                        if key in record.description.tags
+                    },
                 )
 
             # Execute the payload for its sampled duration.
@@ -295,6 +300,11 @@ class ComputingElement:
                     ce=self.name,
                     files=len(record.description.output_files),
                     bytes=stage_out_bytes,
+                    **{
+                        key: record.description.tags[key]
+                        for key in ("tenant", "run")
+                        if key in record.description.tags
+                    },
                 )
 
             # Evaluate the Python payload: real outputs for simulated work.

@@ -21,7 +21,12 @@ era fought by hand via job monitoring:
     prediction by more than the configured factor;
 ``queue-stall``
     one job sat in a CE batch queue beyond the absolute stall
-    threshold.
+    threshold;
+``slo-burn``
+    a control-plane service-level objective (queue-wait p95, run
+    success rate, fair-share deviation — see
+    :mod:`repro.observability.ops.slo`) is burning its error budget
+    faster than the configured burn-rate threshold.
 
 Alerts are timestamped in simulated seconds, carry a monotonically
 increasing per-monitor sequence number (so ordering is total and
@@ -56,6 +61,7 @@ ALERT_KINDS: Tuple[str, ...] = (
     "fault-burst",
     "eta-blowout",
     "queue-stall",
+    "slo-burn",
 )
 
 

@@ -13,12 +13,21 @@ takes a baseline at ``enact()`` and attaches the delta to its
 :class:`~repro.core.enactor.EnactmentResult`, so a registry shared
 across many runs still yields clean per-run numbers (the same protocol
 the cache stats use).
+
+Thread safety: the enactment service runs a background scheduler
+thread while API threads submit and cancel, and several concurrent
+enactors share one registry — so every mutation (``inc`` / ``set`` /
+``add`` / ``observe``), create-on-first-use lookup, and ``snapshot()``
+is guarded by a lock.  Metrics created through a registry share the
+registry's lock (a snapshot is then a consistent cut); standalone
+metrics get their own.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -33,38 +42,45 @@ __all__ = [
 class Counter:
     """A monotonically increasing count (events, bytes, retries...)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add *amount* (must be >= 0; counters never go down)."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A point-in-time level with a high-water mark (e.g. concurrency)."""
 
-    __slots__ = ("name", "value", "high_water")
+    __slots__ = ("name", "value", "high_water", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None) -> None:
         self.name = name
         self.value = 0.0
         self.high_water = 0.0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
         """Set the current level."""
-        self.value = value
-        if value > self.high_water:
-            self.high_water = value
+        with self._lock:
+            self.value = value
+            if value > self.high_water:
+                self.high_water = value
 
     def add(self, delta: float) -> None:
-        """Adjust the current level by *delta*."""
-        self.set(self.value + delta)
+        """Adjust the current level by *delta* (one atomic read-modify-write)."""
+        with self._lock:
+            self.value += delta
+            if self.value > self.high_water:
+                self.high_water = self.value
 
 
 class Histogram:
@@ -75,24 +91,29 @@ class Histogram:
     per-run deltas and percentiles without pre-binning.
     """
 
-    __slots__ = ("name", "_values")
+    __slots__ = ("name", "_values", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None) -> None:
         self.name = name
         self._values: list[float] = []
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self._values.append(float(value))
+        value = float(value)
+        with self._lock:
+            self._values.append(value)
 
     @property
     def count(self) -> int:
         """Number of observations so far."""
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
     def values(self) -> Tuple[float, ...]:
         """All observations, recording order."""
-        return tuple(self._values)
+        with self._lock:
+            return tuple(self._values)
 
 
 @dataclass(frozen=True)
@@ -202,42 +223,53 @@ class MetricsSnapshot:
 
 
 class MetricsRegistry:
-    """Create-on-first-use registry of named metrics."""
+    """Create-on-first-use registry of named metrics.
+
+    All metrics created through a registry share one re-entrant lock,
+    so lookups, mutations and :meth:`snapshot` are mutually exclusive —
+    a snapshot is a *consistent cut* even while a scheduler thread and
+    N enactors keep incrementing.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         """The counter called *name* (created on first use)."""
-        metric = self._counters.get(name)
-        if metric is None:
-            metric = self._counters[name] = Counter(name)
-        return metric
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name, lock=self._lock)
+            return metric
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called *name* (created on first use)."""
-        metric = self._gauges.get(name)
-        if metric is None:
-            metric = self._gauges[name] = Gauge(name)
-        return metric
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name, lock=self._lock)
+            return metric
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called *name* (created on first use)."""
-        metric = self._histograms.get(name)
-        if metric is None:
-            metric = self._histograms[name] = Histogram(name)
-        return metric
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, lock=self._lock)
+            return metric
 
     def snapshot(self) -> MetricsSnapshot:
-        """Frozen view of everything, right now."""
-        return MetricsSnapshot(
-            counters={name: c.value for name, c in self._counters.items()},
-            gauges={name: g.value for name, g in self._gauges.items()},
-            gauge_peaks={name: g.high_water for name, g in self._gauges.items()},
-            histograms={
-                name: HistogramSnapshot(values=h.values())
-                for name, h in self._histograms.items()
-            },
-        )
+        """Frozen view of everything, right now (a consistent cut)."""
+        with self._lock:
+            return MetricsSnapshot(
+                counters={name: c.value for name, c in self._counters.items()},
+                gauges={name: g.value for name, g in self._gauges.items()},
+                gauge_peaks={name: g.high_water for name, g in self._gauges.items()},
+                histograms={
+                    name: HistogramSnapshot(values=h.values())
+                    for name, h in self._histograms.items()
+                },
+            )

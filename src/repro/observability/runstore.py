@@ -349,8 +349,13 @@ class Budgets:
     ``hit_rate`` are absolute deltas on quantities that are themselves
     ratios.  ``alerts`` is the allowed absolute growth of the live
     monitor's ``monitor.alerts.total`` counter — the default 0.0 means
-    any *new* health alert fails the gate.  Phases smaller than
-    ``min_seconds`` in both runs are noise and never compared.
+    any *new* health alert fails the gate.  ``throughput`` (off by
+    default: the ``perf.*`` counters are wall-clock measurements, too
+    noisy for an always-on gate) bounds the relative *loss* of
+    ``perf.events_per_sec`` and growth of ``perf.us_per_invocation``
+    when explicitly enabled via ``compare-runs --budget-throughput``.
+    Phases smaller than ``min_seconds`` in both runs are noise and
+    never compared.
     """
 
     makespan: float = 0.05
@@ -359,6 +364,7 @@ class Budgets:
     hit_rate: float = 0.05
     jobs: float = 0.0
     alerts: float = 0.0
+    throughput: Optional[float] = None
     min_seconds: float = 1.0
 
 
@@ -525,6 +531,34 @@ def compare(
             regressions,
             improvements,
         )
+    if budgets.throughput is not None:
+        eps_key = "perf.events_per_sec"
+        if eps_key in baseline.counters and eps_key in candidate.counters:
+            checked.append(f"counter.{eps_key}")
+            # a *drop* in events/sec is the regression: negate the delta
+            entry = Regression(
+                f"counter.{eps_key}",
+                baseline.counters[eps_key],
+                candidate.counters[eps_key],
+                budgets.throughput,
+                "relative",
+            )
+            if -entry.change > budgets.throughput:
+                regressions.append(entry)
+            elif entry.change > budgets.throughput:
+                improvements.append(entry)
+        upi_key = "perf.us_per_invocation"
+        if upi_key in baseline.counters and upi_key in candidate.counters:
+            checked.append(f"counter.{upi_key}")
+            _check(
+                f"counter.{upi_key}",
+                baseline.counters[upi_key],
+                candidate.counters[upi_key],
+                budgets.throughput,
+                "relative",
+                regressions,
+                improvements,
+            )
     alerts_key = "monitor.alerts.total"
     if alerts_key in baseline.counters or alerts_key in candidate.counters:
         checked.append(f"counter.{alerts_key}")

@@ -26,10 +26,13 @@ from repro.service.api import (
     RunStatus,
     ServiceStatus,
     SubmitRequest,
+    TelemetryStatus,
     TenantStatus,
     run_status,
+    telemetry_status,
 )
 from repro.service.logic import (
+    AdmissionDecision,
     FairShareLedger,
     QuotaError,
     RunRecord,
@@ -37,6 +40,7 @@ from repro.service.logic import (
     TenantSpec,
     TransitionError,
     pick_next,
+    pick_next_explained,
 )
 from repro.service.scheduler import (
     TESTBEDS,
@@ -53,7 +57,9 @@ __all__ = [
     "RunRecord",
     "TenantSpec",
     "FairShareLedger",
+    "AdmissionDecision",
     "pick_next",
+    "pick_next_explained",
     "TransitionError",
     "QuotaError",
     "StateStore",
@@ -63,5 +69,7 @@ __all__ = [
     "RunStatus",
     "TenantStatus",
     "ServiceStatus",
+    "TelemetryStatus",
     "run_status",
+    "telemetry_status",
 ]

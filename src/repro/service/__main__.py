@@ -11,22 +11,51 @@ performs one operation::
     python -m repro.service cancel svc-0001
     python -m repro.service drain
     python -m repro.service demo --policy fair-share
+    python -m repro.service audit svc-0001
+    python -m repro.service metrics --out metrics.prom
+    python -m repro.service top --once
 
 ``submit`` only enqueues; ``drain`` executes everything queued (after
 recovering runs a previous, killed process left in flight — their
 journals replay to identical results).  ``demo`` replays a
 multi-tenant traffic script end to end and prints per-tenant fairness
 numbers.
+
+The observability commands read the persisted control plane, so they
+work from a different process than the one draining: ``audit``
+explains any run's decision history from the store's audit trail,
+``metrics`` renders per-tenant rollups as Prometheus text (``--serve``
+exposes a scrape endpoint), and ``top`` is the ops console (``--once``
+for one CI-friendly frame, ``--watch`` for a live ANSI refresh).
+``--telemetry`` attaches an instrumentation bus to commands that
+execute runs; ``--alerts`` streams ``slo-burn`` alerts to a JSONL
+file; ``--slo kind=value`` overrides the default objectives.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Dict, List, Optional
 
+from repro.observability import InstrumentationBus
+from repro.observability.alerts import JsonlAlertWriter, alerts_from_jsonl
 from repro.observability.logbridge import cli_logger
+from repro.observability.ops import (
+    CLEAR_SCREEN,
+    ControlPlaneTelemetry,
+    MetricsHTTPServer,
+    SLOTracker,
+    audit_events_to_jsonl,
+    explain_run,
+    parse_slo,
+    render_prometheus,
+    render_top,
+    rollups_from_records,
+)
 from repro.observability.runstore import RunStore
 from repro.service.api import run_status
 from repro.service.logic import RunRecord, RunState, TenantSpec
@@ -60,8 +89,20 @@ def _open_store(args: argparse.Namespace) -> StateStore:
     return SQLiteStateStore(args.state)
 
 
+def _slos(args: argparse.Namespace):
+    """Objectives from repeated ``--slo kind=value`` (None = defaults)."""
+    specs = getattr(args, "slo", None)
+    if not specs:
+        return None
+    return [parse_slo(spec) for spec in specs]
+
+
 def _service(args: argparse.Namespace, store: StateStore) -> EnactmentService:
     runstore = RunStore(args.runstore) if args.runstore else None
+    bus = InstrumentationBus() if getattr(args, "telemetry", False) else None
+    sinks = []
+    if getattr(args, "alerts", None):
+        sinks.append(JsonlAlertWriter(args.alerts))
     return EnactmentService(
         store,
         policy=args.policy,
@@ -69,6 +110,9 @@ def _service(args: argparse.Namespace, store: StateStore) -> EnactmentService:
         testbed=args.testbed,
         seed=args.seed,
         runstore=runstore,
+        instrumentation=bus,
+        slos=_slos(args),
+        alert_sinks=sinks or None,
     )
 
 
@@ -178,6 +222,122 @@ def cmd_drain(args: argparse.Namespace) -> int:
         service.close()
 
 
+def _offline_state(args: argparse.Namespace, store: StateStore):
+    """Rollups + SLO statuses rebuilt from the persisted control plane.
+
+    This is the cross-process path (``metrics`` / ``top``): no live
+    telemetry exists here, so the rollups come from the stored run
+    records, tenant specs and fair-share snapshot.
+    """
+    tenants = store.tenants()
+    usage = {
+        tenant: amount for tenant, (amount, _stamp) in store.load_usage().items()
+    }
+    weights = {name: spec.weight for name, spec in tenants.items()}
+    telemetry = ControlPlaneTelemetry()
+    for rollup in rollups_from_records(store.runs(), weights=weights, usage=usage):
+        telemetry.tenants[rollup.tenant] = rollup
+    for name, spec in tenants.items():  # tenants with no runs yet
+        rollup = telemetry.tenant(name)
+        rollup.weight = spec.weight
+        if name in usage:
+            rollup.usage = usage[name]
+    tracker = SLOTracker(slos=_slos(args), telemetry=telemetry)
+    return telemetry.rollups(), tracker.statuses()
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    out = cli_logger()
+    store = _open_store(args)
+    try:
+        run_id: Optional[str] = args.run_id
+        events = store.audit_events()
+        if run_id is not None:
+            own = [event for event in events if event.run_id == run_id]
+            if not own and store.get_run(run_id) is None:
+                out.error(f"unknown run {run_id!r}")
+                return 1
+        if args.json:
+            selected = (
+                [e for e in events if e.run_id == run_id]
+                if run_id is not None
+                else events
+            )
+            print(audit_events_to_jsonl(selected))
+            return 0
+        lines = explain_run(events, run_id=run_id)
+        if not lines:
+            out.info("no audit events")
+            return 0
+        for line in lines:
+            out.info(line)
+        return 0
+    finally:
+        store.close()
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    out = cli_logger()
+    store = _open_store(args)
+    try:
+        def render() -> str:
+            rollups, statuses = _offline_state(args, store)
+            return render_prometheus(rollups, slo_statuses=statuses)
+
+        text = render()
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            out.info(f"wrote {len(text.splitlines())} metric lines to {args.out}")
+        else:
+            sys.stdout.write(text)
+        if args.serve:
+            server = MetricsHTTPServer(render, port=args.port).start()
+            out.info(
+                f"serving http://127.0.0.1:{server.port}/metrics (Ctrl-C stops)"
+            )
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.stop()
+        return 0
+    finally:
+        store.close()
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    try:
+        def frame() -> str:
+            rollups, statuses = _offline_state(args, store)
+            alerts = []
+            if args.alerts and os.path.exists(args.alerts):
+                with open(args.alerts, "r", encoding="utf-8") as handle:
+                    alerts = alerts_from_jsonl(handle.read())
+            return render_top(
+                rollups,
+                slo_statuses=statuses,
+                alerts=alerts,
+                title=f"enactment service [{args.state}]",
+            )
+
+        if args.watch:
+            try:
+                while True:
+                    sys.stdout.write(CLEAR_SCREEN + frame())
+                    sys.stdout.flush()
+                    time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+        sys.stdout.write(frame())
+        return 0
+    finally:
+        store.close()
+
+
 def _tenant_spread(runs: List[RunRecord]) -> Dict[str, float]:
     """Per-tenant mean completion time (simulated) of DONE runs."""
     finished: Dict[str, List[float]] = {}
@@ -219,6 +379,26 @@ def cmd_demo(args: argparse.Namespace) -> int:
         )
         for tenant, mean in _tenant_spread(runs).items():
             out.info(f"  {tenant:<8} mean completion {mean:10.1f}s")
+        for rollup in service.telemetry.rollups():
+            if rollup.tenant == ControlPlaneTelemetry.UNTAGGED:
+                continue
+            out.info(
+                f"  {rollup.tenant:<8} rollup: done={rollup.done} "
+                f"failed={rollup.failed} jobs={rollup.jobs_completed} "
+                f"cpu={rollup.cpu_seconds:.0f}s "
+                f"wait_p95={rollup.queue_wait_p95():.0f}s "
+                f"usage={rollup.usage:.0f}"
+            )
+        burns = service.slo_tracker.alerts
+        out.info(f"slo burns: {len(burns)}")
+        for alert in burns:
+            out.info(f"  [t={alert.time:.1f}s] {alert.subject}: {alert.message}")
+        perf = service.perf_counters()
+        if "perf.events_per_sec" in perf:
+            out.info(
+                f"throughput: {perf['perf.events_per_sec']:.0f} engine events/s "
+                f"over {perf['perf.ticks']:.0f} ticks"
+            )
         return 0 if len(done) == len(runs) else 1
     finally:
         service.close()
@@ -266,6 +446,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="optional run-summary store directory (repro.observability.runstore)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach an instrumentation bus (tenant-tagged spans feed the "
+        "live rollups on commands that execute runs)",
+    )
+    parser.add_argument(
+        "--alerts",
+        default=None,
+        metavar="PATH",
+        help="stream slo-burn alerts to this JSONL file (top also reads it)",
+    )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="KIND=VALUE",
+        help="override an objective, e.g. queue-wait=900 or "
+        "success-rate=0.95:1.5 (repeatable; default: built-in SLOs)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     tenants = sub.add_parser("tenants", help="list or register tenants")
@@ -310,6 +510,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--script", default=None, help="JSON traffic script (default: embedded demo)"
     )
     demo.set_defaults(func=cmd_demo)
+
+    audit = sub.add_parser(
+        "audit", help="explain the control plane's decision history"
+    )
+    audit.add_argument(
+        "run_id", nargs="?", default=None,
+        help="limit to one run (plus admissions that mention it)",
+    )
+    audit.add_argument(
+        "--json", action="store_true", help="raw JSONL instead of prose"
+    )
+    audit.set_defaults(func=cmd_audit)
+
+    metrics = sub.add_parser(
+        "metrics", help="per-tenant rollups in Prometheus text format"
+    )
+    metrics.add_argument(
+        "--out", default=None, metavar="PATH", help="write to a file (else stdout)"
+    )
+    metrics.add_argument(
+        "--serve", action="store_true",
+        help="keep serving GET /metrics over HTTP after rendering",
+    )
+    metrics.add_argument(
+        "--port", type=int, default=0,
+        help="scrape-endpoint port (default: ephemeral)",
+    )
+    metrics.set_defaults(func=cmd_metrics)
+
+    top = sub.add_parser("top", help="the live ops console")
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (default; CI-friendly)",
+    )
+    top.add_argument(
+        "--watch", action="store_true", help="refresh until interrupted"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --watch refreshes (default %(default)s)",
+    )
+    top.set_defaults(func=cmd_top)
 
     args = parser.parse_args(argv)
     try:

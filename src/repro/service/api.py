@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.observability.ops.rollup import TenantRollup
+from repro.observability.ops.slo import SLOStatus
 from repro.service.logic import RunRecord, RunState, TenantSpec
 
 __all__ = [
@@ -19,7 +21,9 @@ __all__ = [
     "RunStatus",
     "TenantStatus",
     "ServiceStatus",
+    "TelemetryStatus",
     "run_status",
+    "telemetry_status",
     "RunState",
     "TenantSpec",
 ]
@@ -155,3 +159,49 @@ class ServiceStatus:
             "tenants": [t.to_dict() for t in self.tenants],
             "runs": [r.to_dict() for r in self.runs],
         }
+
+
+@dataclass(frozen=True)
+class TelemetryStatus:
+    """The control-plane telemetry, as reported back to a client.
+
+    One JSON-friendly bundle of everything the ops layer knows: the
+    per-tenant rollups, the independently accumulated global rollup,
+    current SLO evaluations, and the wall-clock throughput counters.
+    """
+
+    now: float
+    rollups: List[Dict[str, object]]
+    totals: Dict[str, object]
+    slos: List[Dict[str, object]]
+    perf: Dict[str, float] = field(default_factory=dict)
+    alerts: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "now": self.now,
+            "rollups": list(self.rollups),
+            "totals": dict(self.totals),
+            "slos": list(self.slos),
+            "perf": dict(self.perf),
+            "alerts": self.alerts,
+        }
+
+
+def telemetry_status(
+    now: float,
+    rollups: List[TenantRollup],
+    totals: TenantRollup,
+    slos: List[SLOStatus],
+    perf: Optional[Dict[str, float]] = None,
+    alerts: int = 0,
+) -> TelemetryStatus:
+    """Present live ops state to a client (see ``EnactmentService``)."""
+    return TelemetryStatus(
+        now=now,
+        rollups=[r.to_dict() for r in rollups],
+        totals=totals.to_dict(),
+        slos=[s.to_dict() for s in slos],
+        perf=dict(perf or {}),
+        alerts=alerts,
+    )

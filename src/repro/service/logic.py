@@ -41,7 +41,9 @@ __all__ = [
     "RunRecord",
     "FairShareLedger",
     "quota_headroom",
+    "AdmissionDecision",
     "pick_next",
+    "pick_next_explained",
     "SCHEDULING_POLICIES",
 ]
 
@@ -305,7 +307,47 @@ def quota_headroom(
     return None
 
 
-def pick_next(
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admission evaluation, with everything that justified it.
+
+    The audit trail's payload: beyond the ``pick`` itself it captures
+    the state of the world *at decision time* — per-tenant decayed
+    usage, provisional charges and fair-share scores
+    (``effective_usage / weight``) over the tenants with eligible runs,
+    plus every run that was quota-blocked and why.  All fields are
+    JSON-plain so the event can be persisted and replayed verbatim.
+    """
+
+    policy: str
+    now: float
+    pick: Optional[RunRecord]
+    #: run ids that passed quota + not_before checks, in queue order
+    eligible: Tuple[str, ...] = ()
+    #: tenant -> decayed ledger usage at decision time
+    usage: Dict[str, float] = field(default_factory=dict)
+    #: tenant -> provisional charge for still-executing runs
+    provisional: Dict[str, float] = field(default_factory=dict)
+    #: tenant -> effective_usage / weight (fair-share rank; lower wins)
+    scores: Dict[str, float] = field(default_factory=dict)
+    #: (run_id, reason) for every quota-blocked queued run
+    blocked: Tuple[Tuple[str, str], ...] = ()
+
+    def to_attributes(self) -> Dict[str, object]:
+        """The JSON-plain attribute payload for an audit event."""
+        return {
+            "policy": self.policy,
+            "eligible": list(self.eligible),
+            "usage": {k: round(v, 6) for k, v in sorted(self.usage.items())},
+            "provisional": {
+                k: round(v, 6) for k, v in sorted(self.provisional.items())
+            },
+            "scores": {k: round(v, 6) for k, v in sorted(self.scores.items())},
+            "blocked": [list(pair) for pair in self.blocked],
+        }
+
+
+def pick_next_explained(
     queued: Sequence[RunRecord],
     specs: Mapping[str, TenantSpec],
     running_by_tenant: Mapping[str, int],
@@ -314,8 +356,8 @@ def pick_next(
     now: float,
     policy: str = "fair-share",
     provisional: Optional[Mapping[str, float]] = None,
-) -> Optional[RunRecord]:
-    """The queued run to admit next, or None if nothing is eligible.
+) -> AdmissionDecision:
+    """Like :func:`pick_next`, returning the full decision context.
 
     A run is eligible when its ``not_before`` has passed and its tenant
     has quota headroom.  Under ``fifo`` the eligible run with the
@@ -330,30 +372,78 @@ def pick_next(
         raise ValueError(
             f"unknown scheduling policy {policy!r}; options: {SCHEDULING_POLICIES}"
         )
-    provisional = provisional or {}
+    provisional = dict(provisional or {})
     eligible: List[RunRecord] = []
+    blocked: List[Tuple[str, str]] = []
     for run in queued:
         if run.state is not RunState.QUEUED or run.not_before > now:
             continue
         spec = specs.get(run.tenant)
         if spec is None:
             continue  # unknown tenant: never admitted (surfaced at submit)
-        blocked = quota_headroom(
+        reason = quota_headroom(
             spec,
             running_by_tenant.get(run.tenant, 0),
             jobs_by_tenant.get(run.tenant, 0),
             run.jobs_estimate,
         )
-        if blocked is None:
+        if reason is None:
             eligible.append(run)
-    if not eligible:
-        return None
-    if policy == "fifo":
-        return min(eligible, key=lambda run: run.seq)
+        else:
+            blocked.append((run.run_id, reason))
 
-    def rank(run: RunRecord) -> Tuple[float, int]:
+    usage: Dict[str, float] = {}
+    scores: Dict[str, float] = {}
+    for run in eligible:
+        if run.tenant in scores:
+            continue
         spec = specs[run.tenant]
-        effective = ledger.usage(run.tenant, now) + provisional.get(run.tenant, 0.0)
-        return (effective / spec.weight, run.seq)
+        decayed = ledger.usage(run.tenant, now)
+        usage[run.tenant] = decayed
+        effective = decayed + provisional.get(run.tenant, 0.0)
+        scores[run.tenant] = effective / spec.weight
 
-    return min(eligible, key=rank)
+    pick: Optional[RunRecord] = None
+    if eligible:
+        if policy == "fifo":
+            pick = min(eligible, key=lambda run: run.seq)
+        else:
+            pick = min(eligible, key=lambda run: (scores[run.tenant], run.seq))
+    return AdmissionDecision(
+        policy=policy,
+        now=now,
+        pick=pick,
+        eligible=tuple(run.run_id for run in eligible),
+        usage=usage,
+        provisional={t: provisional.get(t, 0.0) for t in scores},
+        scores=scores,
+        blocked=tuple(blocked),
+    )
+
+
+def pick_next(
+    queued: Sequence[RunRecord],
+    specs: Mapping[str, TenantSpec],
+    running_by_tenant: Mapping[str, int],
+    jobs_by_tenant: Mapping[str, int],
+    ledger: FairShareLedger,
+    now: float,
+    policy: str = "fair-share",
+    provisional: Optional[Mapping[str, float]] = None,
+) -> Optional[RunRecord]:
+    """The queued run to admit next, or None if nothing is eligible.
+
+    The decision itself; see :func:`pick_next_explained` for the same
+    evaluation with its full justification (scores, provisional
+    charges, quota blocks) — the form the audit trail records.
+    """
+    return pick_next_explained(
+        queued,
+        specs,
+        running_by_tenant,
+        jobs_by_tenant,
+        ledger,
+        now,
+        policy=policy,
+        provisional=provisional,
+    ).pick

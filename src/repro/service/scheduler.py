@@ -26,6 +26,21 @@ seeded from the run record, its own enactor with
 restarted service re-admits in-flight runs with ``resume=True`` and
 reproduces the exact same outputs (input-keyed application RNG, see
 ``repro.apps.registration``).
+
+Control-plane observability
+---------------------------
+Every scheduler decision is recorded as an
+:class:`~repro.observability.ops.audit.AuditEvent` through the store
+(which assigns the sequence numbers making the trail byte-identical
+across same-seed services) and fanned out to the always-on
+:class:`~repro.observability.ops.rollup.ControlPlaneTelemetry` and the
+:class:`~repro.observability.ops.slo.SLOTracker`.  Admission events
+carry the full :class:`~repro.service.logic.AdmissionDecision` payload
+(fair-share scores, usage and provisional charges *at decision time*);
+quota blocks are audited on reason transitions only.  Cheap wall-clock
+profiling around :meth:`tick` feeds :meth:`perf_counters` — engine
+events/sec, µs per invocation, mean tick latency — which land in every
+run's runstore row.
 """
 
 from __future__ import annotations
@@ -34,8 +49,9 @@ import hashlib
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.apps.bronze_standard import BronzeStandardApplication
 from repro.core.config import OptimizationConfig
@@ -49,13 +65,17 @@ from repro.grid.testbeds import (
     ideal_testbed,
 )
 from repro.observability import InstrumentationBus
+from repro.observability.alerts import Alert
+from repro.observability.ops.audit import AuditEvent
+from repro.observability.ops.rollup import ControlPlaneTelemetry
+from repro.observability.ops.slo import SLO, SLOTracker
 from repro.observability.runstore import RunStore, summarize_run
 from repro.service.logic import (
     FairShareLedger,
     RunRecord,
     RunState,
     TenantSpec,
-    pick_next,
+    pick_next_explained,
 )
 from repro.service.store import StateStore
 from repro.sim.engine import Engine, Event
@@ -126,6 +146,13 @@ class EnactmentService:
         Fair-share tuning: usage decay half-life (simulated seconds)
         and the provisional charge assumed for an active run of a
         tenant with no completed history yet.
+    slos:
+        Objectives for the built-in :class:`SLOTracker` (defaults to
+        :func:`~repro.observability.ops.slo.default_slos`).
+    alert_sinks:
+        Callables invoked with each ``slo-burn``
+        :class:`~repro.observability.alerts.Alert` as it fires (e.g. a
+        :class:`~repro.observability.alerts.JsonlAlertWriter`).
     """
 
     def __init__(
@@ -139,6 +166,8 @@ class EnactmentService:
         instrumentation: Optional[InstrumentationBus] = None,
         half_life: float = 4 * 3600.0,
         nominal_makespan: float = 600.0,
+        slos: Optional[List[SLO]] = None,
+        alert_sinks: Optional[List[Callable[[Alert], None]]] = None,
     ) -> None:
         self.store = store
         self.policy = policy
@@ -172,6 +201,71 @@ class EnactmentService:
         self._dirty = True  # queue may hold admissible work
         self._thread: Optional[threading.Thread] = None
         self._stop_flag = threading.Event()
+        #: live per-tenant rollups, fed by spans and audit events
+        self.telemetry = ControlPlaneTelemetry()
+        if instrumentation is not None:
+            instrumentation.subscribe(self.telemetry)
+        #: incremental SLO evaluation; burns route through alert_sinks
+        #: and (when a bus is attached) the monitor.alerts.* gate
+        self.slo_tracker = SLOTracker(
+            slos=slos,
+            telemetry=self.telemetry,
+            bus=instrumentation,
+            alert_sinks=alert_sinks,
+        )
+        #: run_id -> last audited quota-block reason (transition dedup)
+        self._blocked_reasons: Dict[str, str] = {}
+        #: wall-clock profiling (throughput counters; see perf_counters)
+        self._wall_seconds = 0.0
+        self._tick_count = 0
+        self._invocations_total = 0
+
+    # -- audit trail -------------------------------------------------------
+    def _audit(
+        self,
+        kind: str,
+        run_id: str,
+        tenant: str,
+        message: str = "",
+        **attributes: Any,
+    ) -> AuditEvent:
+        """Record one control-plane decision (store + telemetry + SLOs).
+
+        The store assigns the sequence number; the stored event is fed
+        to the live rollups, the SLO tracker is re-evaluated, and —
+        when a bus is attached — an instant ``audit.<kind>`` span is
+        emitted so control-plane decisions appear on the trace
+        timeline next to the data-plane work they explain.
+        """
+        now = self.engine.now
+        event = self.store.append_audit(
+            AuditEvent(
+                kind=kind,
+                time=now,
+                run_id=run_id,
+                tenant=tenant,
+                message=message,
+                attributes=attributes,
+            )
+        )
+        self.telemetry.on_audit(event)
+        self.slo_tracker.update(now)
+        if self.instrumentation is not None:
+            self.instrumentation.record(
+                f"audit.{kind}",
+                "service",
+                now,
+                now,
+                run_id=run_id,
+                tenant=tenant,
+                message=message,
+                sequence=event.sequence,
+            )
+        return event
+
+    def audit(self, run_id: Optional[str] = None) -> List[AuditEvent]:
+        """The persisted audit trail (optionally for one run)."""
+        return self.store.audit_events(run_id=run_id)
 
     # -- tenants -----------------------------------------------------------
     def add_tenant(self, spec: TenantSpec) -> TenantSpec:
@@ -231,6 +325,19 @@ class EnactmentService:
             run = run.advance(RunState.QUEUED)
             self.store.put_run(run)
             self._dirty = True
+            spec = self.store.tenants()[tenant]
+            self._audit(
+                "submit",
+                run.run_id,
+                tenant,
+                message=f"{workload} x{n_items} ({config_label})",
+                n_items=n_items,
+                config_label=config_label,
+                seed=run.seed,
+                not_before=not_before,
+                jobs_estimate=run.jobs_estimate,
+                weight=spec.weight,
+            )
             return run
 
     def status(self, run_id: str) -> RunRecord:
@@ -264,6 +371,12 @@ class EnactmentService:
                 run.error = reason
                 self.store.put_run(run)
                 self._dirty = True
+                self._audit("cancel", run_id, run.tenant, message=reason, was="queued")
+                self._audit(
+                    "finish", run_id, run.tenant,
+                    message=f"cancelled while queued: {reason}",
+                    state="cancelled", error=reason, **{"from": "queued"},
+                )
                 return run
             active = self._active.get(run_id)
             if active is None:
@@ -273,7 +386,14 @@ class EnactmentService:
                 run.finished_at = self.engine.now
                 run.error = reason
                 self.store.put_run(run)
+                self._audit("cancel", run_id, run.tenant, message=reason, was="orphan")
+                self._audit(
+                    "finish", run_id, run.tenant,
+                    message=f"orphan cancelled: {reason}",
+                    state="cancelled", error=reason, **{"from": "running"},
+                )
                 return run
+            self._audit("cancel", run_id, run.tenant, message=reason, was="running")
             active.enactor.cancel(reason)
             # The failed completion event is on the heap; step until the
             # harvest callback records the terminal state.
@@ -314,8 +434,9 @@ class EnactmentService:
         admitted = 0
         specs = self.store.tenants()
         queued = self.store.runs(states=[RunState.QUEUED])
+        blocked_now: Dict[str, str] = {}
         while len(self._active) < self.max_concurrent_runs:
-            pick = pick_next(
+            decision = pick_next_explained(
                 queued,
                 specs,
                 self._running_by_tenant(),
@@ -325,11 +446,33 @@ class EnactmentService:
                 policy=self.policy,
                 provisional=self._provisional(),
             )
+            blocked_now = dict(decision.blocked)
+            pick = decision.pick
             if pick is None:
                 break
             queued.remove(pick)
             self._start(pick)
+            self._audit(
+                "admit",
+                pick.run_id,
+                pick.tenant,
+                message=f"admitted under {self.policy}",
+                wait=max(0.0, self.engine.now - pick.submitted_at),
+                **decision.to_attributes(),
+            )
             admitted += 1
+        # Quota blocks are audited on reason *transitions* only, so a
+        # starved run produces one event per cause, not one per tick.
+        for run_id, reason in sorted(blocked_now.items()):
+            if self._blocked_reasons.get(run_id) != reason:
+                record = next((r for r in queued if r.run_id == run_id), None)
+                self._audit(
+                    "quota-block",
+                    run_id,
+                    record.tenant if record is not None else "",
+                    message=reason,
+                )
+        self._blocked_reasons = blocked_now
         if not queued:
             self._dirty = False
         return admitted
@@ -398,6 +541,7 @@ class EnactmentService:
             }
             makespan = result.makespan
             self._makespans.setdefault(record.tenant, []).append(makespan)
+            self._invocations_total += result.invocation_count
             if self.runstore is not None:
                 summary = summarize_run(
                     result,
@@ -405,6 +549,7 @@ class EnactmentService:
                     seed=record.seed,
                     note=f"service tenant={record.tenant} run={run_id}",
                 )
+                summary.counters.update(self.perf_counters())
                 self.runstore.append(summary)
         else:
             error = event.value
@@ -426,6 +571,20 @@ class EnactmentService:
         self.store.save_usage(self.ledger.snapshot())
         self.store.put_run(record)
         self._dirty = True
+        self._blocked_reasons.pop(run_id, None)
+        self._audit(
+            "finish",
+            run_id,
+            record.tenant,
+            message=f"run went {record.state.value}",
+            state=record.state.value,
+            makespan=record.result.get("makespan") if record.result else None,
+            error=record.error,
+            grid_jobs=jobs,
+            charged=makespan,
+            usage=self.ledger.usage(record.tenant, now),
+            **{"from": "running"},
+        )
 
     # -- progress ----------------------------------------------------------
     def tick(self, max_events: int = 500) -> int:
@@ -438,6 +597,7 @@ class EnactmentService:
         nothing to do right now.
         """
         with self._lock:
+            wall_start = time.perf_counter()
             progress = self._admit()
             steps = 0
             while steps < max_events and self.engine.peek() != float("inf"):
@@ -451,6 +611,8 @@ class EnactmentService:
                     self.engine.run(until=min(future))
                     self._dirty = True
                     progress += 1
+            self._wall_seconds += time.perf_counter() - wall_start
+            self._tick_count += 1
             return progress
 
     def drain(self, max_ticks: int = 1_000_000) -> List[RunRecord]:
@@ -501,6 +663,14 @@ class EnactmentService:
                 )
                 self.store.put_run(record)
                 requeued.append(record)
+                self._audit(
+                    "recover",
+                    record.run_id,
+                    record.tenant,
+                    message=f"orphan re-queued (was {run.state.value})",
+                    resume=record.resume,
+                    was=run.state.value,
+                )
             if requeued:
                 self._dirty = True
         return requeued
@@ -536,6 +706,49 @@ class EnactmentService:
         """Run ids currently executing on the engine."""
         with self._lock:
             return sorted(self._active)
+
+    def perf_counters(self) -> Dict[str, float]:
+        """Wall-clock throughput counters (the ``perf.*`` keys).
+
+        Sampled from cheap accumulators around :meth:`tick` — engine
+        events processed per wall-clock second, wall-clock µs per
+        completed invocation, and mean tick latency in ms.  These are
+        *profiling* numbers: nondeterministic by nature, merged into
+        every runstore row, and regression-gated only when
+        ``compare-runs --budget-throughput`` is given.
+        """
+        with self._lock:
+            wall = self._wall_seconds
+            events = self.engine.events_processed
+            out = {
+                "perf.events": float(events),
+                "perf.ticks": float(self._tick_count),
+                "perf.wall_seconds": round(wall, 6),
+            }
+            if wall > 0:
+                out["perf.events_per_sec"] = round(events / wall, 3)
+            if self._tick_count:
+                out["perf.tick_ms"] = round(1000.0 * wall / self._tick_count, 6)
+            if self._invocations_total and wall > 0:
+                out["perf.us_per_invocation"] = round(
+                    1e6 * wall / self._invocations_total, 3
+                )
+            return out
+
+    def telemetry_status(self):
+        """The live ops state as a wire-shaped
+        :class:`~repro.service.api.TelemetryStatus`."""
+        from repro.service.api import telemetry_status
+
+        with self._lock:
+            return telemetry_status(
+                now=self.engine.now,
+                rollups=self.telemetry.rollups(),
+                totals=self.telemetry.totals(),
+                slos=self.slo_tracker.statuses(),
+                perf=self.perf_counters(),
+                alerts=len(self.slo_tracker.alerts),
+            )
 
     def close(self) -> None:
         """Stop the worker and release the store."""

@@ -6,7 +6,11 @@ durable (crash-safe service).  A store persists three things:
 
 * tenant specs (:class:`~repro.service.logic.TenantSpec`),
 * run records (:class:`~repro.service.logic.RunRecord`), keyed by id,
-* the fair-share ledger snapshot (tenant -> (usage, stamp)).
+* the fair-share ledger snapshot (tenant -> (usage, stamp)),
+* the control-plane audit trail
+  (:class:`~repro.observability.ops.audit.AuditEvent` per scheduler
+  decision; the store assigns the monotonic sequence numbers that make
+  the trail totally ordered).
 
 The SQLite store additionally hands out per-run
 :class:`~repro.core.journal.EnactmentJournal` paths, so every run's
@@ -25,6 +29,7 @@ import sqlite3
 import threading
 from typing import Dict, Iterable, List, Optional, Protocol, Tuple
 
+from repro.observability.ops.audit import AuditEvent, audit_sort_key
 from repro.service.logic import RunRecord, RunState, TenantSpec
 
 __all__ = ["StateStore", "InMemoryStateStore", "SQLiteStateStore"]
@@ -65,6 +70,23 @@ class StateStore(Protocol):
         """The persisted fair-share ledger snapshot (may be empty)."""
         ...
 
+    def append_audit(self, event: AuditEvent) -> AuditEvent:
+        """Persist one audit event, assigning its sequence number.
+
+        Returns the stored event (same payload, store-issued
+        ``sequence``) so callers can fan it out to live telemetry.
+        """
+        ...
+
+    def audit_events(self, run_id: Optional[str] = None) -> List[AuditEvent]:
+        """The audit trail in ``(time, sequence)`` order.
+
+        With *run_id*, only events whose ``run_id`` matches (admission
+        events that merely *mention* the run are the caller's problem —
+        see :func:`~repro.observability.ops.audit.explain_run`).
+        """
+        ...
+
     def journal_path(self, run_id: str) -> Optional[str]:
         """Where to journal *run_id*'s enactment, or None (no durability)."""
         ...
@@ -87,6 +109,7 @@ class InMemoryStateStore:
         self._runs: Dict[str, RunRecord] = {}
         self._seq = 0
         self._usage: Dict[str, Tuple[float, float]] = {}
+        self._audit: List[AuditEvent] = []
 
     def upsert_tenant(self, spec: TenantSpec) -> None:
         with self._lock:
@@ -127,6 +150,27 @@ class InMemoryStateStore:
         with self._lock:
             return dict(self._usage)
 
+    def append_audit(self, event: AuditEvent) -> AuditEvent:
+        with self._lock:
+            stored = AuditEvent(
+                kind=event.kind,
+                time=event.time,
+                run_id=event.run_id,
+                tenant=event.tenant,
+                message=event.message,
+                sequence=len(self._audit) + 1,
+                attributes=dict(event.attributes),
+            )
+            self._audit.append(stored)
+        return stored
+
+    def audit_events(self, run_id: Optional[str] = None) -> List[AuditEvent]:
+        with self._lock:
+            events = list(self._audit)
+        if run_id is not None:
+            events = [event for event in events if event.run_id == run_id]
+        return sorted(events, key=audit_sort_key)
+
     def journal_path(self, run_id: str) -> Optional[str]:
         return None
 
@@ -154,6 +198,13 @@ CREATE TABLE IF NOT EXISTS usage (
     amount REAL NOT NULL,
     stamp REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS audit (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    time REAL NOT NULL,
+    run_id TEXT NOT NULL,
+    record TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS audit_run ON audit(run_id);
 """
 
 
@@ -260,6 +311,32 @@ class SQLiteStateStore:
         with self._lock:
             rows = self._conn.execute("SELECT tenant, amount, stamp FROM usage").fetchall()
         return {tenant: (float(amount), float(stamp)) for tenant, amount, stamp in rows}
+
+    def append_audit(self, event: AuditEvent) -> AuditEvent:
+        payload = event.to_dict()
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO audit(time, run_id, record) VALUES(?, ?, ?)",
+                (event.time, event.run_id, ""),
+            )
+            sequence = int(cursor.lastrowid)
+            payload["sequence"] = sequence
+            self._conn.execute(
+                "UPDATE audit SET record=? WHERE seq=?",
+                (json.dumps(payload, sort_keys=True), sequence),
+            )
+            self._conn.commit()
+        return AuditEvent.from_dict(payload)
+
+    def audit_events(self, run_id: Optional[str] = None) -> List[AuditEvent]:
+        if run_id is None:
+            query, params = "SELECT record FROM audit", ()
+        else:
+            query, params = "SELECT record FROM audit WHERE run_id=?", (run_id,)
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        events = [AuditEvent.from_dict(json.loads(row[0])) for row in rows]
+        return sorted(events, key=audit_sort_key)
 
     def journal_path(self, run_id: str) -> Optional[str]:
         journals = os.path.join(self.root, "journals")

@@ -325,6 +325,8 @@ class Engine:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = 0
+        #: events popped off the heap so far (throughput accounting)
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -369,6 +371,7 @@ class Engine:
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
         self._now, _, event = heapq.heappop(self._heap)
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

@@ -1,0 +1,207 @@
+"""Tests for per-tenant rollups: folding, invariants, replay == live."""
+
+from repro.observability.ops.audit import AuditEvent
+from repro.observability.ops.rollup import (
+    ControlPlaneTelemetry,
+    TenantRollup,
+    rollups_from_records,
+)
+from repro.observability.spans import Span
+
+
+_SPAN_IDS = iter(range(10_000))
+
+
+def span(name, category, start, end, status="ok", **attributes):
+    s = Span(
+        name=name,
+        category=category,
+        span_id=f"s{next(_SPAN_IDS)}",
+        trace_id="trace",
+        start=start,
+        attributes=attributes,
+    )
+    s.close(end, status=status)
+    return s
+
+
+def audit(kind, time, run_id, tenant, sequence, **attributes):
+    return AuditEvent(
+        kind=kind,
+        time=time,
+        run_id=run_id,
+        tenant=tenant,
+        sequence=sequence,
+        attributes=attributes,
+    )
+
+
+def sample_spans():
+    return [
+        span("grid.job", "grid", 0.0, 30.0, tenant="alice", run="svc-0001"),
+        span("job.queue", "grid", 0.0, 10.0, tenant="alice", run="svc-0001"),
+        span("job.run", "grid", 10.0, 30.0, tenant="alice", run="svc-0001"),
+        span(
+            "invocation", "enactor", 0.0, 30.0,
+            tenant="alice", run="svc-0001", kind="invocation",
+        ),
+        span(
+            "grid.job", "grid", 5.0, 40.0,
+            status="error", tenant="bob", run="svc-0002",
+        ),
+        span("job.queue", "grid", 5.0, 25.0, tenant="bob", run="svc-0002"),
+        span(
+            "invocation", "enactor", 5.0, 40.0,
+            tenant="bob", run="svc-0002", kind="cached",
+        ),
+        # a span with no tenant tag lands in the untagged bucket
+        span("grid.job", "grid", 0.0, 1.0),
+    ]
+
+
+def sample_audit():
+    return [
+        audit("submit", 0.0, "svc-0001", "alice", 1, weight=2.0, n_items=1),
+        audit("submit", 0.0, "svc-0002", "bob", 2, weight=1.0, n_items=1),
+        audit(
+            "admit", 1.0, "svc-0001", "alice", 3,
+            wait=1.0, usage={"alice": 0.0, "bob": 0.0},
+        ),
+        audit("quota-block", 1.0, "svc-0002", "bob", 4),
+        audit("admit", 2.0, "svc-0002", "bob", 5, wait=2.0, usage={"bob": 0.5}),
+        audit(
+            "finish", 30.0, "svc-0001", "alice", 6,
+            state="done", makespan=29.0, usage=30.0,
+        ),
+        audit("finish", 40.0, "svc-0002", "bob", 7, state="failed"),
+    ]
+
+
+class TestFolding:
+    def fed(self):
+        telemetry = ControlPlaneTelemetry()
+        telemetry.replay(sample_spans())
+        telemetry.replay_audit(sample_audit())
+        return telemetry
+
+    def test_span_side_counters(self):
+        telemetry = self.fed()
+        alice = telemetry.tenant("alice")
+        assert alice.jobs_started == 1
+        assert alice.jobs_completed == 1
+        assert alice.jobs_failed == 0
+        assert alice.cpu_seconds == 20.0
+        assert alice.grid_queue_waits == [10.0]
+        assert alice.invocations == 1
+        bob = telemetry.tenant("bob")
+        assert bob.jobs_failed == 1
+        assert bob.jobs_completed == 0
+        assert bob.invocations == 1  # "cached" counts as a processed item
+        untagged = telemetry.tenant(ControlPlaneTelemetry.UNTAGGED)
+        assert untagged.jobs_started == 1
+
+    def test_audit_side_state_machine(self):
+        telemetry = self.fed()
+        alice = telemetry.tenant("alice")
+        assert alice.submitted == 1
+        assert alice.done == 1 and alice.failed == 0
+        assert alice.queued == 0 and alice.running == 0
+        assert alice.weight == 2.0
+        assert alice.admission_waits == [1.0]
+        assert alice.makespans == [29.0]
+        assert alice.usage == 30.0  # finish-time usage wins
+        bob = telemetry.tenant("bob")
+        assert bob.failed == 1 and bob.done == 0
+        assert bob.quota_blocks == 1
+        assert bob.usage == 0.5
+
+    def test_success_rate_and_p95(self):
+        telemetry = self.fed()
+        assert telemetry.tenant("alice").success_rate == 1.0
+        assert telemetry.tenant("bob").success_rate == 0.0
+        assert telemetry.totals().success_rate == 0.5
+        assert telemetry.tenant("alice").queue_wait_p95() == 1.0
+        assert TenantRollup(tenant="x").success_rate is None
+        assert TenantRollup(tenant="x").queue_wait_p95() == 0.0
+
+    def test_per_tenant_sums_equal_global_totals(self):
+        telemetry = self.fed()
+        totals = telemetry.totals()
+        rollups = telemetry.rollups()
+        for attribute in (
+            "submitted", "done", "failed", "cancelled", "recovered",
+            "quota_blocks", "invocations", "jobs_started", "jobs_completed",
+            "jobs_failed", "cpu_seconds", "queued", "running",
+        ):
+            assert sum(getattr(r, attribute) for r in rollups) == getattr(
+                totals, attribute
+            ), attribute
+        assert sorted(
+            w for r in rollups for w in r.admission_waits
+        ) == sorted(totals.admission_waits)
+
+    def test_replay_matches_live_snapshot(self):
+        live = ControlPlaneTelemetry()
+        # interleave the two streams the way the service would
+        events = sample_audit()
+        spans = sample_spans()
+        live.on_audit(events[0])
+        live.on_audit(events[1])
+        live.on_audit(events[2])
+        for s in spans[:4]:
+            live.on_start(s)
+            live.on_end(s)
+        for e in events[3:5]:
+            live.on_audit(e)
+        for s in spans[4:]:
+            live.on_start(s)
+            live.on_end(s)
+        for e in events[5:]:
+            live.on_audit(e)
+
+        replayed = ControlPlaneTelemetry()
+        replayed.replay(spans)
+        replayed.replay_audit(events)
+        assert replayed.snapshot() == live.snapshot()
+
+
+class TestRollupsFromRecords:
+    class Record:
+        class _State:
+            def __init__(self, value):
+                self.value = value
+
+        def __init__(self, tenant, state, submitted_at=0.0, started_at=None,
+                     result=None):
+            self.tenant = tenant
+            self.state = self._State(state)
+            self.submitted_at = submitted_at
+            self.started_at = started_at
+            self.result = result or {}
+
+    def test_records_fold_into_rollups(self):
+        records = [
+            self.Record(
+                "alice", "done", submitted_at=0.0, started_at=4.0,
+                result={"grid_jobs": 6, "invocations": 9, "makespan": 80.0},
+            ),
+            self.Record("alice", "queued"),
+            self.Record("bob", "running", submitted_at=1.0, started_at=2.0),
+            self.Record("bob", "failed", submitted_at=0.0, started_at=0.0),
+        ]
+        rollups = rollups_from_records(
+            records, weights={"alice": 2.0}, usage={"alice": 12.0}
+        )
+        assert [r.tenant for r in rollups] == ["alice", "bob"]
+        alice, bob = rollups
+        assert alice.submitted == 2 and alice.done == 1 and alice.queued == 1
+        assert alice.admission_waits == [4.0]
+        assert alice.jobs_completed == 6
+        assert alice.invocations == 9
+        assert alice.makespans == [80.0]
+        assert alice.weight == 2.0 and alice.usage == 12.0
+        assert bob.running == 1 and bob.failed == 1
+        assert bob.admission_waits == [1.0, 0.0]
+
+    def test_empty_records_yield_no_rollups(self):
+        assert rollups_from_records([]) == []

@@ -1,0 +1,177 @@
+"""Tests for SLO declaration, burn-rate math and alert emission."""
+
+import pytest
+
+from repro.observability.bus import InstrumentationBus
+from repro.observability.ops.rollup import ControlPlaneTelemetry
+from repro.observability.ops.slo import (
+    SLO,
+    SLO_KINDS,
+    SLOTracker,
+    default_slos,
+    parse_slo,
+)
+
+
+def telemetry_with(tenant="alice", waits=(), done=0, failed=0, weight=1.0,
+                   usage=0.0, extra=None):
+    telemetry = ControlPlaneTelemetry()
+    rollup = telemetry.tenant(tenant)
+    rollup.weight = weight
+    rollup.usage = usage
+    rollup.admission_waits.extend(waits)
+    rollup.done = done
+    rollup.failed = failed
+    for name, (other_weight, other_usage) in (extra or {}).items():
+        other = telemetry.tenant(name)
+        other.weight = other_weight
+        other.usage = other_usage
+    return telemetry
+
+
+class TestDeclarations:
+    def test_kinds_are_validated(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="latency", objective=1.0)
+        for kind in SLO_KINDS:
+            objective = 0.9 if kind == "success-rate" else 100.0
+            assert SLO(name="x", kind=kind, objective=objective).kind == kind
+
+    def test_objective_ranges(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="success-rate", objective=1.5)
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="queue-wait", objective=0.0)
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="queue-wait", objective=10.0, burn_threshold=0.0)
+
+    def test_default_slos_cover_every_kind(self):
+        assert sorted(s.kind for s in default_slos()) == sorted(SLO_KINDS)
+
+    def test_parse_slo(self):
+        slo = parse_slo("queue-wait=900")
+        assert slo.kind == "queue-wait"
+        assert slo.objective == 900.0
+        assert slo.burn_threshold == 2.0
+        slo = parse_slo("success-rate=0.95:1.5")
+        assert slo.objective == 0.95
+        assert slo.burn_threshold == 1.5
+        for bad in ("queue-wait", "queue-wait=", "queue-wait=abc", "=5"):
+            with pytest.raises(ValueError):
+                parse_slo(bad)
+
+
+class TestBurnMath:
+    def test_queue_wait_burn_is_p95_over_objective(self):
+        telemetry = telemetry_with(waits=[10.0] * 19 + [100.0])
+        tracker = SLOTracker(
+            slos=[SLO(name="qw", kind="queue-wait", objective=50.0)],
+            telemetry=telemetry,
+        )
+        (status,) = tracker.statuses()
+        assert status.value == telemetry.tenant("alice").queue_wait_p95()
+        assert status.burn_rate == pytest.approx(status.value / 50.0)
+        assert status.samples == 20
+
+    def test_success_rate_burn_scales_with_error_budget(self):
+        # 80% success against a 90% objective: errors at 2x budget
+        telemetry = telemetry_with(done=8, failed=2)
+        tracker = SLOTracker(
+            slos=[SLO(name="sr", kind="success-rate", objective=0.9)],
+            telemetry=telemetry,
+        )
+        (status,) = tracker.statuses()
+        assert status.value == pytest.approx(0.8)
+        assert status.burn_rate == pytest.approx(2.0)
+        assert status.breached
+
+    def test_success_rate_skipped_before_any_finish(self):
+        tracker = SLOTracker(
+            slos=[SLO(name="sr", kind="success-rate", objective=0.9)],
+            telemetry=telemetry_with(),
+        )
+        assert tracker.statuses() == []
+
+    def test_share_deviation_burn(self):
+        # equal weights but alice holds 90% of usage: deviation 0.4
+        telemetry = telemetry_with(
+            done=2, usage=9.0, extra={"bob": (1.0, 1.0)}
+        )
+        tracker = SLOTracker(
+            slos=[SLO(name="fs", kind="share-deviation", objective=0.2)],
+            telemetry=telemetry,
+        )
+        alice, bob = sorted(tracker.statuses(), key=lambda s: s.tenant)
+        assert alice.value == pytest.approx(0.4)
+        assert alice.burn_rate == pytest.approx(2.0)
+        assert bob.value == pytest.approx(0.4)
+
+    def test_min_samples_gates_breach(self):
+        telemetry = telemetry_with(done=1, failed=1)  # 50% success, 2 samples
+        tracker = SLOTracker(
+            slos=[
+                SLO(name="sr", kind="success-rate", objective=0.9, min_samples=3)
+            ],
+            telemetry=telemetry,
+        )
+        (status,) = tracker.statuses()
+        assert status.burn_rate > 2.0
+        assert not status.breached  # needs 3 finished runs first
+
+    def test_tenant_scoped_slo_only_evaluates_that_tenant(self):
+        telemetry = telemetry_with(done=1, extra={"bob": (1.0, 0.0)})
+        telemetry.tenant("bob").done = 1
+        tracker = SLOTracker(
+            slos=[
+                SLO(name="sr", kind="success-rate", objective=0.9, tenant="bob")
+            ],
+            telemetry=telemetry,
+        )
+        statuses = tracker.statuses()
+        assert [s.tenant for s in statuses] == ["bob"]
+
+
+class TestAlerting:
+    def breached_tracker(self, sinks=None, bus=None):
+        telemetry = telemetry_with(done=0, failed=3)
+        return SLOTracker(
+            slos=[SLO(name="sr", kind="success-rate", objective=0.9,
+                      min_samples=3)],
+            telemetry=telemetry,
+            bus=bus,
+            alert_sinks=sinks,
+        ), telemetry
+
+    def test_fires_once_per_transition_and_rearms(self):
+        tracker, telemetry = self.breached_tracker()
+        assert len(tracker.update(time=10.0)) == 1
+        assert tracker.update(time=20.0) == []  # still burning: no re-fire
+        # recovery: flood the tenant with successes
+        telemetry.tenant("alice").done = 100
+        assert tracker.update(time=30.0) == []
+        # breach again: re-armed, fires again
+        telemetry.tenant("alice").done = 0
+        assert len(tracker.update(time=40.0)) == 1
+        assert len(tracker.alerts) == 2
+
+    def test_alert_shape_and_sinks(self):
+        seen = []
+        tracker, _ = self.breached_tracker(sinks=[seen.append])
+        (alert,) = tracker.update(time=10.0)
+        assert seen == [alert]
+        assert alert.kind == "slo-burn"
+        assert alert.scope == "service"
+        assert alert.subject == "sr/alice"
+        assert alert.attributes["kind"] == "success-rate"
+        assert alert.severity == "critical"  # burn 10x >= 2 * threshold
+
+    def test_bus_counters_and_span_for_compare_runs_gate(self):
+        bus = InstrumentationBus()
+        collector = bus.collector()
+        tracker, _ = self.breached_tracker(bus=bus)
+        tracker.update(time=10.0)
+        snap = bus.metrics.snapshot()
+        assert snap.counter("monitor.alerts.total") == 1.0
+        assert snap.counter("monitor.alerts.slo-burn") == 1.0
+        (span,) = collector.named("alert.slo-burn")
+        assert span.attributes["subject"] == "sr/alice"

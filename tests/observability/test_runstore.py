@@ -162,3 +162,62 @@ class TestSummarizeRun:
         store = RunStore(tmp_path / "store")
         store.append(summary)
         assert compare(store.latest(), summary).ok
+
+
+class TestThroughputGate:
+    def perf_summary(self, events_per_sec=10_000.0, us_per_invocation=50.0):
+        return make_summary(
+            counters={
+                "grid.jobs.submitted": 24.0,
+                "perf.events_per_sec": events_per_sec,
+                "perf.us_per_invocation": us_per_invocation,
+            }
+        )
+
+    def test_gate_is_off_by_default(self):
+        slow = self.perf_summary(events_per_sec=10.0, us_per_invocation=5000.0)
+        comparison = compare(self.perf_summary(), slow)
+        assert comparison.ok
+        assert not any("perf." in metric for metric in comparison.checked)
+
+    def test_events_per_sec_drop_trips_the_gate(self):
+        slow = self.perf_summary(events_per_sec=5_000.0)
+        comparison = compare(self.perf_summary(), slow, Budgets(throughput=0.2))
+        assert not comparison.ok
+        assert any(
+            e.metric == "counter.perf.events_per_sec"
+            for e in comparison.regressions
+        )
+
+    def test_events_per_sec_gain_counts_as_improvement(self):
+        fast = self.perf_summary(events_per_sec=20_000.0)
+        comparison = compare(self.perf_summary(), fast, Budgets(throughput=0.2))
+        assert comparison.ok
+        assert any(
+            e.metric == "counter.perf.events_per_sec"
+            for e in comparison.improvements
+        )
+
+    def test_us_per_invocation_growth_trips_the_gate(self):
+        slow = self.perf_summary(us_per_invocation=100.0)
+        comparison = compare(self.perf_summary(), slow, Budgets(throughput=0.2))
+        assert not comparison.ok
+        assert any(
+            e.metric == "counter.perf.us_per_invocation"
+            for e in comparison.regressions
+        )
+
+    def test_within_budget_passes(self):
+        close = self.perf_summary(
+            events_per_sec=9_500.0, us_per_invocation=52.0
+        )
+        comparison = compare(self.perf_summary(), close, Budgets(throughput=0.2))
+        assert comparison.ok
+        assert "counter.perf.events_per_sec" in comparison.checked
+        assert "counter.perf.us_per_invocation" in comparison.checked
+
+    def test_gate_skips_runs_without_perf_counters(self):
+        bare = make_summary()
+        comparison = compare(bare, bare, Budgets(throughput=0.2))
+        assert comparison.ok
+        assert not any("perf." in metric for metric in comparison.checked)

@@ -1,0 +1,208 @@
+"""Property-based tests for the control-plane rollup invariants.
+
+Two contracts the ops layer stakes its numbers on, checked against
+randomly generated multi-tenant schedules:
+
+* **sums-to-global** — per-tenant rollups sum exactly to the
+  independently accumulated global rollup (all generated quantities
+  are integer-valued, so float summation is exact);
+* **replay == live** — folding the span stream and the audit trail
+  interleaved (as the live service does) produces the same snapshot as
+  replaying the two streams separately after the fact.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.ops.audit import AuditEvent
+from repro.observability.ops.rollup import ControlPlaneTelemetry
+from repro.observability.spans import Span
+
+TENANTS = ("alice", "bob", "carol")
+
+#: per-run lifecycle shapes the scheduler can actually produce
+LIFECYCLES = (
+    ("submit",),
+    ("submit", "finish-queued"),           # cancelled while queued
+    ("submit", "admit"),
+    ("submit", "quota-block", "admit"),
+    ("submit", "admit", "finish-done"),
+    ("submit", "admit", "finish-failed"),
+    ("submit", "admit", "finish-cancelled"),
+    ("submit", "recover", "admit", "finish-done"),
+)
+
+run_strategy = st.fixed_dictionaries(
+    {
+        "tenant": st.sampled_from(TENANTS),
+        "lifecycle": st.sampled_from(LIFECYCLES),
+        "wait": st.integers(0, 500),
+        "makespan": st.integers(1, 900),
+        "jobs": st.integers(0, 4),
+        "job_fails": st.integers(0, 2),
+        "invocations": st.integers(0, 5),
+        "cpu": st.integers(0, 300),
+    }
+)
+
+
+def build_streams(runs):
+    """Expand run descriptions into (time, audit-or-span) event lists."""
+    events = []
+    spans = []
+    clock = 0
+    for index, run in enumerate(runs):
+        run_id = f"svc-{index:04d}"
+        tenant = run["tenant"]
+
+        def audit(kind, **attributes):
+            nonlocal clock
+            clock += 1
+            events.append(
+                AuditEvent(
+                    kind=kind,
+                    time=float(clock),
+                    run_id=run_id,
+                    tenant=tenant,
+                    sequence=len(events) + 1,
+                    attributes=attributes,
+                )
+            )
+
+        for step in run["lifecycle"]:
+            if step == "submit":
+                audit("submit", n_items=1, weight=1.0)
+            elif step == "quota-block":
+                audit("quota-block")
+            elif step == "recover":
+                # the scheduler re-queues an orphan: it was running in a
+                # previous life, so this life never saw its submit
+                events.pop()  # replace the submit from this lifecycle
+                audit("recover", resume=True)
+            elif step == "admit":
+                audit("admit", wait=float(run["wait"]), usage={tenant: 1.0})
+            elif step.startswith("finish"):
+                origin = "queued" if step == "finish-queued" else "running"
+                state = (
+                    "cancelled"
+                    if step.endswith("queued")
+                    else step.split("-", 1)[1]
+                )
+                audit(
+                    "finish",
+                    state=state,
+                    makespan=float(run["makespan"]),
+                    usage=float(run["makespan"]),
+                    **{"from": origin},
+                )
+        if "admit" in run["lifecycle"]:
+            start = float(clock)
+            for job in range(run["jobs"]):
+                status = "error" if job < run["job_fails"] else "ok"
+                spans.append(
+                    make_span(
+                        "grid.job", start, start + 10.0, status,
+                        tenant=tenant, run=run_id,
+                    )
+                )
+                spans.append(
+                    make_span(
+                        "job.queue", start, start + float(run["wait"]),
+                        "ok", tenant=tenant, run=run_id,
+                    )
+                )
+                spans.append(
+                    make_span(
+                        "job.run", start, start + float(run["cpu"]),
+                        "ok", tenant=tenant, run=run_id,
+                    )
+                )
+            for _ in range(run["invocations"]):
+                spans.append(
+                    make_span(
+                        "invocation", start, start + 5.0, "ok",
+                        category="enactor", kind="invocation",
+                        tenant=tenant, run=run_id,
+                    )
+                )
+    return events, spans
+
+
+_SPAN_IDS = iter(range(10_000_000))
+
+
+def make_span(name, start, end, status, category="grid", **attributes):
+    span = Span(
+        name=name,
+        category=category,
+        span_id=f"p{next(_SPAN_IDS)}",
+        trace_id="prop",
+        start=start,
+        attributes=attributes,
+    )
+    span.close(end, status=status)
+    return span
+
+
+ADDITIVE_INT_FIELDS = (
+    "submitted", "done", "failed", "cancelled", "recovered", "quota_blocks",
+    "invocations", "jobs_started", "jobs_completed", "jobs_failed",
+    "queued", "running",
+)
+
+
+class TestRollupInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(run_strategy, min_size=0, max_size=12))
+    def test_per_tenant_sums_equal_global_exactly(self, runs):
+        telemetry = ControlPlaneTelemetry()
+        events, spans = build_streams(runs)
+        telemetry.replay(spans)
+        telemetry.replay_audit(events)
+
+        totals = telemetry.totals()
+        rollups = telemetry.rollups()
+        for attribute in ADDITIVE_INT_FIELDS:
+            assert sum(getattr(r, attribute) for r in rollups) == getattr(
+                totals, attribute
+            ), attribute
+        # integer-valued floats sum exactly regardless of order
+        assert sum(r.cpu_seconds for r in rollups) == totals.cpu_seconds
+        assert sorted(
+            w for r in rollups for w in r.admission_waits
+        ) == sorted(totals.admission_waits)
+        assert sorted(
+            m for r in rollups for m in r.makespans
+        ) == sorted(totals.makespans)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(run_strategy, min_size=0, max_size=12),
+        st.randoms(use_true_random=False),
+    )
+    def test_replay_equals_live_under_any_interleaving(self, runs, rng):
+        events, spans = build_streams(runs)
+
+        # live: the audit trail arrives in (time, sequence) order — as
+        # the store emits it — with spans interleaved at random points
+        slots = [rng.randint(0, len(events)) for _ in spans]
+        live = ControlPlaneTelemetry()
+        recorded = []  # the span stream in the order the live fold saw it
+
+        def feed_spans(position):
+            for span, slot in zip(spans, slots):
+                if slot == position:
+                    live.on_start(span)
+                    live.on_end(span)
+                    recorded.append(span)
+
+        for position, event in enumerate(events):
+            feed_spans(position)
+            live.on_audit(event)
+        feed_spans(len(events))
+
+        # replay: the recorded streams fed separately after the fact
+        replayed = ControlPlaneTelemetry()
+        replayed.replay(recorded)
+        replayed.replay_audit(events)
+        assert replayed.snapshot() == live.snapshot()
