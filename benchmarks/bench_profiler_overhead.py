@@ -1,0 +1,125 @@
+"""Profiler cost: off must be free (<=1%), on must stay under 10%.
+
+The hot-path profiler lives *permanently* inside ``Engine.step`` /
+``Engine.schedule``, the enactor's invocation path, grid submission,
+broker ranking and the instrumentation bus.  The contract that makes
+that acceptable is toggleability: every instrumented call site pays one
+attribute load plus one ``is not None`` test when profiling is off.
+This benchmark proves the contract on the bronze smoke workload with
+three interleaved arms:
+
+``bare``
+    An :class:`Engine` subclass whose ``schedule``/``step`` carry the
+    pre-profiler bodies — no profiler checks, no heap-peak tracking.
+    The engine dispatch is the frequency-dominant call site (hundreds
+    of events per run vs tens of invocations), so removing its checks
+    is the honest "no instrumentation" baseline; the per-invocation
+    checks that remain run orders of magnitude less often.
+``off``
+    The real engine, profiler ``None`` — the permanent production
+    state.  Acceptance target: <=1% over ``bare``.
+``on``
+    The real engine with a deterministic-clock profiler installed
+    across the whole stack.  Acceptance target: <=10% over ``off``.
+
+The assertions allow 5% / 30% so CI scheduling jitter cannot flake the
+build while a real regression (a forgotten fast path turns every event
+into scope bookkeeping: 2-10x, not 1.3x) still fails loudly.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.apps.bronze_standard import BronzeStandardApplication
+from repro.core.config import OptimizationConfig
+from repro.grid.testbeds import egee_like_testbed
+from repro.observability.profiling import Profiler, TickClock, wall_clock
+from repro.sim.engine import Engine, SimulationError
+from repro.util.rng import RandomStreams
+
+BENCH_SEED = 42
+PAIRS = 4
+ROUNDS = 5
+#: acceptance targets; the assertion bars below add CI jitter slack
+OFF_TARGET, OFF_LIMIT = 0.01, 0.05
+ON_TARGET, ON_LIMIT = 0.10, 0.30
+
+
+class _BareEngine(Engine):
+    """The pre-profiler hot path: no toggles, no heap-peak tracking."""
+
+    def schedule(self, event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def step(self) -> None:
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        self._now, _, event = heapq.heappop(self._heap)
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise event._value
+
+
+def run_workload(arm: str) -> float:
+    """One bronze enactment; returns wall seconds for the chosen arm."""
+    engine = _BareEngine() if arm == "bare" else Engine()
+    streams = RandomStreams(seed=BENCH_SEED)
+    grid = egee_like_testbed(
+        engine, streams, n_sites=6, workers_per_ce=40, with_background_load=False
+    )
+    app = BronzeStandardApplication(engine, grid, streams)
+    config = next(
+        c for c in OptimizationConfig.paper_configurations() if c.label == "SP+DP"
+    )
+    profiler = Profiler(clock=TickClock()) if arm == "on" else None
+    begin = wall_clock()
+    result = app.enact(config, n_pairs=PAIRS, profiler=profiler)
+    wall = wall_clock() - begin
+    assert result.invocation_count > 0
+    return wall
+
+
+def best_of_interleaved(rounds: int):
+    """Alternate all three arms per round so machine drift hits each."""
+    for arm in ("bare", "off", "on"):  # warm caches, imports, allocator
+        run_workload(arm)
+    walls = {"bare": [], "off": [], "on": []}
+    for _ in range(rounds):
+        for arm in ("bare", "off", "on"):
+            walls[arm].append(run_workload(arm))
+    return min(walls["bare"]), min(walls["off"]), min(walls["on"])
+
+
+def test_profiler_overhead(benchmark=None):
+    def measure():
+        return best_of_interleaved(ROUNDS)
+
+    if benchmark is not None:
+        bare, off, on = benchmark.pedantic(measure, rounds=1, iterations=1)
+    else:
+        bare, off, on = measure()
+
+    off_overhead = (off - bare) / bare
+    on_overhead = (on - off) / off
+    print(f"\n=== profiler overhead (bronze {PAIRS} pairs, best of {ROUNDS}) ===")
+    print(f"bare engine   : {bare * 1000:8.1f} ms")
+    print(f"profiler off  : {off * 1000:8.1f} ms  "
+          f"({off_overhead * 100:+.1f}%, target <= {OFF_TARGET:.0%}, "
+          f"asserted <= {OFF_LIMIT:.0%})")
+    print(f"profiler on   : {on * 1000:8.1f} ms  "
+          f"({on_overhead * 100:+.1f}% over off, target <= {ON_TARGET:.0%}, "
+          f"asserted <= {ON_LIMIT:.0%})")
+
+    assert off_overhead <= OFF_LIMIT
+    assert on_overhead <= ON_LIMIT
+
+
+if __name__ == "__main__":
+    test_profiler_overhead()

@@ -210,6 +210,10 @@ class MoteurEnactor:
         self.config = config or OptimizationConfig.nop()
         self.grid = grid
         self.instrumentation = instrumentation
+        #: hot-path profiler (repro.observability.profiling); installed
+        #: by ``profiling.install`` / the service scheduler.  None keeps
+        #: every instrumented site at one attribute test of overhead.
+        self.profiler = None
         #: extra attributes stamped on the run span (e.g. tenant / run id)
         self.run_attributes: Dict[str, Any] = dict(run_attributes or {})
         #: whether this enactor claims the bus-wide ``run_span`` slot.
@@ -494,11 +498,14 @@ class MoteurEnactor:
                 self.grid.add_input_file(file)
 
     def _emit_sources(self, dataset: InputDataSet) -> None:
+        profiler = self.profiler
         for source in self.workflow.sources():
             items = dataset.items(source.name)
             state = self._states[source.name]
             port = source.effective_output_ports()[0]
             for index, item in enumerate(items):
+                if profiler is not None:
+                    profiler.count("enactor.tokens")
                 token = DataToken(
                     data=item.grid_data(), history=HistoryTree.leaf(source.name, index)
                 )
@@ -515,8 +522,17 @@ class MoteurEnactor:
 
     # -- token flow ---------------------------------------------------------------
     def _deliver(self, from_processor: str, out_port: str, token: DataToken) -> None:
-        for link in self.workflow.links_out_of(from_processor, out_port):
-            self._accept(link.target.processor, link.target.port, token)
+        profiler = self.profiler
+        if profiler is None:
+            for link in self.workflow.links_out_of(from_processor, out_port):
+                self._accept(link.target.processor, link.target.port, token)
+            return
+        profiler.enter("enactor.route")
+        try:
+            for link in self.workflow.links_out_of(from_processor, out_port):
+                self._accept(link.target.processor, link.target.port, token)
+        finally:
+            profiler.exit()
 
     def _accept(self, name: str, port: str, token: DataToken) -> None:
         state = self._states[name]
@@ -611,14 +627,56 @@ class MoteurEnactor:
             **extra,
         )
 
+    # -- profiled hot-path helpers ----------------------------------------------------
+    def _profiled_key(self, processor: Processor, facts, unordered: bool = False) -> str:
+        """Provenance-key hashing, attributed to the ``enactor`` component."""
+        profiler = self.profiler
+        if profiler is None:
+            return invocation_key(processor.service, facts, unordered=unordered)
+        profiler.enter("enactor.key")
+        try:
+            profiler.count("enactor.keys")
+            return invocation_key(processor.service, facts, unordered=unordered)
+        finally:
+            profiler.exit()
+
+    def _profiled_lookup(self, key: str, name: str):
+        """Cache consultation, attributed to the ``cache`` component."""
+        profiler = self.profiler
+        if profiler is None:
+            return self.cache.lookup(key, name)
+        profiler.enter("cache.lookup")
+        try:
+            return self.cache.lookup(key, name)
+        finally:
+            profiler.exit()
+
+    def _profiled_put(self, key: str, name: str, outputs) -> None:
+        profiler = self.profiler
+        if profiler is None:
+            self.cache.put(key, name, outputs)
+            return
+        profiler.enter("cache.put")
+        try:
+            self.cache.put(key, name, outputs)
+        finally:
+            profiler.exit()
+
     # -- invocation lifecycle ---------------------------------------------------------
     def _invoke(self, state: _ProcessorState, binding: Binding):
         processor = state.processor
         key: Optional[str] = None
         flight_open = False
         began = self.engine.now
-        parents = tuple(binding[port].history for port in sorted(binding))
-        history = HistoryTree.derive(processor.name, parents)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.enter("enactor.prepare")
+        try:
+            parents = tuple(binding[port].history for port in sorted(binding))
+            history = HistoryTree.derive(processor.name, parents)
+        finally:
+            if profiler is not None:
+                profiler.exit()
         try:
             # Stage barrier: without service parallelism a service only
             # starts once its predecessors finished their whole streams.
@@ -643,7 +701,7 @@ class MoteurEnactor:
                         port: ((token.history, token.data),)
                         for port, token in binding.items()
                     }
-                    key = invocation_key(processor.service, facts)
+                    key = self._profiled_key(processor, facts)
                 if key is not None and key in self._replay:
                     # Journal replay: the previous (interrupted) run already
                     # completed this invocation and persisted its outputs.
@@ -656,7 +714,7 @@ class MoteurEnactor:
                     self._replayed_count += 1
                 elif self.cache is not None:
                     lookup_start = self.engine.now
-                    outputs = self.cache.lookup(key, processor.name)
+                    outputs = self._profiled_lookup(key, processor.name)
                     if outputs is not None:
                         kind = "cached"
                         start = end = self.engine.now
@@ -700,7 +758,7 @@ class MoteurEnactor:
                     end = self.engine.now
                     job_ids = tuple(record.job_ids)
                     if self.cache is not None and key is not None:
-                        self.cache.put(key, processor.name, outputs)
+                        self._profiled_put(key, processor.name, outputs)
                         self.cache.close_flight(self.engine, key, outputs=outputs)
                         flight_open = False
 
@@ -792,7 +850,7 @@ class MoteurEnactor:
                         port: tuple((t.history, t.data) for t in tokens)
                         for port, tokens in survivors.items()
                     }
-                    key = invocation_key(processor.service, facts, unordered=True)
+                    key = self._profiled_key(processor, facts, unordered=True)
                 if key is not None and key in self._replay:
                     entry = self._replay[key]
                     outputs = dict(entry.outputs)
@@ -803,7 +861,7 @@ class MoteurEnactor:
                     self._replayed_count += 1
                 elif self.cache is not None:
                     lookup_start = self.engine.now
-                    outputs = self.cache.lookup(key, processor.name)
+                    outputs = self._profiled_lookup(key, processor.name)
                     if outputs is not None:
                         kind = "cached"
                         start = end = self.engine.now
@@ -847,7 +905,7 @@ class MoteurEnactor:
                     end = self.engine.now
                     job_ids = tuple(record.job_ids)
                     if self.cache is not None and key is not None:
-                        self.cache.put(key, processor.name, outputs)
+                        self._profiled_put(key, processor.name, outputs)
                         self.cache.close_flight(self.engine, key, outputs=outputs)
                         flight_open = False
 
@@ -903,6 +961,31 @@ class MoteurEnactor:
         *before* the outputs are emitted downstream, so a crash can
         never have published results it did not persist.
         """
+        profiler = self.profiler
+        if profiler is None:
+            self._complete_unprofiled(
+                state, history, outputs, start, end, kind, job_ids, key
+            )
+            return
+        profiler.enter("enactor.complete")
+        try:
+            self._complete_unprofiled(
+                state, history, outputs, start, end, kind, job_ids, key
+            )
+        finally:
+            profiler.exit()
+
+    def _complete_unprofiled(
+        self,
+        state: _ProcessorState,
+        history: HistoryTree,
+        outputs: Mapping[str, GridData],
+        start: float,
+        end: float,
+        kind: str,
+        job_ids: Tuple[int, ...],
+        key: Optional[str],
+    ) -> None:
         self._trace.add(
             TraceEvent(
                 processor=state.processor.name,
@@ -931,6 +1014,8 @@ class MoteurEnactor:
                         outputs=dict(outputs),
                     )
                 )
+                if self.profiler is not None:
+                    self.profiler.count("enactor.journal_appends")
             self._progress += 1
             crash_after = self.crash_after_n_invocations
             if crash_after is not None and self._progress >= crash_after:
@@ -1026,8 +1111,11 @@ class MoteurEnactor:
         the stream accounting stays exact) — the poison only kills the
         lineage it belongs to.
         """
+        profiler = self.profiler
         for port in state.processor.effective_output_ports():
             state.emitted[port] += 1
+            if profiler is not None:
+                profiler.count("enactor.tokens")
             self._deliver(
                 state.processor.name,
                 port,
@@ -1050,11 +1138,14 @@ class MoteurEnactor:
     def _emit_outputs(
         self, state: _ProcessorState, history: HistoryTree, outputs: Mapping[str, GridData]
     ) -> None:
+        profiler = self.profiler
         for port in state.processor.effective_output_ports():
             datum = outputs[port]
             if isinstance(datum.value, NoData):
                 continue  # conditional port chose not to emit (loop exits...)
             state.emitted[port] += 1
+            if profiler is not None:
+                profiler.count("enactor.tokens")
             self._deliver(state.processor.name, port, DataToken(datum, history))
 
     # -- stream accounting -------------------------------------------------------------
@@ -1126,6 +1217,12 @@ class MoteurEnactor:
         metrics = None
         if self.instrumentation is not None:
             self._close_run_span(invocations=self._invocation_count)
+            # Engine lifetime counters (events scheduled/processed, peak
+            # heap, absorbed failures) surface through the registry so
+            # every metrics snapshot carries the events/sec denominator.
+            registry = self.instrumentation.metrics
+            for name, value in self.engine.counters().items():
+                registry.gauge(name).set(value)
             metrics = self.instrumentation.metrics.snapshot()
             if self._metrics_baseline is not None:
                 metrics = metrics.since(self._metrics_baseline)

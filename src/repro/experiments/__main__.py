@@ -24,6 +24,12 @@ Usage::
                                         [--out baseline.json]
     python -m repro.experiments compare-runs --store runstore \
                                         run-0001 latest [--budget-makespan 0.05]
+    python -m repro.experiments profile record --out profile.json
+                                        [--clock deterministic|wall] [--memory]
+    python -m repro.experiments profile report profile.json
+    python -m repro.experiments profile diff baseline.json candidate.json
+    python -m repro.experiments profile flame profile.json --out profile.folded
+                                        [--format collapsed|speedscope]
 
 ``table1`` runs the full sweep and prints Tables 1 and 2, the Section
 5.2/5.3 ratios and the paper comparison; ``diagrams`` regenerates the
@@ -50,7 +56,17 @@ chain with per-phase attribution and the diff against the static
 prediction; ``gantt`` renders per-processor and per-CE lanes as ASCII.
 ``record-run`` appends one summary to a run store and ``compare-runs``
 checks a candidate run against a baseline within budgets — it exits
-non-zero on regression, which is the CI gate.
+non-zero on regression, which is the CI gate; when a throughput budget
+trips and both rows carry a ``perf.profile.*`` breakdown, it also
+names the top regressed components.
+
+The ``profile`` family drives the hot-path profiler
+(:mod:`repro.observability.profiling`): ``record`` runs one Bronze
+Standard enactment with the profiler installed across the whole stack
+(deterministic tick clock by default, so the file is byte-identical
+across same-seed runs), ``report`` renders a saved profile,
+``diff`` ranks per-component movement between two profiles, and
+``flame`` exports collapsed-stack or speedscope flamegraphs.
 """
 
 from __future__ import annotations
@@ -208,6 +224,15 @@ def cmd_bronze(args: argparse.Namespace) -> int:
             if args.feedback:
                 grid.set_health_provider(monitor)
                 monitor.add_sink(grid.alert_reactor())
+    profiler = None
+    if args.profile:
+        from repro.observability.profiling import Profiler, TickClock
+
+        profiler = Profiler(
+            clock=TickClock(),
+            label=f"bronze {config.label} pairs={args.pairs} "
+            f"seed={args.seed} testbed={args.testbed}",
+        )
     from repro.core.journal import SimulatedCrash
 
     try:
@@ -218,6 +243,7 @@ def cmd_bronze(args: argparse.Namespace) -> int:
             journal=args.journal,
             resume=args.resume,
             crash_after=args.crash_after,
+            profiler=profiler,
         )
     except SimulatedCrash as crash:
         out.info(f"simulated crash after {crash.completed} invocations")
@@ -301,6 +327,14 @@ def cmd_bronze(args: argparse.Namespace) -> int:
     if chrome is not None:
         chrome.write(args.chrome_trace)
         out.info(f"chrome trace written: {args.chrome_trace} (load in Perfetto)")
+    if profiler is not None:
+        profile = profiler.snapshot()
+        path = profile.save(args.profile)
+        out.info(
+            f"profile written: {path} ({profile.total_time * 1e3:.3f}ms "
+            f"accounted, {profile.clock} clock; inspect with: "
+            f"python -m repro.experiments profile report {path})"
+        )
     if args.strict and lost_something:
         out.info("exit 3: --strict and the best-effort run lost items")
         return 3
@@ -358,7 +392,7 @@ def _load_spans(path: str):
         raise SystemExit(f"cannot read trace {path!r}: {exc}")
 
 
-def _instrumented_bronze(args: argparse.Namespace):
+def _instrumented_bronze(args: argparse.Namespace, profiler=None):
     """One instrumented Bronze Standard enactment (``--testbed`` grid).
 
     The shared front half of the analytics subcommands: returns
@@ -383,7 +417,9 @@ def _instrumented_bronze(args: argparse.Namespace):
     monitor = RunMonitor.attach(
         bus, expected_items=args.pairs, policy=policy_key(config)
     )
-    result = app.enact(config, n_pairs=args.pairs, instrumentation=bus)
+    result = app.enact(
+        config, n_pairs=args.pairs, instrumentation=bus, profiler=profiler
+    )
     return app, grid, result, collector.spans, monitor
 
 
@@ -460,9 +496,17 @@ def cmd_record_run(args: argparse.Namespace) -> int:
     import json
 
     from repro.observability import RunStore, summarize_run
+    from repro.observability.profiling import Profiler, TickClock, profile_counters
 
     out = cli_logger()
-    _app, grid, result, spans, _monitor = _instrumented_bronze(args)
+    # Always profile with the deterministic clock: the perf.profile.*
+    # breakdown costs little, adds no nondeterminism to the row, and is
+    # what compare-runs attribution reads when a throughput budget trips.
+    profiler = Profiler(
+        clock=TickClock(),
+        label=f"record-run {args.config} pairs={args.pairs} seed={args.seed}",
+    )
+    _app, grid, result, spans, _monitor = _instrumented_bronze(args, profiler=profiler)
     summary = summarize_run(
         result,
         spans=spans,
@@ -472,6 +516,7 @@ def cmd_record_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         note=args.note,
     )
+    summary.counters.update(profile_counters(profiler.snapshot()))
     store = RunStore(args.store)
     store.append(summary)
     out.info(
@@ -509,7 +554,110 @@ def cmd_compare_runs(args: argparse.Namespace) -> int:
     except RunStoreError as exc:
         raise SystemExit(str(exc))
     out.info(format_run_comparison(comparison))
+    if not comparison.ok:
+        from repro.observability.profiling import attribute, format_attribution
+
+        throughput_blown = any(
+            entry.metric.startswith("counter.perf.")
+            for entry in comparison.regressions
+        )
+        if throughput_blown:
+            lines = format_attribution(
+                attribute(baseline.counters, candidate.counters)
+            )
+            if lines:
+                out.info("")
+                for line in lines:
+                    out.info(line)
+            else:
+                out.info(
+                    "\n(no perf.profile.* breakdown in both rows: record runs "
+                    "with the profiler installed to attribute the slowdown)"
+                )
     return 0 if comparison.ok else 1
+
+
+def _load_profile(path: str):
+    from repro.observability.profiling import Profile, ProfilerError
+
+    try:
+        return Profile.load(path)
+    except ProfilerError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_profile_record(args: argparse.Namespace) -> int:
+    from repro.apps.bronze_standard import BronzeStandardApplication
+    from repro.observability.profiling import Profiler, resolve_clock
+    from repro.sim.engine import Engine
+    from repro.util.rng import RandomStreams
+
+    out = cli_logger()
+    engine = Engine()
+    streams = RandomStreams(seed=args.seed)
+    grid = _make_testbed(args, engine, streams)
+    app = BronzeStandardApplication(engine, grid, streams)
+    config = _config_by_label(args.config)
+    profiler = Profiler(
+        clock=resolve_clock(args.clock),
+        track_memory=args.memory,
+        label=f"bronze {config.label} pairs={args.pairs} "
+        f"seed={args.seed} testbed={args.testbed}",
+    )
+    result = app.enact(config, n_pairs=args.pairs, profiler=profiler)
+    profile = profiler.snapshot()
+    path = profile.save(args.out)
+    out.info(
+        f"profiled {config.label} x {args.pairs} pairs "
+        f"(makespan {result.makespan:.1f}s simulated)"
+    )
+    out.info(
+        f"profile written: {path} ({profile.total_time * 1e3:.3f}ms accounted, "
+        f"{profile.clock} clock)"
+    )
+    return 0
+
+
+def cmd_profile_report(args: argparse.Namespace) -> int:
+    from repro.observability.profiling import format_profile_report
+
+    cli_logger().info(format_profile_report(_load_profile(args.profile), args.limit))
+    return 0
+
+
+def cmd_profile_diff(args: argparse.Namespace) -> int:
+    from repro.observability.profiling import diff_profiles, format_profile_diff
+
+    out = cli_logger()
+    diff = diff_profiles(
+        _load_profile(args.baseline), _load_profile(args.candidate)
+    )
+    out.info(format_profile_diff(diff, args.limit))
+    top = diff.top_component
+    if top is not None:
+        out.info(f"\ntop regressed component: {top.component} ({top.delta_us:+.0f}us)")
+    return 0
+
+
+def cmd_profile_flame(args: argparse.Namespace) -> int:
+    from repro.observability.profiling import speedscope_json, to_collapsed
+
+    out = cli_logger()
+    profile = _load_profile(args.profile)
+    if args.format == "speedscope":
+        rendered = speedscope_json(profile) + "\n"
+    else:
+        rendered = to_collapsed(profile)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        out.info(
+            f"{args.format} flamegraph written: {args.out} "
+            f"({len(rendered.splitlines())} lines)"
+        )
+    else:
+        sys.stdout.write(rendered)
+    return 0
 
 
 def cmd_report_trace(args: argparse.Namespace) -> int:
@@ -649,6 +797,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash-after", type=int, metavar="N",
         help="simulate a crash after N completed invocations (exit 4); "
         "combine with --journal, then rerun with --resume",
+    )
+    bronze.add_argument(
+        "--profile", metavar="PATH",
+        help="install the hot-path profiler (deterministic tick clock) "
+        "and write the profile JSON here after the run",
     )
     bronze.set_defaults(func=cmd_bronze)
 
@@ -804,6 +957,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="phases below this size in both runs are noise, never compared",
     )
     compare_runs.set_defaults(func=cmd_compare_runs)
+
+    profile = sub.add_parser(
+        "profile",
+        help="hot-path profiler: record / report / diff / flame",
+    )
+    profile_sub = profile.add_subparsers(dest="profile_command", required=True)
+
+    p_record = profile_sub.add_parser(
+        "record", help="run one profiled Bronze Standard enactment"
+    )
+    add_run_options(p_record)
+    p_record.add_argument(
+        "--out", default="profile.json", metavar="PATH",
+        help="where to write the profile (default %(default)s)",
+    )
+    p_record.add_argument(
+        "--clock", choices=["deterministic", "wall"], default="deterministic",
+        help="time source: 'deterministic' produces byte-identical "
+        "profiles across same-seed runs; 'wall' measures real time",
+    )
+    p_record.add_argument(
+        "--memory", action="store_true",
+        help="also record tracemalloc allocation deltas (slower; the "
+        "memory section is machine-dependent)",
+    )
+    p_record.set_defaults(func=cmd_profile_record)
+
+    p_report = profile_sub.add_parser("report", help="render a saved profile")
+    p_report.add_argument("profile", help="profile JSON (profile record --out)")
+    p_report.add_argument(
+        "--limit", type=int, default=15, help="hottest scopes to list"
+    )
+    p_report.set_defaults(func=cmd_profile_report)
+
+    p_diff = profile_sub.add_parser(
+        "diff", help="rank per-component movement between two profiles"
+    )
+    p_diff.add_argument("baseline", help="baseline profile JSON")
+    p_diff.add_argument("candidate", help="candidate profile JSON")
+    p_diff.add_argument(
+        "--limit", type=int, default=10, help="scope moves to list"
+    )
+    p_diff.set_defaults(func=cmd_profile_diff)
+
+    p_flame = profile_sub.add_parser(
+        "flame", help="export a flamegraph (collapsed stacks or speedscope)"
+    )
+    p_flame.add_argument("profile", help="profile JSON (profile record --out)")
+    p_flame.add_argument(
+        "--format", choices=["collapsed", "speedscope"], default="collapsed",
+        help="collapsed = Brendan Gregg flamegraph.pl input; speedscope = "
+        "https://speedscope.app JSON (default %(default)s)",
+    )
+    p_flame.add_argument(
+        "--out", metavar="PATH", help="write here instead of stdout"
+    )
+    p_flame.set_defaults(func=cmd_profile_flame)
     return parser
 
 

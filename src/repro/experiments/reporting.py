@@ -343,7 +343,7 @@ def format_ce_utilization(rows: Sequence[Mapping[str, object]]) -> str:
 
 
 def format_run_comparison(comparison: RunComparison) -> str:
-    """Baseline-vs-candidate verdict: regressions, improvements, budgets."""
+    """Baseline-vs-candidate verdict: per-metric deltas, then budgets."""
     baseline = comparison.baseline
     candidate = comparison.candidate
     lines = [
@@ -353,6 +353,28 @@ def format_run_comparison(comparison: RunComparison) -> str:
         f"makespan {candidate.makespan:.1f}s",
         f"checked: {', '.join(comparison.checked)}",
     ]
+    if comparison.deltas:
+        blown = {entry.metric for entry in comparison.regressions}
+        rows = []
+        for entry in comparison.deltas:
+            if entry.mode == "relative":
+                change = f"{entry.change:+.1%}"
+                budget = f"{entry.budget:+.1%}"
+            else:
+                change = f"{entry.change:+.3f}"
+                budget = f"{entry.budget:+.3f}"
+            rows.append([
+                entry.metric,
+                f"{entry.baseline:.2f}",
+                f"{entry.candidate:.2f}",
+                change,
+                budget,
+                "OVER" if entry.metric in blown else "ok",
+            ])
+        lines.append("")
+        lines.append(
+            _grid(["metric", "baseline", "candidate", "change", "budget", ""], rows)
+        )
     if comparison.regressions:
         lines.append("")
         lines.append("REGRESSIONS:")

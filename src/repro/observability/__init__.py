@@ -47,7 +47,11 @@ Pieces (all dependency-free, all in simulated time):
 * :mod:`~repro.observability.monitor` — the live :class:`RunMonitor`
   subscriber: per-service progress/ETA blending the Section 3.5 model
   with the observed rate, per-CE health, the alert pipeline, and the
-  health-provider hook the broker uses to demote flagged CEs.
+  health-provider hook the broker uses to demote flagged CEs;
+* :mod:`~repro.observability.profiling` — the toggleable hot-path
+  profiler: nested scope accounting over an injectable clock, churn
+  counters, flamegraph export (collapsed / speedscope) and the
+  per-component ``compare-runs`` regression attribution.
 
 Usage::
 
@@ -120,6 +124,13 @@ from repro.observability.metrics import (
     MetricsSnapshot,
 )
 from repro.observability.monitor import HealthProvider, RunMonitor, ServiceProgress
+from repro.observability.profiling import (
+    Profile,
+    Profiler,
+    ProfilerError,
+    TickClock,
+    wall_clock,
+)
 from repro.observability.runstore import (
     Budgets,
     Regression,
@@ -206,4 +217,9 @@ __all__ = [
     "ServiceProgress",
     "failure_rows_from_spans",
     "failure_summary",
+    "Profile",
+    "Profiler",
+    "ProfilerError",
+    "TickClock",
+    "wall_clock",
 ]

@@ -1,0 +1,84 @@
+"""Hot-path profiling: deterministic scopes, churn counts, flamegraphs.
+
+The measurement side of ROADMAP item 2 ("make the event core
+scream").  A :class:`Profiler` installed on the engine/grid/enactor/
+bus (see :func:`install`) accounts every hot-path region — event
+dispatch, invocation lifecycle, submission, brokering, cache lookups,
+and the instrumentation bus itself — into a scope tree with per-call
+self/cumulative time, plus allocation-pressure counters.  Snapshots
+(:class:`Profile`) export to collapsed-stack / speedscope flamegraphs
+and diff into ranked per-component regression tables that
+``compare-runs`` prints when a throughput budget trips.
+
+Profiling is off unless installed; the instrumented call sites pay one
+``is not None`` test when it is not.
+"""
+
+from repro.observability.profiling.attribution import (
+    PROFILE_PREFIX,
+    ComponentDelta,
+    ProfileDiff,
+    ScopeDelta,
+    attribute,
+    components_from_counters,
+    diff_profiles,
+    format_attribution,
+    format_profile_diff,
+    format_profile_report,
+    profile_counters,
+)
+from repro.observability.profiling.churn import ChurnCounters, MemoryTracker
+from repro.observability.profiling.clock import (
+    Clock,
+    ManualClock,
+    TickClock,
+    resolve_clock,
+    wall_clock,
+)
+from repro.observability.profiling.flamegraph import (
+    collapsed_weights,
+    parse_collapsed,
+    parse_speedscope,
+    speedscope_json,
+    to_collapsed,
+    to_speedscope,
+)
+from repro.observability.profiling.profiler import (
+    Profile,
+    Profiler,
+    ProfilerError,
+    ScopeStats,
+    install,
+)
+
+__all__ = [
+    "Clock",
+    "wall_clock",
+    "TickClock",
+    "ManualClock",
+    "resolve_clock",
+    "ChurnCounters",
+    "MemoryTracker",
+    "Profiler",
+    "Profile",
+    "ProfilerError",
+    "ScopeStats",
+    "install",
+    "collapsed_weights",
+    "to_collapsed",
+    "parse_collapsed",
+    "to_speedscope",
+    "parse_speedscope",
+    "speedscope_json",
+    "PROFILE_PREFIX",
+    "profile_counters",
+    "components_from_counters",
+    "ComponentDelta",
+    "ScopeDelta",
+    "ProfileDiff",
+    "attribute",
+    "diff_profiles",
+    "format_attribution",
+    "format_profile_report",
+    "format_profile_diff",
+]

@@ -1,0 +1,109 @@
+"""Allocation-pressure accounting: how much garbage does a run make?
+
+ROADMAP item 2 names "span/token churn, provenance hashing" as the
+enactor overheads to cut.  Time profiles alone hide that cost — a
+million tiny allocations show up as a diffuse slowdown everywhere, not
+as one hot scope — so the profiler also counts the *objects* the hot
+path creates:
+
+* ``engine.heap_push`` / ``engine.heap_pop`` — event-heap traffic,
+* ``bus.spans`` — spans emitted on the instrumentation bus,
+* ``enactor.tokens`` — data/error tokens created,
+* ``enactor.keys`` — provenance cache keys hashed,
+* ``enactor.journal_appends`` — WAL lines written.
+
+Counts are plain integers keyed by name, deterministic for a seeded
+run, and land in the profile file next to the scope tree.
+
+:class:`MemoryTracker` adds the optional ``tracemalloc`` dimension:
+real allocated-byte deltas and peak, for when counts are not enough.
+It is off by default because ``tracemalloc`` itself costs 2-4x — and
+its numbers are machine-dependent, so they live in the profile's
+*memory* section, never in the deterministic byte-identical part.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["ChurnCounters", "MemoryTracker"]
+
+
+class ChurnCounters:
+    """Named integer counters for object-allocation pressure."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add *n* to counter *name* (created on first use)."""
+        counts = self.counts
+        counts[name] = counts.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        """Current value of *name* (0 if never counted)."""
+        return self.counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A sorted copy, ready for serialization."""
+        return {name: self.counts[name] for name in sorted(self.counts)}
+
+    def clear(self) -> None:
+        self.counts.clear()
+
+
+class MemoryTracker:
+    """Optional ``tracemalloc`` snapshot deltas around a profiled run.
+
+    ``start()``/``stop()`` bracket the region; ``report()`` returns
+    ``{"allocated_bytes": ..., "peak_bytes": ...}`` or ``None`` when
+    tracking never ran (disabled, or tracemalloc unavailable).  If
+    tracemalloc was already tracing (e.g. an outer test harness), the
+    tracker piggybacks on it and leaves it running.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._tracemalloc = None
+        self._started = False
+        self._owns_tracing = False
+        self._baseline = 0
+        self._report: Optional[Dict[str, int]] = None
+        if enabled:
+            try:
+                import tracemalloc
+            except ImportError:  # pragma: no cover - stdlib, but stay gated
+                self.enabled = False
+            else:
+                self._tracemalloc = tracemalloc
+
+    def start(self) -> None:
+        if not self.enabled or self._started:
+            return
+        tm = self._tracemalloc
+        if not tm.is_tracing():
+            tm.start()
+            self._owns_tracing = True
+        self._baseline = tm.get_traced_memory()[0]
+        tm.reset_peak()
+        self._started = True
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        tm = self._tracemalloc
+        current, peak = tm.get_traced_memory()
+        self._report = {
+            "allocated_bytes": max(0, current - self._baseline),
+            "peak_bytes": peak,
+        }
+        if self._owns_tracing:
+            tm.stop()
+            self._owns_tracing = False
+        self._started = False
+
+    def report(self) -> Optional[Dict[str, int]]:
+        """The last start/stop delta, or None if tracking never ran."""
+        return dict(self._report) if self._report is not None else None

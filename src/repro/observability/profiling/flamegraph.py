@@ -1,0 +1,206 @@
+"""Flamegraph exporters: collapsed-stack text and speedscope JSON.
+
+Two interchange formats, both rendered from the :class:`~.profiler.Profile`
+scope tree:
+
+* **Collapsed stacks** (Brendan Gregg's ``stackcollapse`` format): one
+  line per unique stack, frames joined by ``;``, followed by an integer
+  weight — here the scope's *self* time in whole microseconds.  Feed it
+  to ``flamegraph.pl`` or paste into speedscope directly.
+* **speedscope JSON** (https://www.speedscope.app/file-format-schema.json):
+  a ``sampled`` profile whose samples are the unique stacks and whose
+  weights are the same self-time microseconds.
+
+Both encoders are deterministic — stacks sorted, frames indexed in
+first-appearance order — so a profile recorded with the deterministic
+clock exports byte-identical flamegraphs across identically seeded
+runs.  Both have strict parsers (:func:`parse_collapsed`,
+:func:`parse_speedscope`) that reject malformed input and reconstruct
+the exact stack→weight mapping, which is what the round-trip tests
+assert.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.observability.profiling.profiler import Profile, ProfilerError
+
+__all__ = [
+    "collapsed_weights",
+    "to_collapsed",
+    "parse_collapsed",
+    "to_speedscope",
+    "parse_speedscope",
+    "speedscope_json",
+]
+
+#: one stack: the path of scope names from a top-level scope down
+Stack = Tuple[str, ...]
+
+
+def _micros(seconds: float) -> int:
+    """Self seconds -> whole microseconds (the flamegraph weight unit)."""
+    return int(round(seconds * 1e6))
+
+
+def collapsed_weights(profile: Profile) -> Dict[Stack, int]:
+    """The stack -> self-microseconds mapping both exporters encode.
+
+    Zero-weight stacks (all time attributed to children, or a scope
+    faster than 1µs of accumulated self time) are dropped — the
+    collapsed format has no notion of a zero-count sample.
+    """
+    weights: Dict[Stack, int] = {}
+    for path, node in profile.walk():
+        weight = _micros(node.self_time)
+        if weight > 0:
+            weights[path] = weight
+    return weights
+
+
+def to_collapsed(profile: Profile) -> str:
+    """Render Brendan Gregg collapsed-stack text (sorted, newline-terminated)."""
+    weights = collapsed_weights(profile)
+    lines = [
+        ";".join(stack) + f" {weights[stack]}" for stack in sorted(weights)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_collapsed(text: str) -> Dict[Stack, int]:
+    """Strictly parse collapsed-stack text back to stack -> weight.
+
+    Raises :class:`ProfilerError` on empty frames, non-positive or
+    non-integer weights, or duplicate stacks.
+    """
+    weights: Dict[Stack, int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        stack_part, sep, weight_part = line.rpartition(" ")
+        if not sep or not stack_part:
+            raise ProfilerError(f"line {lineno}: not 'stack weight': {line!r}")
+        try:
+            weight = int(weight_part)
+        except ValueError as exc:
+            raise ProfilerError(
+                f"line {lineno}: weight {weight_part!r} is not an integer"
+            ) from exc
+        if weight <= 0:
+            raise ProfilerError(f"line {lineno}: weight must be positive, got {weight}")
+        stack = tuple(stack_part.split(";"))
+        if any(not frame for frame in stack):
+            raise ProfilerError(f"line {lineno}: empty frame in {stack_part!r}")
+        if stack in weights:
+            raise ProfilerError(f"line {lineno}: duplicate stack {stack_part!r}")
+        weights[stack] = weight
+    return weights
+
+
+_SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def to_speedscope(profile: Profile) -> Dict[str, Any]:
+    """Render the speedscope document (a ``sampled`` profile)."""
+    weights = collapsed_weights(profile)
+    frames: List[str] = []
+    frame_index: Dict[str, int] = {}
+    samples: List[List[int]] = []
+    sample_weights: List[int] = []
+    for stack in sorted(weights):
+        indexed = []
+        for frame in stack:
+            if frame not in frame_index:
+                frame_index[frame] = len(frames)
+                frames.append(frame)
+            indexed.append(frame_index[frame])
+        samples.append(indexed)
+        sample_weights.append(weights[stack])
+    total = sum(sample_weights)
+    name = profile.label or "repro profile"
+    return {
+        "$schema": _SPEEDSCOPE_SCHEMA,
+        "name": name,
+        "exporter": "repro.observability.profiling",
+        "shared": {"frames": [{"name": frame} for frame in frames]},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "microseconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": sample_weights,
+            }
+        ],
+    }
+
+
+def speedscope_json(profile: Profile) -> str:
+    """The canonical speedscope encoding (sorted keys, stable bytes)."""
+    return json.dumps(to_speedscope(profile), sort_keys=True, separators=(",", ":"))
+
+
+def parse_speedscope(document: "Dict[str, Any] | str") -> Dict[Stack, int]:
+    """Strictly validate a speedscope doc; returns stack -> weight.
+
+    Accepts the dict or its JSON text.  Raises :class:`ProfilerError`
+    on schema violations: wrong ``$schema``, missing sections, frame
+    indices out of range, mismatched samples/weights lengths, or an
+    ``endValue`` that disagrees with the weight sum.
+    """
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise ProfilerError(f"speedscope document is not JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProfilerError("speedscope document must be a JSON object")
+    if document.get("$schema") != _SPEEDSCOPE_SCHEMA:
+        raise ProfilerError(f"unexpected $schema {document.get('$schema')!r}")
+    shared = document.get("shared")
+    profiles = document.get("profiles")
+    if not isinstance(shared, dict) or not isinstance(profiles, list) or not profiles:
+        raise ProfilerError("speedscope document needs shared.frames and profiles")
+    raw_frames = shared.get("frames")
+    if not isinstance(raw_frames, list):
+        raise ProfilerError("shared.frames must be a list")
+    frames: List[str] = []
+    for entry in raw_frames:
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+            raise ProfilerError(f"malformed frame entry: {entry!r}")
+        frames.append(entry["name"])
+    prof = profiles[0]
+    if prof.get("type") != "sampled" or prof.get("unit") != "microseconds":
+        raise ProfilerError("expected a sampled, microsecond-unit profile")
+    samples = prof.get("samples")
+    weights = prof.get("weights")
+    if not isinstance(samples, list) or not isinstance(weights, list):
+        raise ProfilerError("profile needs samples and weights lists")
+    if len(samples) != len(weights):
+        raise ProfilerError(
+            f"samples/weights length mismatch: {len(samples)} vs {len(weights)}"
+        )
+    out: Dict[Stack, int] = {}
+    for sample, weight in zip(samples, weights):
+        if not isinstance(weight, int) or weight <= 0:
+            raise ProfilerError(f"weight must be a positive integer, got {weight!r}")
+        if not isinstance(sample, list) or not sample:
+            raise ProfilerError(f"sample must be a non-empty index list: {sample!r}")
+        stack: List[str] = []
+        for index in sample:
+            if not isinstance(index, int) or not 0 <= index < len(frames):
+                raise ProfilerError(f"frame index {index!r} out of range")
+            stack.append(frames[index])
+        key = tuple(stack)
+        if key in out:
+            raise ProfilerError(f"duplicate sample stack {key!r}")
+        out[key] = weight
+    if prof.get("endValue") != sum(weights):
+        raise ProfilerError(
+            f"endValue {prof.get('endValue')!r} != weight sum {sum(weights)}"
+        )
+    return out

@@ -408,6 +408,9 @@ class RunComparison:
     regressions: Tuple[Regression, ...] = ()
     improvements: Tuple[Regression, ...] = ()
     checked: Tuple[str, ...] = ()
+    #: one entry per checked metric, in check order — the full
+    #: before/after table, not just the budget violations
+    deltas: Tuple[Regression, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -423,10 +426,12 @@ def _check(
     mode: str,
     regressions: List[Regression],
     improvements: List[Regression],
+    deltas: List[Regression],
 ) -> None:
     entry = Regression(
         metric=metric, baseline=baseline, candidate=candidate, budget=budget, mode=mode
     )
+    deltas.append(entry)
     if entry.change > budget:
         regressions.append(entry)
     elif entry.change < -budget:
@@ -461,6 +466,7 @@ def compare(
 
     regressions: List[Regression] = []
     improvements: List[Regression] = []
+    deltas: List[Regression] = []
     checked: List[str] = ["makespan"]
     _check(
         "makespan",
@@ -470,6 +476,7 @@ def compare(
         "relative",
         regressions,
         improvements,
+        deltas,
     )
     for phase in sorted(set(baseline.phase_totals) | set(candidate.phase_totals)):
         left = baseline.phase_totals.get(phase, 0.0)
@@ -485,6 +492,9 @@ def compare(
             candidate=right,
             budget=budgets.phase,
             mode="relative",
+        )
+        deltas.append(
+            Regression(f"phase.{phase}", left, right, budgets.phase, "relative")
         )
         if entry.change > budgets.phase:
             regressions.append(
@@ -504,6 +514,7 @@ def compare(
             "absolute",
             regressions,
             improvements,
+            deltas,
         )
     if "hit_rate" in baseline.cache and "hit_rate" in candidate.cache:
         checked.append("cache.hit_rate")
@@ -515,6 +526,7 @@ def compare(
             budgets.hit_rate,
             "absolute",
         )
+        deltas.append(entry)
         if -entry.change > budgets.hit_rate:
             regressions.append(entry)
         elif entry.change > budgets.hit_rate:
@@ -530,6 +542,7 @@ def compare(
             "relative",
             regressions,
             improvements,
+            deltas,
         )
     if budgets.throughput is not None:
         eps_key = "perf.events_per_sec"
@@ -543,6 +556,7 @@ def compare(
                 budgets.throughput,
                 "relative",
             )
+            deltas.append(entry)
             if -entry.change > budgets.throughput:
                 regressions.append(entry)
             elif entry.change > budgets.throughput:
@@ -558,6 +572,7 @@ def compare(
                 "relative",
                 regressions,
                 improvements,
+                deltas,
             )
     alerts_key = "monitor.alerts.total"
     if alerts_key in baseline.counters or alerts_key in candidate.counters:
@@ -572,6 +587,7 @@ def compare(
             "absolute",
             regressions,
             improvements,
+            deltas,
         )
     return RunComparison(
         baseline=baseline,
@@ -580,4 +596,5 @@ def compare(
         regressions=tuple(regressions),
         improvements=tuple(improvements),
         checked=tuple(checked),
+        deltas=tuple(deltas),
     )

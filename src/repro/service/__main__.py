@@ -29,7 +29,10 @@ exposes a scrape endpoint), and ``top`` is the ops console (``--once``
 for one CI-friendly frame, ``--watch`` for a live ANSI refresh).
 ``--telemetry`` attaches an instrumentation bus to commands that
 execute runs; ``--alerts`` streams ``slo-burn`` alerts to a JSONL
-file; ``--slo kind=value`` overrides the default objectives.
+file; ``--slo kind=value`` overrides the default objectives;
+``--profile PATH`` installs the deterministic hot-path profiler and
+writes the profile (``repro.observability.profiling``) after the
+command drains.
 """
 
 from __future__ import annotations
@@ -56,6 +59,7 @@ from repro.observability.ops import (
     render_top,
     rollups_from_records,
 )
+from repro.observability.profiling import Profiler, TickClock
 from repro.observability.runstore import RunStore
 from repro.service.api import run_status
 from repro.service.logic import RunRecord, RunState, TenantSpec
@@ -100,9 +104,11 @@ def _slos(args: argparse.Namespace):
 def _service(args: argparse.Namespace, store: StateStore) -> EnactmentService:
     runstore = RunStore(args.runstore) if args.runstore else None
     bus = InstrumentationBus() if getattr(args, "telemetry", False) else None
-    sinks = []
-    if getattr(args, "alerts", None):
-        sinks.append(JsonlAlertWriter(args.alerts))
+    profiler = None
+    if getattr(args, "profile", None):
+        # Deterministic clock: the service-level profile is part of the
+        # reproducibility story (byte-identical across same-seed runs).
+        profiler = Profiler(clock=TickClock(), label="service drain")
     return EnactmentService(
         store,
         policy=args.policy,
@@ -112,7 +118,28 @@ def _service(args: argparse.Namespace, store: StateStore) -> EnactmentService:
         runstore=runstore,
         instrumentation=bus,
         slos=_slos(args),
-        alert_sinks=sinks or None,
+        alert_sinks=_sinks(args),
+        profiler=profiler,
+    )
+
+
+def _sinks(args: argparse.Namespace):
+    sinks = []
+    if getattr(args, "alerts", None):
+        sinks.append(JsonlAlertWriter(args.alerts))
+    return sinks or None
+
+
+def _write_profile(args: argparse.Namespace, service: EnactmentService, out) -> None:
+    """Save the installed profiler's snapshot if ``--profile`` was given."""
+    profiler = service.profiler
+    if profiler is None:
+        return
+    profile = profiler.snapshot()
+    path = profile.save(args.profile)
+    out.info(
+        f"profile: {profile.total_time * 1000:.1f} ms accounted "
+        f"({profile.clock} clock) -> {path}"
     )
 
 
@@ -217,6 +244,7 @@ def cmd_drain(args: argparse.Namespace) -> int:
             out.info(f"recovered {run.run_id} (resume={run.resume})")
         runs = service.drain()
         _print_runs(out, runs)
+        _write_profile(args, service, out)
         return 0
     finally:
         service.close()
@@ -399,6 +427,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
                 f"throughput: {perf['perf.events_per_sec']:.0f} engine events/s "
                 f"over {perf['perf.ticks']:.0f} ticks"
             )
+        _write_profile(args, service, out)
         return 0 if len(done) == len(runs) else 1
     finally:
         service.close()
@@ -465,6 +494,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="KIND=VALUE",
         help="override an objective, e.g. queue-wait=900 or "
         "success-rate=0.95:1.5 (repeatable; default: built-in SLOs)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="install the deterministic hot-path profiler and write the "
+        "profile JSON here after drain/demo (inspect with: "
+        "python -m repro.experiments profile report PATH)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -327,11 +327,39 @@ class Engine:
         self._sequence = 0
         #: events popped off the heap so far (throughput accounting)
         self.events_processed = 0
+        #: largest heap population seen — the working-set size the
+        #: planned flat-heap rebuild must not regress
+        self.peak_heap_size = 0
+        #: failed events absorbed via ``defused`` (the cancel/defuse
+        #: idiom: timeout losers of AnyOf races, interrupts, withdrawn
+        #: jobs) rather than raised at the engine level
+        self.events_cancelled = 0
+        #: hot-path profiler (see repro.observability.profiling); None
+        #: keeps dispatch at one attribute test of overhead
+        self.profiler = None
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def events_scheduled(self) -> int:
+        """Events pushed onto the heap so far (== the sequence counter)."""
+        return self._sequence
+
+    def counters(self) -> dict:
+        """Lifetime counters, named for the metrics registry/runstore.
+
+        The denominators for events/sec: how much work the engine did,
+        how big its heap got, and how many failures were absorbed.
+        """
+        return {
+            "engine.events_scheduled": float(self._sequence),
+            "engine.events_processed": float(self.events_processed),
+            "engine.peak_heap_size": float(self.peak_heap_size),
+            "engine.events_cancelled": float(self.events_cancelled),
+        }
 
     # -- event factories ----------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -361,6 +389,11 @@ class Engine:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
         self._sequence += 1
+        if len(self._heap) > self.peak_heap_size:
+            self.peak_heap_size = len(self._heap)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.count("engine.heap_push")
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -373,10 +406,22 @@ class Engine:
         self._now, _, event = heapq.heappop(self._heap)
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event.defused:
-            raise event._value
+        profiler = self.profiler
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            profiler.count("engine.heap_pop")
+            profiler.enter("engine.step")
+            try:
+                for callback in callbacks:
+                    callback(event)
+            finally:
+                profiler.exit()
+        if not event._ok:
+            if not event.defused:
+                raise event._value
+            self.events_cancelled += 1
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.

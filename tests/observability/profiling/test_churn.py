@@ -1,0 +1,54 @@
+"""Tests for churn counters and the optional tracemalloc tracker."""
+
+from repro.observability.profiling import ChurnCounters, MemoryTracker
+
+
+class TestChurnCounters:
+    def test_count_and_get(self):
+        counters = ChurnCounters()
+        counters.count("bus.spans")
+        counters.count("bus.spans", 9)
+        assert counters.get("bus.spans") == 10
+        assert counters.get("never") == 0
+
+    def test_snapshot_is_a_sorted_copy(self):
+        counters = ChurnCounters()
+        counters.count("z", 1)
+        counters.count("a", 2)
+        snap = counters.snapshot()
+        assert list(snap) == ["a", "z"]
+        counters.count("a")
+        assert snap["a"] == 2
+
+    def test_clear(self):
+        counters = ChurnCounters()
+        counters.count("x")
+        counters.clear()
+        assert counters.snapshot() == {}
+
+
+class TestMemoryTracker:
+    def test_disabled_reports_none(self):
+        tracker = MemoryTracker(enabled=False)
+        tracker.start()
+        tracker.stop()
+        assert tracker.report() is None
+
+    def test_enabled_reports_alloc_and_peak(self):
+        tracker = MemoryTracker(enabled=True)
+        tracker.start()
+        sink = [list(range(1000)) for _ in range(50)]
+        tracker.stop()
+        report = tracker.report()
+        assert report is not None
+        assert report["peak_bytes"] > 0
+        assert report["allocated_bytes"] >= 0
+        del sink
+
+    def test_stop_is_idempotent(self):
+        tracker = MemoryTracker(enabled=True)
+        tracker.start()
+        tracker.stop()
+        first = tracker.report()
+        tracker.stop()
+        assert tracker.report() == first

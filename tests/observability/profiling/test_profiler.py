@@ -1,0 +1,242 @@
+"""Tests for the scope-tree profiler and the Profile snapshot."""
+
+import json
+
+import pytest
+
+from repro.observability.profiling import (
+    ManualClock,
+    Profile,
+    Profiler,
+    ProfilerError,
+    ScopeStats,
+    TickClock,
+    install,
+    wall_clock,
+)
+
+
+def make_profiler():
+    """A profiler over a manual clock the test can steer."""
+    clock = ManualClock()
+    return Profiler(clock=clock), clock
+
+
+class TestScopeAccounting:
+    def test_single_scope_self_equals_cum(self):
+        profiler, clock = make_profiler()
+        profiler.enter("engine.step")
+        clock.advance(2.0)
+        profiler.exit()
+        node = profiler.root.children["engine.step"]
+        assert node.calls == 1
+        assert node.cum == pytest.approx(2.0)
+        assert node.self_time == pytest.approx(2.0)
+
+    def test_child_time_subtracted_from_parent_self(self):
+        profiler, clock = make_profiler()
+        profiler.enter("engine.step")
+        clock.advance(1.0)
+        profiler.enter("enactor.prepare")
+        clock.advance(3.0)
+        profiler.exit()
+        clock.advance(0.5)
+        profiler.exit()
+        step = profiler.root.children["engine.step"]
+        prepare = step.children["enactor.prepare"]
+        assert step.cum == pytest.approx(4.5)
+        assert step.self_time == pytest.approx(1.5)
+        assert prepare.cum == prepare.self_time == pytest.approx(3.0)
+
+    def test_repeat_calls_share_one_node(self):
+        profiler, clock = make_profiler()
+        for _ in range(5):
+            profiler.enter("broker.rank")
+            clock.advance(1.0)
+            profiler.exit()
+        assert list(profiler.root.children) == ["broker.rank"]
+        node = profiler.root.children["broker.rank"]
+        assert node.calls == 5
+        assert node.cum == pytest.approx(5.0)
+
+    def test_same_name_under_different_parents_is_two_nodes(self):
+        profiler, clock = make_profiler()
+        with profiler.scope("a"):
+            with profiler.scope("cache.lookup"):
+                clock.advance(1.0)
+        with profiler.scope("cache.lookup"):
+            clock.advance(2.0)
+        assert profiler.root.children["a"].children["cache.lookup"].cum == (
+            pytest.approx(1.0)
+        )
+        assert profiler.root.children["cache.lookup"].cum == pytest.approx(2.0)
+
+    def test_exit_without_enter_raises(self):
+        profiler, _ = make_profiler()
+        with pytest.raises(ProfilerError, match="no open scope"):
+            profiler.exit()
+
+    def test_depth_tracks_open_scopes(self):
+        profiler, _ = make_profiler()
+        assert profiler.depth == 0
+        profiler.enter("a")
+        profiler.enter("b")
+        assert profiler.depth == 2
+        profiler.exit()
+        profiler.exit()
+        assert profiler.depth == 0
+
+    def test_scope_context_manager_closes_on_exception(self):
+        profiler, _ = make_profiler()
+        with pytest.raises(RuntimeError, match="boom"):
+            with profiler.scope("a"):
+                raise RuntimeError("boom")
+        assert profiler.depth == 0
+        assert profiler.root.children["a"].calls == 1
+
+    def test_count_accumulates(self):
+        profiler, _ = make_profiler()
+        profiler.count("enactor.tokens")
+        profiler.count("enactor.tokens", 4)
+        assert profiler.churn.get("enactor.tokens") == 5
+
+    def test_reset_requires_closed_scopes(self):
+        profiler, _ = make_profiler()
+        profiler.enter("a")
+        with pytest.raises(ProfilerError, match="open scope"):
+            profiler.reset()
+        profiler.exit()
+        profiler.count("x")
+        profiler.reset()
+        assert not profiler.root.children and profiler.churn.get("x") == 0
+
+
+class TestSnapshot:
+    def test_root_cum_is_sum_of_top_level_children(self):
+        profiler, clock = make_profiler()
+        with profiler.scope("a"):
+            clock.advance(1.0)
+        with profiler.scope("b"):
+            clock.advance(2.0)
+        profile = profiler.snapshot()
+        assert profile.total_time == pytest.approx(3.0)
+
+    def test_snapshot_is_a_deep_copy(self):
+        profiler, clock = make_profiler()
+        with profiler.scope("a"):
+            clock.advance(1.0)
+        profile = profiler.snapshot()
+        with profiler.scope("a"):
+            clock.advance(1.0)
+        assert profile.root.children["a"].calls == 1
+
+    def test_snapshot_with_open_scopes_keeps_completed_calls(self):
+        profiler, clock = make_profiler()
+        with profiler.scope("done"):
+            clock.advance(1.0)
+        profiler.enter("open")
+        profile = profiler.snapshot()
+        assert profile.root.children["done"].calls == 1
+        assert "open" not in profile.root.children or (
+            profile.root.children["open"].calls == 0
+        )
+        profiler.exit()
+
+    def test_clock_kind_recorded(self):
+        assert Profiler(clock=TickClock()).snapshot().clock == "deterministic"
+        assert Profiler(clock=wall_clock).snapshot().clock == "wall"
+        assert Profiler(clock=ManualClock()).snapshot().clock == "custom"
+
+    def test_label_override(self):
+        profiler = Profiler(clock=TickClock(), label="default")
+        assert profiler.snapshot().label == "default"
+        assert profiler.snapshot(label="special").label == "special"
+
+
+class TestProfileQueries:
+    def build(self):
+        profiler, clock = make_profiler()
+        with profiler.scope("engine.step"):
+            clock.advance(1.0)
+            with profiler.scope("enactor.prepare"):
+                clock.advance(2.0)
+            with profiler.scope("cache.lookup"):
+                clock.advance(0.5)
+        return profiler.snapshot()
+
+    def test_walk_yields_paths_in_name_order(self):
+        profile = self.build()
+        paths = [path for path, _node in profile.walk()]
+        assert paths == [
+            ("engine.step",),
+            ("engine.step", "cache.lookup"),
+            ("engine.step", "enactor.prepare"),
+        ]
+
+    def test_by_component_sums_self_times(self):
+        table = self.build().by_component()
+        assert set(table) == {"engine", "enactor", "cache"}
+        assert table["engine"]["self"] == pytest.approx(1.0)
+        assert table["enactor"]["self"] == pytest.approx(2.0)
+        assert table["cache"]["self"] == pytest.approx(0.5)
+
+    def test_hottest_ranks_by_self_time(self):
+        hottest = self.build().hottest(2)
+        assert [path[-1] for path, _ in hottest] == [
+            "enactor.prepare",
+            "engine.step",
+        ]
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        profiler, clock = make_profiler()
+        with profiler.scope("engine.step"):
+            clock.advance(1.0)
+        profiler.count("engine.heap_pop", 7)
+        profile = profiler.snapshot(label="roundtrip")
+        loaded = Profile.from_dict(json.loads(profile.to_json()))
+        assert loaded.to_json() == profile.to_json()
+        assert loaded.counters == {"engine.heap_pop": 7}
+
+    def test_save_and_load(self, tmp_path):
+        profiler, clock = make_profiler()
+        with profiler.scope("a"):
+            clock.advance(1.0)
+        path = profiler.snapshot().save(tmp_path / "deep" / "profile.json")
+        assert Profile.load(path).root.children["a"].calls == 1
+
+    def test_load_missing_file_raises_profiler_error(self, tmp_path):
+        with pytest.raises(ProfilerError, match="cannot read"):
+            Profile.load(tmp_path / "absent.json")
+
+    def test_load_malformed_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ProfilerError):
+            Profile.load(bad)
+
+    def test_unsupported_format_rejected(self):
+        with pytest.raises(ProfilerError, match="format"):
+            Profile.from_dict({"format": 99, "root": {}})
+
+    def test_malformed_scope_node_rejected(self):
+        with pytest.raises(ProfilerError, match="malformed scope"):
+            ScopeStats.from_dict({"name": "a"})
+
+
+class TestInstall:
+    class Target:
+        profiler = None
+
+    def test_install_sets_attribute_and_skips_none(self):
+        profiler = Profiler(clock=TickClock())
+        target = self.Target()
+        assert install(profiler, target, None) is profiler
+        assert target.profiler is profiler
+
+    def test_uninstall(self):
+        target = self.Target()
+        install(Profiler(clock=TickClock()), target)
+        install(None, target)
+        assert target.profiler is None
