@@ -524,15 +524,42 @@ class MoteurEnactor:
     def _deliver(self, from_processor: str, out_port: str, token: DataToken) -> None:
         profiler = self.profiler
         if profiler is None:
+            fanout = 0
             for link in self.workflow.links_out_of(from_processor, out_port):
                 self._accept(link.target.processor, link.target.port, token)
+                fanout += 1
+            self._note_routed_bytes(token, fanout)
             return
         profiler.enter("enactor.route")
         try:
+            fanout = 0
             for link in self.workflow.links_out_of(from_processor, out_port):
                 self._accept(link.target.processor, link.target.port, token)
+                fanout += 1
+            self._note_routed_bytes(token, fanout)
         finally:
             profiler.exit()
+
+    def _note_routed_bytes(self, token: DataToken, fanout: int) -> None:
+        """Account the enactor-routed data volume of one delivery.
+
+        Every token a centralized enactor routes carries its payload
+        file through the enactor host once per consumer — the traffic
+        Barker's choreography argument wants off the orchestrator, and
+        the ROADMAP item 4 yardstick (``bytes.enactor_moved``) any
+        future choreography mode must beat.
+        """
+        if fanout == 0:
+            return
+        bus = self.instrumentation
+        if bus is None:
+            return
+        file = token.data.file
+        if file is None:
+            return
+        moved = file.size * fanout
+        bus.metrics.counter("bytes.enactor_moved").inc(moved)
+        bus.metrics.counter("bytes.total").inc(moved)
 
     def _accept(self, name: str, port: str, token: DataToken) -> None:
         state = self._states[name]
@@ -1133,7 +1160,7 @@ class MoteurEnactor:
             return
         for datum in outputs.values():
             if datum.file is not None and not self.grid.catalog.knows(datum.file.gfn):
-                self.grid.add_input_file(datum.file)
+                self.grid.add_input_file(datum.file, cache_refill=True)
 
     def _emit_outputs(
         self, state: _ProcessorState, history: HistoryTree, outputs: Mapping[str, GridData]

@@ -20,10 +20,13 @@ Usage::
     python -m repro.experiments report-critical-path [--config SP+DP]
                                         [--trace run.jsonl]
     python -m repro.experiments gantt   [--config SP+DP] [--width 100]
+    python -m repro.experiments report-dataflow [--config SP+DP+JG]
+                                        [--top 10] [--dot dataflow.dot]
     python -m repro.experiments record-run --store runstore [--config SP+DP]
                                         [--out baseline.json]
     python -m repro.experiments compare-runs --store runstore \
                                         run-0001 latest [--budget-makespan 0.05]
+                                        [--budget-bytes 0.0]
     python -m repro.experiments profile record --out profile.json
                                         [--clock deterministic|wall] [--memory]
     python -m repro.experiments profile report profile.json
@@ -54,11 +57,17 @@ Bronze Standard on the EGEE-like testbed) or on an exported JSONL trace
 (``--trace``): ``report-critical-path`` prints the observed gating
 chain with per-phase attribution and the diff against the static
 prediction; ``gantt`` renders per-processor and per-CE lanes as ASCII.
+``report-dataflow`` runs one instrumented enactment with the
+:class:`~repro.observability.dataflow.DataFlowCollector` attached and
+prints the data plane's ledger — top-talker links with ASCII bandwidth
+sparklines, per-service and per-purpose byte shares, per-site storage —
+and exports the site-to-site data-flow graph as DOT (``--dot``).
 ``record-run`` appends one summary to a run store and ``compare-runs``
 checks a candidate run against a baseline within budgets — it exits
 non-zero on regression, which is the CI gate; when a throughput budget
 trips and both rows carry a ``perf.profile.*`` breakdown, it also
-names the top regressed components.
+names the top regressed components; ``--budget-bytes`` additionally
+gates growth of ``bytes.total`` / ``bytes.enactor_moved``.
 
 The ``profile`` family drives the hot-path profiler
 (:mod:`repro.observability.profiling`): ``record`` runs one Bronze
@@ -492,6 +501,48 @@ def cmd_report_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report_dataflow(args: argparse.Namespace) -> int:
+    """Per-link/per-service byte accounting of one instrumented run."""
+    from repro.apps.bronze_standard import BronzeStandardApplication
+    from repro.observability import (
+        DataFlowCollector,
+        InstrumentationBus,
+        dataflow_dot,
+        format_dataflow_report,
+    )
+    from repro.sim.engine import Engine
+    from repro.util.rng import RandomStreams
+
+    out = cli_logger()
+    engine = Engine()
+    streams = RandomStreams(seed=args.seed)
+    grid = _make_testbed(args, engine, streams)
+    app = BronzeStandardApplication(engine, grid, streams)
+    config = _config_by_label(args.config)
+    bus = InstrumentationBus()
+    # Attach before enacting so the collector sees every transfer; the
+    # grid has no bus yet at this point, so subscribe it explicitly for
+    # the stage-in/out span cross-check.
+    collector = DataFlowCollector().attach(grid)
+    bus.subscribe(collector)
+    result = app.enact(config, n_pairs=args.pairs, instrumentation=bus)
+    counters = (
+        {k: float(v) for k, v in result.metrics.counters.items()}
+        if result.metrics is not None
+        else {}
+    )
+    out.info(
+        f"=== data flow: {config.label}, {args.pairs} pairs, "
+        f"{args.testbed} testbed (makespan {result.makespan:.1f}s) ==="
+    )
+    out.info(format_dataflow_report(collector, counters, top=args.top))
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(dataflow_dot(collector))
+        out.info(f"data-flow graph written: {args.dot} (Graphviz DOT)")
+    return 0
+
+
 def cmd_record_run(args: argparse.Namespace) -> int:
     import json
 
@@ -544,6 +595,7 @@ def cmd_compare_runs(args: argparse.Namespace) -> int:
         jobs=args.budget_jobs,
         alerts=args.budget_alerts,
         throughput=args.budget_throughput,
+        bytes=args.budget_bytes,
         min_seconds=args.min_seconds,
     )
     store = RunStore(args.store)
@@ -891,6 +943,21 @@ def build_parser() -> argparse.ArgumentParser:
     # dead letters only happen where faults do: default to the faulty grid
     failures.set_defaults(func=cmd_report_failures, testbed="faulty")
 
+    dataflow = sub.add_parser(
+        "report-dataflow",
+        help="byte-accounted data plane: top-talker links/services, "
+        "per-link bandwidth sparklines, purpose breakdown",
+    )
+    add_run_options(dataflow)
+    dataflow.add_argument(
+        "--top", type=int, default=10, help="links/services rows to list"
+    )
+    dataflow.add_argument(
+        "--dot", metavar="PATH",
+        help="also export the site-to-site data-flow graph as Graphviz DOT",
+    )
+    dataflow.set_defaults(func=cmd_report_dataflow)
+
     record = sub.add_parser(
         "record-run", help="run one enactment and append its summary to a store"
     )
@@ -951,6 +1018,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget-throughput", type=float, default=None,
         help="when set, allowed relative loss of perf.events_per_sec / growth "
         "of perf.us_per_invocation (off by default: wall-clock noise)",
+    )
+    compare_runs.add_argument(
+        "--budget-bytes", type=float, default=None,
+        help="when set, allowed relative growth of bytes.total and "
+        "bytes.enactor_moved (byte counters are deterministic, so 0.0 "
+        "is a sound gate; off by default)",
     )
     compare_runs.add_argument(
         "--min-seconds", type=float, default=1.0,

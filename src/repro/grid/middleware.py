@@ -26,7 +26,8 @@ which the experiment harness mines for overhead/makespan statistics.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 from repro.grid.broker import ResourceBroker
 from repro.grid.faults import FaultModel
@@ -47,7 +48,33 @@ from repro.observability.spans import Span
 from repro.sim.engine import Engine, Event
 from repro.util.rng import RandomStreams
 
-__all__ = ["Grid", "SubmissionHandle"]
+__all__ = ["Grid", "SubmissionHandle", "TransferContext"]
+
+#: the purposes a data-plane transfer can serve (see TransferContext)
+TRANSFER_PURPOSES = ("stage-in", "stage-out", "intermediate", "cache-refill")
+
+
+@dataclass(frozen=True)
+class TransferContext:
+    """What the data plane knows about the transfer it is timing.
+
+    The raw :class:`~repro.grid.transfer.NetworkModel` observer only
+    sees ``(src, dst, size, seconds)``; the grid publishes this context
+    on :attr:`Grid.transfer_context` for the duration of each
+    ``transfer_time`` evaluation so observers (the data-flow collector,
+    the grid's own metrics hook) can attribute the bytes — which GFN
+    moved, why (``stage-in`` of a primary input, ``intermediate``
+    stage-in of an enactor-minted file, ``stage-out`` of a produced
+    file, ``cache-refill`` of a file re-advertised from the result
+    cache), and on behalf of which job / tenant / run.
+    """
+
+    purpose: str
+    gfn: str
+    job_id: Optional[int] = None
+    service: Optional[str] = None
+    tenant: Optional[str] = None
+    run: Optional[str] = None
 
 
 class SubmissionHandle:
@@ -135,12 +162,18 @@ class Grid:
         self.profiler = None
         #: job_id -> currently open job.attempt span (CE staging parents here)
         self._attempt_spans: Dict[int, Span] = {}
-        # Observational hooks (only installed when unclaimed; they check
-        # the bus at call time, so wiring instrumentation later works).
-        if self.network.on_transfer is None:
-            self.network.on_transfer = self._observe_transfer
-        if self.catalog.on_register is None:
-            self.catalog.on_register = self._observe_register
+        #: published attribution for the transfer currently being timed
+        #: (see TransferContext); None outside stage-in/out evaluations
+        self.transfer_context: Optional[TransferContext] = None
+        #: GFNs minted by job stage-out (enactor-produced intermediates)
+        self._minted_gfns: Set[str] = set()
+        #: GFNs re-advertised from the result cache (warm-run refills)
+        self._refill_gfns: Set[str] = set()
+        # Observational hooks (multicast: they compose with any observer
+        # a user installed before or installs after; they check the bus
+        # at call time, so wiring instrumentation later works).
+        self.network.add_observer(self._observe_transfer)
+        self.catalog.add_observer(self._observe_register)
         total_slots = 0.0
         for ce in self.computing_elements:
             capacity = ce.total_slots
@@ -160,21 +193,71 @@ class Grid:
         """The SE at *site_name*, or None if that site has no storage."""
         return self._storage_by_site.get(site_name)
 
-    def add_input_file(self, file: LogicalFile, site_name: Optional[str] = None) -> None:
-        """Register an input file replica on a storage element."""
+    def add_input_file(
+        self,
+        file: LogicalFile,
+        site_name: Optional[str] = None,
+        *,
+        cache_refill: bool = False,
+    ) -> None:
+        """Register an input file replica on a storage element.
+
+        ``cache_refill=True`` marks the file as re-advertised from a
+        result cache (the enactor rehydrating a warm hit's outputs onto
+        a fresh grid): later stage-ins of it are accounted under the
+        ``cache-refill`` purpose instead of ``stage-in``.
+        """
         target_site = site_name if site_name is not None else self.default_site.name
         se = self.storage_at(target_site)
         if se is None:
             raise ValueError(f"no storage element at site {target_site!r}")
+        if cache_refill:
+            self._refill_gfns.add(file.gfn)
         self.catalog.register(file, se)
 
-    def stage_in_time(self, gfn: str, site: str) -> float:
-        """Seconds to pull *gfn* from its closest replica to *site*."""
+    def _stage_in_purpose(self, gfn: str) -> str:
+        if gfn in self._refill_gfns:
+            return "cache-refill"
+        if gfn in self._minted_gfns:
+            return "intermediate"
+        return "stage-in"
+
+    def _transfer_attribution(
+        self, purpose: str, gfn: str, record: Optional[JobRecord]
+    ) -> TransferContext:
+        if record is None:
+            return TransferContext(purpose=purpose, gfn=gfn)
+        tags = record.description.tags
+        return TransferContext(
+            purpose=purpose,
+            gfn=gfn,
+            job_id=record.job_id,
+            service=str(tags.get("service", record.description.owner)),
+            tenant=(str(tags["tenant"]) if "tenant" in tags else None),
+            run=(str(tags["run"]) if "run" in tags else None),
+        )
+
+    def stage_in_time(
+        self, gfn: str, site: str, record: Optional[JobRecord] = None
+    ) -> float:
+        """Seconds to pull *gfn* from its closest replica to *site*.
+
+        *record* (the job staging the file) attributes the transfer in
+        the published :attr:`transfer_context`.
+        """
         file = self.catalog.lookup(gfn)
         replica = self.catalog.closest_replica(gfn, site)
-        return self.network.transfer_time(replica.site, site, file.size)
+        self.transfer_context = self._transfer_attribution(
+            self._stage_in_purpose(gfn), gfn, record
+        )
+        try:
+            return self.network.transfer_time(replica.site, site, file.size)
+        finally:
+            self.transfer_context = None
 
-    def stage_out_time(self, file: LogicalFile, site: str) -> float:
+    def stage_out_time(
+        self, file: LogicalFile, site: str, record: Optional[JobRecord] = None
+    ) -> float:
         """Seconds to push a produced *file* from *site* to its SE.
 
         Outputs go to the local SE when the site has one (LAN cost),
@@ -182,13 +265,18 @@ class Grid:
         """
         se = self.storage_at(site)
         target_site = se.site if se is not None else self.default_site.name
-        return self.network.transfer_time(site, target_site, file.size)
+        self.transfer_context = self._transfer_attribution("stage-out", file.gfn, record)
+        try:
+            return self.network.transfer_time(site, target_site, file.size)
+        finally:
+            self.transfer_context = None
 
     def register_output(self, file: LogicalFile, site: str) -> None:
         """Register a freshly produced file on the chosen SE."""
         se = self.storage_at(site)
         if se is None:
             se = self.default_site.storage_element
+        self._minted_gfns.add(file.gfn)
         self.catalog.register(file, se)
 
     # -- instrumentation hooks ---------------------------------------------
@@ -196,9 +284,22 @@ class Grid:
         bus = self.instrumentation
         if bus is None:
             return
-        bus.metrics.counter("grid.network.transfers").inc()
-        bus.metrics.counter("grid.network.bytes").inc(size)
+        counter = bus.metrics.counter
+        counter("grid.network.transfers").inc()
+        counter("grid.network.bytes").inc(size)
         bus.metrics.histogram("grid.network.transfer_seconds").observe(seconds)
+        # Data-plane byte ledger: everything the middleware moves
+        # site-to-site is "peer moved" (it never passes through the
+        # enactor host), split by purpose and by directed link so every
+        # runstore row carries bytes.* counters without any collector
+        # attached.  Purpose keys: bytes.stage_in / bytes.stage_out /
+        # bytes.intermediate / bytes.cache_refill.
+        context = self.transfer_context
+        purpose = context.purpose if context is not None else "stage-in"
+        counter("bytes.peer_moved").inc(size)
+        counter("bytes.total").inc(size)
+        counter(f"bytes.{purpose.replace('-', '_')}").inc(size)
+        counter(f"bytes.link.{src}.{dst}").inc(size)
 
     def _observe_register(self, file: LogicalFile, element: StorageElement) -> None:
         bus = self.instrumentation

@@ -238,12 +238,14 @@ class ComputingElement:
             bus = grid.instrumentation if grid is not None else None
 
             # Stage in: pull every input file from its closest replica.
+            # Byte totals accumulate as ints (LogicalFile sizes are
+            # interned): per-link sums stay equal to global totals.
             stage_in = 0.0
-            stage_in_bytes = 0.0
+            stage_in_bytes = 0
             stage_in_start = engine.now
             if grid is not None:
                 for gfn in record.description.input_files:
-                    stage_in += grid.stage_in_time(gfn, self.site)
+                    stage_in += grid.stage_in_time(gfn, self.site, record)
                     stage_in_bytes += grid.catalog.lookup(gfn).size
             if stage_in > 0:
                 yield engine.timeout(stage_in)
@@ -276,11 +278,11 @@ class ComputingElement:
 
             # Stage out: push and register produced files.
             stage_out = 0.0
-            stage_out_bytes = 0.0
+            stage_out_bytes = 0
             stage_out_start = engine.now
             if grid is not None:
                 for produced in record.description.output_files:
-                    stage_out += grid.stage_out_time(produced, self.site)
+                    stage_out += grid.stage_out_time(produced, self.site, record)
                     stage_out_bytes += produced.size
             if stage_out > 0:
                 yield engine.timeout(stage_out)

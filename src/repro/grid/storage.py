@@ -34,16 +34,25 @@ class UnknownFileError(KeyError):
 
 @dataclass(frozen=True)
 class LogicalFile:
-    """A grid file: logical name (GFN) + size in bytes."""
+    """A grid file: logical name (GFN) + size in bytes.
+
+    Sizes are interned as **ints** at construction (fractional byte
+    counts from calibration arithmetic are rounded): byte totals
+    accumulated across thousands of transfers stay integer-exact, so
+    per-link sums equal global totals to the byte — the invariant the
+    data-flow accounting is gated on.
+    """
 
     gfn: str
-    size: float = 1 * MEBIBYTE
+    size: int = 1 * MEBIBYTE
 
     def __post_init__(self) -> None:
         if not self.gfn:
             raise ValueError("LogicalFile needs a non-empty GFN")
         if self.size < 0:
             raise ValueError(f"size must be >= 0, got {self.size}")
+        if not isinstance(self.size, int):
+            object.__setattr__(self, "size", int(round(float(self.size))))
 
     @staticmethod
     def fresh(prefix: str, size: float) -> "LogicalFile":
@@ -84,9 +93,28 @@ class ReplicaCatalog:
     def __init__(self) -> None:
         self._replicas: Dict[str, List[StorageElement]] = {}
         self._meta: Dict[str, LogicalFile] = {}
-        #: observer called as ``on_register(file, element)`` after every
-        #: registration; the grid points it at its instrumentation bus.
-        self.on_register: Optional[Callable[[LogicalFile, StorageElement], None]] = None
+        #: observers called as ``(file, element)`` after every
+        #: registration, in add order; the grid registers its metrics
+        #: hook here and a data-flow collector adds its own.
+        self.observers: List[Callable[[LogicalFile, StorageElement], None]] = []
+
+    def add_observer(
+        self, observer: Callable[[LogicalFile, StorageElement], None]
+    ) -> Callable[[LogicalFile, StorageElement], None]:
+        """Register a registration observer (multicast; fires in add order)."""
+        self.observers.append(observer)
+        return observer
+
+    @property
+    def on_register(self) -> Optional[Callable[[LogicalFile, StorageElement], None]]:
+        """Single-callable compatibility view (see ``NetworkModel.on_transfer``)."""
+        return self.observers[0] if self.observers else None
+
+    @on_register.setter
+    def on_register(
+        self, observer: Optional[Callable[[LogicalFile, StorageElement], None]]
+    ) -> None:
+        self.observers[:] = [] if observer is None else [observer]
 
     def register(self, file: LogicalFile, element: StorageElement) -> None:
         """Register (or add a replica of) *file* on *element*."""
@@ -101,8 +129,8 @@ class ReplicaCatalog:
         if element not in replicas:
             replicas.append(element)
         element.add(file.gfn)
-        if self.on_register is not None:
-            self.on_register(file, element)
+        for observer in self.observers:
+            observer(file, element)
 
     def lookup(self, gfn: str) -> LogicalFile:
         """Return the :class:`LogicalFile` metadata for *gfn*."""

@@ -19,11 +19,14 @@ and the saving scales with data size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.util.units import MEBIBYTE
 
-__all__ = ["LinkParameters", "NetworkModel"]
+__all__ = ["LinkParameters", "NetworkModel", "TransferObserver"]
+
+#: observer signature: ``(src_site, dst_site, size_bytes, seconds)``
+TransferObserver = Callable[[str, str, float, float], None]
 
 
 @dataclass(frozen=True)
@@ -57,11 +60,14 @@ class NetworkModel:
         default_factory=lambda: LinkParameters(latency=2.0, bandwidth=5 * MEBIBYTE)
     )
     overrides: Dict[Tuple[str, str], LinkParameters] = field(default_factory=dict)
-    #: observer called as ``on_transfer(src_site, dst_site, size, seconds)``
-    #: for every transfer-time evaluation; the grid points it at its
-    #: instrumentation bus.  Purely observational — no timing impact.
-    on_transfer: Optional[Callable[[str, str, float, float], None]] = field(
-        default=None, repr=False, compare=False
+    #: observers called as ``(src_site, dst_site, size, seconds)`` for
+    #: every transfer-time evaluation, in registration order.  The grid
+    #: registers its metrics hook here and a
+    #: :class:`~repro.observability.dataflow.DataFlowCollector` adds its
+    #: own — they compose instead of replacing each other.  Purely
+    #: observational — no timing impact.
+    observers: List[TransferObserver] = field(
+        default_factory=list, repr=False, compare=False
     )
 
     @classmethod
@@ -77,11 +83,38 @@ class NetworkModel:
             return override
         return self.lan if src_site == dst_site else self.wan
 
+    def add_observer(self, observer: TransferObserver) -> TransferObserver:
+        """Register a transfer observer (multicast; fires in add order)."""
+        self.observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: TransferObserver) -> None:
+        """Unregister a previously added observer (no-op if absent)."""
+        try:
+            self.observers.remove(observer)
+        except ValueError:
+            pass
+
+    @property
+    def on_transfer(self) -> Optional[TransferObserver]:
+        """Single-callable compatibility view of the observer list.
+
+        Reading yields the first observer (None when empty); assigning
+        *replaces* the whole list — the historical single-slot
+        semantics.  New code should use :meth:`add_observer`, which
+        composes instead of clobbering.
+        """
+        return self.observers[0] if self.observers else None
+
+    @on_transfer.setter
+    def on_transfer(self, observer: Optional[TransferObserver]) -> None:
+        self.observers[:] = [] if observer is None else [observer]
+
     def transfer_time(self, src_site: str, dst_site: str, size: float) -> float:
         """Seconds to move *size* bytes from *src_site* to *dst_site*."""
         seconds = self.link(src_site, dst_site).transfer_time(size)
-        if self.on_transfer is not None:
-            self.on_transfer(src_site, dst_site, size, seconds)
+        for observer in self.observers:
+            observer(src_site, dst_site, size, seconds)
         return seconds
 
     def set_link(self, src_site: str, dst_site: str, params: LinkParameters) -> None:

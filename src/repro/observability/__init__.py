@@ -51,7 +51,15 @@ Pieces (all dependency-free, all in simulated time):
 * :mod:`~repro.observability.profiling` — the toggleable hot-path
   profiler: nested scope accounting over an injectable clock, churn
   counters, flamegraph export (collapsed / speedscope) and the
-  per-component ``compare-runs`` regression attribution.
+  per-component ``compare-runs`` regression attribution;
+* :mod:`~repro.observability.dataflow` — the data plane's ledger: the
+  :class:`DataFlowCollector` accounting every transfer as a typed,
+  attributed record (purpose, owning service/tenant/run), per-link
+  bandwidth timelines and sparklines, the deterministic DOT data-flow
+  graph with strict parser, and the always-on byte counters
+  (``bytes.enactor_moved`` vs ``bytes.peer_moved``,
+  ``bytes.intermediate_saved_by_grouping``) behind the
+  ``compare-runs --budget-bytes`` gate.
 
 Usage::
 
@@ -85,6 +93,19 @@ from repro.observability.bus import (
     JsonlExporter,
     Subscriber,
     chrome_trace_json,
+)
+from repro.observability.dataflow import (
+    TRANSFER_PURPOSES,
+    DataFlowCollector,
+    DotParseError,
+    TransferRecord,
+    bandwidth_profile,
+    dataflow_dot,
+    format_dataflow_report,
+    link_activity,
+    parse_dot,
+    sample_profile,
+    sparkline,
 )
 from repro.observability.critical_path import (
     CriticalPathDiff,
@@ -222,4 +243,15 @@ __all__ = [
     "ProfilerError",
     "TickClock",
     "wall_clock",
+    "TRANSFER_PURPOSES",
+    "TransferRecord",
+    "DataFlowCollector",
+    "dataflow_dot",
+    "parse_dot",
+    "DotParseError",
+    "link_activity",
+    "bandwidth_profile",
+    "sample_profile",
+    "sparkline",
+    "format_dataflow_report",
 ]

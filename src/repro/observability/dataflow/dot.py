@@ -1,0 +1,141 @@
+"""The data-flow graph as Graphviz DOT, plus a strict parser.
+
+One node per site, one edge per directed link that carried bytes.  Edge
+attributes carry the exact integer byte count (``bytes``), the number
+of transfers (``transfers``) and the per-service breakdown
+(``services="crestLines=123,..."``), so the graph is lossless with
+respect to the per-link aggregation — the paired :func:`parse_dot`
+round-trips it, and CI uses the parser to reject malformed exports.
+
+Output is deterministic: sites and edges are emitted sorted, byte
+counts are integers, and no wall-clock data is embedded — same-seed
+runs produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.observability.dataflow.collector import DataFlowCollector
+from repro.util.units import format_size
+
+__all__ = ["dataflow_dot", "parse_dot", "DotParseError"]
+
+
+class DotParseError(ValueError):
+    """A DOT document that does not match the exporter's grammar."""
+
+
+def _quote(name: str) -> str:
+    if '"' in name or "\\" in name:
+        raise ValueError(f"site name {name!r} cannot be DOT-quoted")
+    return f'"{name}"'
+
+
+def dataflow_dot(collector: DataFlowCollector, name: str = "dataflow") -> str:
+    """Render the collector's per-link aggregation as a DOT digraph."""
+    link_bytes = collector.link_bytes()
+    counts = collector.link_transfer_counts()
+    services = collector.link_service_bytes()
+    sites = sorted({site for link in link_bytes for site in link})
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for site in sites:
+        lines.append(f"  {_quote(site)} [shape=box];")
+    for (src, dst), total in link_bytes.items():
+        breakdown = ",".join(
+            f"{service}={amount}"
+            for service, amount in services.get((src, dst), {}).items()
+        )
+        lines.append(
+            f"  {_quote(src)} -> {_quote(dst)} ["
+            f'label="{format_size(total)}", '
+            f'bytes="{total}", '
+            f'transfers="{counts.get((src, dst), 0)}", '
+            f'services="{breakdown}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+_HEADER = re.compile(r"^digraph ([A-Za-z_][A-Za-z0-9_]*) \{$")
+_NODE = re.compile(r'^  "([^"\\]+)" \[shape=box\];$')
+_EDGE = re.compile(r'^  "([^"\\]+)" -> "([^"\\]+)" \[(.*)\];$')
+_ATTR = re.compile(r'([a-z]+)="([^"]*)"')
+
+
+def parse_dot(text: str) -> Dict[str, object]:
+    """Strictly parse a :func:`dataflow_dot` document.
+
+    Returns ``{"name", "nodes", "edges"}`` where each edge is
+    ``(src, dst, attrs)`` with ``bytes``/``transfers`` as ints and
+    ``services`` as a ``{service: bytes}`` dict.  Raises
+    :class:`DotParseError` on any deviation from the exporter's
+    grammar — unknown lines, duplicate nodes/edges, edges referencing
+    undeclared sites, non-integer byte counts, or a missing trailing
+    newline.
+    """
+    if not text.endswith("\n"):
+        raise DotParseError("document must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines:
+        raise DotParseError("empty document")
+    header = _HEADER.match(lines[0])
+    if header is None:
+        raise DotParseError(f"bad header: {lines[0]!r}")
+    if lines[-1] != "}":
+        raise DotParseError(f"bad footer: {lines[-1]!r}")
+    body = lines[1:-1]
+    if not body or body[0] != "  rankdir=LR;":
+        raise DotParseError("missing rankdir line")
+    nodes: List[str] = []
+    edges: List[Tuple[str, str, Dict[str, object]]] = []
+    seen_edges = set()
+    for line in body[1:]:
+        node = _NODE.match(line)
+        if node is not None:
+            if edges:
+                raise DotParseError("node declared after an edge")
+            if node.group(1) in nodes:
+                raise DotParseError(f"duplicate node {node.group(1)!r}")
+            nodes.append(node.group(1))
+            continue
+        edge = _EDGE.match(line)
+        if edge is None:
+            raise DotParseError(f"unparseable line: {line!r}")
+        src, dst, raw_attrs = edge.groups()
+        for site in (src, dst):
+            if site not in nodes:
+                raise DotParseError(f"edge references undeclared site {site!r}")
+        if (src, dst) in seen_edges:
+            raise DotParseError(f"duplicate edge {src!r} -> {dst!r}")
+        seen_edges.add((src, dst))
+        attrs: Dict[str, object] = dict(_ATTR.findall(raw_attrs))
+        for key in ("label", "bytes", "transfers", "services"):
+            if key not in attrs:
+                raise DotParseError(f"edge {src!r} -> {dst!r} missing {key!r}")
+        try:
+            attrs["bytes"] = int(attrs["bytes"])  # type: ignore[arg-type]
+            attrs["transfers"] = int(attrs["transfers"])  # type: ignore[arg-type]
+        except ValueError:
+            raise DotParseError(
+                f"edge {src!r} -> {dst!r} has non-integer counts"
+            ) from None
+        services: Dict[str, int] = {}
+        raw_services = str(attrs["services"])
+        if raw_services:
+            for part in raw_services.split(","):
+                service, _, amount = part.rpartition("=")
+                if not service or not amount.isdigit():
+                    raise DotParseError(f"bad service breakdown entry {part!r}")
+                if service in services:
+                    raise DotParseError(f"duplicate service {service!r} on an edge")
+                services[service] = int(amount)
+        if services and sum(services.values()) != attrs["bytes"]:
+            raise DotParseError(
+                f"edge {src!r} -> {dst!r}: service breakdown does not sum "
+                f"to the edge total"
+            )
+        attrs["services"] = services
+        edges.append((src, dst, attrs))
+    return {"name": header.group(1), "nodes": nodes, "edges": edges}

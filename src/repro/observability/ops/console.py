@@ -16,6 +16,7 @@ from typing import Iterable, List, Mapping, Optional
 from repro.observability.alerts import Alert, alert_sort_key
 from repro.observability.ops.rollup import TenantRollup
 from repro.observability.ops.slo import SLOStatus
+from repro.util.units import format_size
 
 __all__ = ["render_top", "CLEAR_SCREEN"]
 
@@ -35,6 +36,8 @@ _COLUMNS = (
     ("FAIL", 5, ">"),
     ("JOBS", 6, ">"),
     ("CPU-H", 7, ">"),
+    ("B-IN", 9, ">"),
+    ("B-OUT", 9, ">"),
     ("WAITP95", 8, ">"),
     ("ETA", 8, ">"),
     ("HEALTH", 6, ">"),
@@ -97,6 +100,8 @@ def _tenant_row(
             str(rollup.failed + rollup.cancelled),
             str(rollup.jobs_completed + rollup.jobs_failed),
             f"{rollup.cpu_seconds / 3600:.1f}",
+            format_size(rollup.bytes_in) if rollup.bytes_in else "-",
+            format_size(rollup.bytes_out) if rollup.bytes_out else "-",
             _duration(rollup.queue_wait_p95() if rollup.admission_waits else None),
             _duration(eta),
             health,

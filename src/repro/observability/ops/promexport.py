@@ -131,6 +131,10 @@ def render_prometheus(
         "repro_tenant_cpu_seconds_total", "counter",
         "Simulated CPU-seconds consumed per tenant (job run phases).",
     )
+    moved = family(
+        "repro_tenant_bytes_total", "counter",
+        "Data-plane bytes staged per tenant by direction.",
+    )
     usage = family(
         "repro_tenant_fair_share_usage", "gauge",
         "Decayed fair-share usage per tenant at the last decision.",
@@ -163,6 +167,8 @@ def render_prometheus(
         jobs.add({**labels, "outcome": "failed"}, rollup.jobs_failed)
         invocations.add(labels, rollup.invocations)
         cpu.add(labels, rollup.cpu_seconds)
+        moved.add({**labels, "direction": "in"}, rollup.bytes_in)
+        moved.add({**labels, "direction": "out"}, rollup.bytes_out)
         usage.add(labels, rollup.usage)
         weight.add(labels, rollup.weight)
         blocks.add(labels, rollup.quota_blocks)

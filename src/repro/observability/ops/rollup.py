@@ -57,6 +57,9 @@ class TenantRollup:
     jobs_completed: int = 0
     jobs_failed: int = 0
     cpu_seconds: float = 0.0
+    #: data-plane bytes the tenant's jobs staged in / out
+    bytes_in: int = 0
+    bytes_out: int = 0
     #: current levels (from the audit state machine)
     queued: int = 0
     running: int = 0
@@ -107,6 +110,8 @@ class TenantRollup:
             "jobs_completed": self.jobs_completed,
             "jobs_failed": self.jobs_failed,
             "cpu_seconds": round(self.cpu_seconds, 6),
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
             "admission_waits": [round(w, 6) for w in self.admission_waits],
             "grid_queue_waits": [round(w, 6) for w in self.grid_queue_waits],
             "makespans": [round(m, 6) for m in self.makespans],
@@ -189,6 +194,12 @@ class ControlPlaneTelemetry(Subscriber):
         elif name == "job.queue":
             for rollup in self._buckets(span):
                 rollup.grid_queue_waits.append(span.duration)
+        elif name == "job.stage_in":
+            for rollup in self._buckets(span):
+                rollup.bytes_in += int(span.attributes.get("bytes", 0))
+        elif name == "job.stage_out":
+            for rollup in self._buckets(span):
+                rollup.bytes_out += int(span.attributes.get("bytes", 0))
 
     # -- audit side ------------------------------------------------------
     def on_audit(self, event: AuditEvent) -> None:

@@ -202,6 +202,16 @@ def summarize_run(
     counters: Dict[str, float] = {}
     if result.metrics is not None:
         counters = {k: float(v) for k, v in sorted(result.metrics.counters.items())}
+    # The data-plane ledger is part of the row schema: zero-fill it so
+    # every summary carries the enactor-bytes-moved yardstick even when
+    # a run moved nothing (or ran without instrumentation).
+    for bytes_key in (
+        "bytes.total",
+        "bytes.peer_moved",
+        "bytes.enactor_moved",
+        "bytes.intermediate_saved_by_grouping",
+    ):
+        counters.setdefault(bytes_key, 0.0)
     return RunSummary(
         workflow=result.workflow_name,
         policy=result.config.label,
@@ -354,6 +364,12 @@ class Budgets:
     noisy for an always-on gate) bounds the relative *loss* of
     ``perf.events_per_sec`` and growth of ``perf.us_per_invocation``
     when explicitly enabled via ``compare-runs --budget-throughput``.
+    ``bytes`` (also opt-in, via ``compare-runs --budget-bytes``) bounds
+    the relative *growth* of the data-plane counters ``bytes.total``
+    and ``bytes.enactor_moved`` — the enactor-bytes-moved gate that
+    catches a change quietly routing more data through the centralized
+    enactor (ROADMAP item 4's yardstick).  Unlike ``perf.*``, byte
+    counters are simulated and deterministic, so the budget can be 0.0.
     Phases smaller than ``min_seconds`` in both runs are noise and
     never compared.
     """
@@ -365,6 +381,7 @@ class Budgets:
     jobs: float = 0.0
     alerts: float = 0.0
     throughput: Optional[float] = None
+    bytes: Optional[float] = None
     min_seconds: float = 1.0
 
 
@@ -574,6 +591,20 @@ def compare(
                 improvements,
                 deltas,
             )
+    if budgets.bytes is not None:
+        for bytes_key in ("bytes.total", "bytes.enactor_moved"):
+            if bytes_key in baseline.counters or bytes_key in candidate.counters:
+                checked.append(f"counter.{bytes_key}")
+                _check(
+                    f"counter.{bytes_key}",
+                    baseline.counters.get(bytes_key, 0.0),
+                    candidate.counters.get(bytes_key, 0.0),
+                    budgets.bytes,
+                    "relative",
+                    regressions,
+                    improvements,
+                    deltas,
+                )
     alerts_key = "monitor.alerts.total"
     if alerts_key in baseline.counters or alerts_key in candidate.counters:
         checked.append(f"counter.{alerts_key}")

@@ -101,3 +101,59 @@ class TestReplicaCatalog:
         catalog.register(LogicalFile("gfn://a"), se)
         assert list(catalog.gfns()) == ["gfn://a", "gfn://b"]
         assert len(catalog) == 2
+
+
+class TestSizeInterning:
+    def test_float_size_interned_to_int(self):
+        file = LogicalFile("gfn://x", size=7864320.0)
+        assert isinstance(file.size, int)
+        assert file.size == 7864320
+
+    def test_fractional_size_rounds(self):
+        assert LogicalFile("gfn://x", size=10.6).size == 11
+
+    def test_int_size_untouched(self):
+        assert LogicalFile("gfn://x", size=42).size == 42
+
+
+class TestReplicaSelection:
+    def test_closest_replica_unknown_file(self):
+        with pytest.raises(UnknownFileError):
+            ReplicaCatalog().closest_replica("gfn://missing", "anywhere")
+
+    def test_unknown_file_error_is_a_key_error(self):
+        # callers using dict-style handling keep working
+        with pytest.raises(KeyError):
+            ReplicaCatalog().lookup("gfn://missing")
+
+    def test_same_site_beats_lexicographically_smaller_remote(self):
+        catalog = ReplicaCatalog()
+        remote = StorageElement("se-aaa", site="far")
+        local = StorageElement("se-zzz", site="here")
+        file = LogicalFile("gfn://a")
+        catalog.register(file, remote)
+        catalog.register(file, local)
+        assert catalog.closest_replica("gfn://a", "here") is local
+
+
+class TestCatalogObservers:
+    def test_observers_fire_on_register(self):
+        catalog = ReplicaCatalog()
+        se = StorageElement("se0", site="s0")
+        seen = []
+        catalog.add_observer(lambda file, element: seen.append((file.gfn, element.name)))
+        catalog.register(LogicalFile("gfn://a"), se)
+        assert seen == [("gfn://a", "se0")]
+
+    def test_on_register_compat_single_slot(self):
+        catalog = ReplicaCatalog()
+        se = StorageElement("se0", site="s0")
+        assert catalog.on_register is None
+        first, second = [], []
+        catalog.on_register = lambda f, e: first.append(f.gfn)
+        catalog.register(LogicalFile("gfn://a"), se)
+        catalog.on_register = lambda f, e: second.append(f.gfn)
+        catalog.register(LogicalFile("gfn://b"), se)
+        assert first == ["gfn://a"] and second == ["gfn://b"]
+        catalog.on_register = None
+        assert catalog.observers == []

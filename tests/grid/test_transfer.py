@@ -53,3 +53,51 @@ class TestNetworkModel:
         model = NetworkModel()
         assert model.link("x", "x") is model.lan
         assert model.link("x", "y") is model.wan
+
+
+class TestTransferObservers:
+    def test_observers_fire_in_registration_order(self):
+        model = NetworkModel.instantaneous()
+        calls = []
+        model.add_observer(lambda *args: calls.append(("first", args)))
+        model.add_observer(lambda *args: calls.append(("second", args)))
+        seconds = model.transfer_time("a", "b", 100)
+        assert [name for name, _ in calls] == ["first", "second"]
+        assert calls[0][1] == ("a", "b", 100, seconds)
+        assert calls[0][1] == calls[1][1]
+
+    def test_add_observer_returns_the_observer(self):
+        model = NetworkModel()
+        def observer(*args):
+            pass
+        assert model.add_observer(observer) is observer
+
+    def test_remove_observer(self):
+        model = NetworkModel.instantaneous()
+        calls = []
+        observer = model.add_observer(lambda *args: calls.append(args))
+        model.remove_observer(observer)
+        model.transfer_time("a", "b", 1)
+        assert calls == []
+        model.remove_observer(observer)  # removing twice is a no-op
+
+    def test_on_transfer_compat_single_slot(self):
+        """The historical single-callable hook still works as before."""
+        model = NetworkModel.instantaneous()
+        assert model.on_transfer is None
+        first, second = [], []
+        model.on_transfer = lambda *args: first.append(args)
+        model.transfer_time("a", "b", 1)
+        # assigning replaces (old semantics), never accumulates
+        model.on_transfer = lambda *args: second.append(args)
+        model.transfer_time("a", "b", 1)
+        assert len(first) == 1 and len(second) == 1
+        assert model.on_transfer is not None
+        model.on_transfer = None
+        assert model.observers == []
+
+    def test_on_transfer_getter_reads_first_observer(self):
+        model = NetworkModel()
+        observer = model.add_observer(lambda *args: None)
+        model.add_observer(lambda *args: None)
+        assert model.on_transfer is observer

@@ -82,3 +82,18 @@ class TestRenderTop:
 
     def test_clear_screen_is_ansi(self):
         assert CLEAR_SCREEN.startswith("\x1b[")
+
+
+class TestDataPlaneColumns:
+    def test_byte_columns_render(self):
+        frame = render_top([
+            TenantRollup(tenant="alice", bytes_in=2 * 1024 * 1024, bytes_out=1024)
+        ])
+        assert "B-IN" in frame and "B-OUT" in frame
+        assert "2.0 MiB" in frame
+        assert "1.0 KiB" in frame
+
+    def test_zero_bytes_render_as_dash(self):
+        frame = render_top([TenantRollup(tenant="idle")])
+        row = next(line for line in frame.splitlines() if line.startswith("idle"))
+        assert " - " in row or row.endswith("-")

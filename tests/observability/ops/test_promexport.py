@@ -179,3 +179,18 @@ class TestHTTPEndpoint:
             first = urllib.request.urlopen(url, timeout=5).read()
             second = urllib.request.urlopen(url, timeout=5).read()
         assert first != second
+
+
+class TestTenantBytesFamily:
+    def test_bytes_exported_per_direction(self):
+        rollup = TenantRollup(tenant="alice", bytes_in=2048, bytes_out=1024)
+        text = render_prometheus([rollup])
+        parsed = parse_prometheus(text)
+        assert parsed["families"]["repro_tenant_bytes_total"] == "counter"
+        samples = {
+            (labels["tenant"], labels["direction"]): value
+            for name, labels, value in parsed["samples"]
+            if name == "repro_tenant_bytes_total"
+        }
+        assert samples[("alice", "in")] == 2048
+        assert samples[("alice", "out")] == 1024

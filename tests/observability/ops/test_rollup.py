@@ -205,3 +205,31 @@ class TestRollupsFromRecords:
 
     def test_empty_records_yield_no_rollups(self):
         assert rollups_from_records([]) == []
+
+
+class TestDataPlaneBytes:
+    def test_stage_spans_fold_into_byte_totals(self):
+        telemetry = ControlPlaneTelemetry()
+        telemetry.replay([
+            span("job.stage_in", "grid", 0.0, 1.0, tenant="alice", bytes=1024),
+            span("job.stage_in", "grid", 1.0, 2.0, tenant="alice", bytes=512),
+            span("job.stage_out", "grid", 2.0, 3.0, tenant="bob", bytes=256),
+        ])
+        assert telemetry.tenant("alice").bytes_in == 1536
+        assert telemetry.tenant("alice").bytes_out == 0
+        assert telemetry.tenant("bob").bytes_out == 256
+        # per-tenant sums equal the independently accumulated global
+        assert telemetry.totals().bytes_in == 1536
+        assert telemetry.totals().bytes_out == 256
+
+    def test_untagged_stage_spans_land_in_the_untagged_bucket(self):
+        telemetry = ControlPlaneTelemetry()
+        telemetry.replay([span("job.stage_in", "grid", 0.0, 1.0, bytes=64)])
+        assert telemetry.tenant(ControlPlaneTelemetry.UNTAGGED).bytes_in == 64
+        assert telemetry.totals().bytes_in == 64
+
+    def test_bytes_serialize_in_to_dict(self):
+        rollup = TenantRollup(tenant="t", bytes_in=10, bytes_out=20)
+        payload = rollup.to_dict()
+        assert payload["bytes_in"] == 10
+        assert payload["bytes_out"] == 20

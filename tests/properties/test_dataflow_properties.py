@@ -1,0 +1,80 @@
+"""Property-based tests for data-plane byte accounting.
+
+The accounting invariant the whole layer rests on: byte counts are
+interned integers, so every aggregation (per-link, per-service,
+per-purpose) sums *exactly* to the global total — no float drift, ever.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grid.storage import LogicalFile
+from repro.grid.transfer import NetworkModel
+from repro.observability.dataflow import TRANSFER_PURPOSES, DataFlowCollector, TransferRecord
+
+sites = st.sampled_from(["site00", "site01", "site02", "site03"])
+
+records = st.builds(
+    TransferRecord,
+    time=st.floats(0.0, 1e6, allow_nan=False),
+    src=sites,
+    dst=sites,
+    gfn=st.text(min_size=1, max_size=8),
+    bytes=st.integers(0, 2**53),
+    seconds=st.floats(0.0, 1e4, allow_nan=False),
+    purpose=st.sampled_from(TRANSFER_PURPOSES),
+    service=st.one_of(st.none(), st.sampled_from(["svcA", "svcB", "svcC"])),
+)
+
+
+def collector_of(items):
+    collector = DataFlowCollector()
+    collector.records.extend(items)
+    return collector
+
+
+class TestExactAggregation:
+    @given(st.lists(records, max_size=50))
+    def test_link_sums_equal_global_total(self, items):
+        collector = collector_of(items)
+        assert sum(collector.link_bytes().values()) == collector.total_bytes
+        assert collector.total_bytes == sum(r.bytes for r in items)
+
+    @given(st.lists(records, max_size=50))
+    def test_service_and_purpose_sums_equal_global_total(self, items):
+        collector = collector_of(items)
+        assert sum(collector.service_bytes().values()) == collector.total_bytes
+        assert sum(collector.purpose_bytes().values()) == collector.total_bytes
+
+    @given(st.lists(records, max_size=50))
+    def test_service_breakdown_tiles_each_link(self, items):
+        collector = collector_of(items)
+        link_bytes = collector.link_bytes()
+        for link, services in collector.link_service_bytes().items():
+            assert sum(services.values()) == link_bytes[link]
+
+    @given(st.lists(records, max_size=50))
+    def test_transfer_counts_tile_the_record_list(self, items):
+        collector = collector_of(items)
+        assert sum(collector.link_transfer_counts().values()) == len(items)
+
+
+class TestIntInterning:
+    @given(st.integers(0, 2**53))
+    def test_integer_sizes_survive_logical_file(self, size):
+        assert LogicalFile("gfn://x", size=size).size == size
+
+    @given(st.floats(0.0, 2**40, allow_nan=False))
+    def test_float_sizes_intern_to_nearest_int(self, size):
+        interned = LogicalFile("gfn://x", size=size).size
+        assert isinstance(interned, int)
+        assert abs(interned - size) <= 0.5
+
+    @given(st.lists(st.tuples(sites, sites, st.integers(0, 2**40)), max_size=30))
+    def test_observed_network_bytes_sum_exactly(self, transfers):
+        model = NetworkModel.instantaneous()
+        collector = DataFlowCollector().watch_network(model)
+        for src, dst, size in transfers:
+            model.transfer_time(src, dst, size)
+        assert collector.total_bytes == sum(size for _, _, size in transfers)
+        assert sum(collector.link_bytes().values()) == collector.total_bytes
