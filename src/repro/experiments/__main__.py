@@ -16,6 +16,8 @@ Usage::
                                         [--testbed faulty] [--strict]
     python -m repro.experiments report-health [--trace run.jsonl]
                                         [--testbed faulty]
+    python -m repro.experiments report-durability [--testbed chaotic]
+                                        [--no-repair] [--strict]
     python -m repro.experiments report-trace run.jsonl [--policy SP+DP]
     python -m repro.experiments report-critical-path [--config SP+DP]
                                         [--trace run.jsonl]
@@ -173,7 +175,7 @@ def cmd_diagrams(args: argparse.Namespace) -> int:
 
 def _make_testbed(args: argparse.Namespace, engine, streams):
     """The grid the run-style subcommands execute on (``--testbed``)."""
-    from repro.grid.testbeds import egee_like_testbed, faulty_testbed
+    from repro.grid.testbeds import chaotic_testbed, egee_like_testbed, faulty_testbed
 
     name = getattr(args, "testbed", "egee")
     if name == "faulty":
@@ -181,6 +183,12 @@ def _make_testbed(args: argparse.Namespace, engine, streams):
         if max_attempts is not None:
             return faulty_testbed(engine, streams, max_attempts=max_attempts)
         return faulty_testbed(engine, streams)
+    if name == "chaotic":
+        kwargs = {"repair": not getattr(args, "no_repair", False)}
+        max_attempts = getattr(args, "max_attempts", None)
+        if max_attempts is not None:
+            kwargs["max_attempts"] = max_attempts
+        return chaotic_testbed(engine, streams, **kwargs)
     return egee_like_testbed(
         engine, streams, n_sites=6, workers_per_ce=40, with_background_load=False
     )
@@ -387,6 +395,54 @@ def cmd_report_failures(args: argparse.Namespace) -> int:
             )
             out.info(f"{title}: {listed}")
     if args.strict and rows:
+        return 3
+    return 0
+
+
+def cmd_report_durability(args: argparse.Namespace) -> int:
+    """Durability report for one best-effort run on the chaos testbed."""
+    from repro.apps.bronze_standard import BronzeStandardApplication
+    from repro.observability import InstrumentationBus, RunMonitor
+    from repro.observability.dataflow import DataFlowCollector
+    from repro.observability.drift import policy_key
+    from repro.observability.durability import (
+        build_durability_report,
+        format_durability_report,
+    )
+    from repro.sim.engine import Engine
+    from repro.util.rng import RandomStreams
+
+    out = cli_logger()
+    engine = Engine()
+    streams = RandomStreams(seed=args.seed)
+    grid = _make_testbed(args, engine, streams)
+    app = BronzeStandardApplication(engine, grid, streams)
+    config = _config_by_label(args.config).with_best_effort()
+    bus = InstrumentationBus()
+    collector = DataFlowCollector().attach(grid)
+    monitor = RunMonitor.attach(
+        bus, expected_items=args.pairs, policy=policy_key(config)
+    )
+    result = app.enact(config, n_pairs=args.pairs, instrumentation=bus)
+    report = build_durability_report(result, n_items=args.pairs)
+    out.info(
+        f"=== durability: {config.label}, {args.pairs} pairs, "
+        f"testbed {args.testbed}, seed {args.seed}, "
+        f"repair {'off' if getattr(args, 'no_repair', False) else 'on'} ==="
+    )
+    out.info(format_durability_report(report))
+    repair_records = [r for r in collector.records if r.purpose == "repair"]
+    if repair_records:
+        repaired = sum(r.bytes for r in repair_records)
+        out.info(
+            f"repair traffic: {len(repair_records)} transfers, {repaired} bytes"
+        )
+    flagged = monitor.alert_counts()
+    if flagged:
+        listed = ", ".join(f"{k} x{v}" for k, v in sorted(flagged.items()))
+        out.info(f"alerts: {listed}")
+    if args.strict and report.lost_items:
+        out.info("exit 3: --strict and the run lost items")
         return 3
     return 0
 
@@ -795,14 +851,21 @@ def build_parser() -> argparse.ArgumentParser:
     bronze.add_argument("--config", default="SP+DP+JG")
     bronze.add_argument("--seed", type=int, default=42)
     bronze.add_argument(
-        "--testbed", choices=["egee", "faulty"], default="egee",
-        help="grid to run on: the EGEE-like production grid or the "
-        "fault-injected monitoring testbed (default: egee)",
+        "--testbed", choices=["egee", "faulty", "chaotic"], default="egee",
+        help="grid to run on: the EGEE-like production grid, the "
+        "fault-injected monitoring testbed, or the chaos testbed with "
+        "outage schedules, transfer faults and replica repair "
+        "(default: egee)",
     )
     bronze.add_argument(
         "--max-attempts", type=int, default=None, metavar="N",
-        help="override the faulty testbed's resubmission cap "
-        "(only meaningful with --testbed faulty)",
+        help="override the faulty/chaotic testbed's resubmission cap "
+        "(only meaningful with --testbed faulty/chaotic)",
+    )
+    bronze.add_argument(
+        "--no-repair", action="store_true",
+        help="with --testbed chaotic: disable the background replica-repair "
+        "daemon (the durability ablation)",
     )
     bronze.add_argument(
         "--trace", metavar="PATH",
@@ -878,12 +941,16 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--config", default="SP+DP")
         sub_parser.add_argument("--seed", type=int, default=42)
         sub_parser.add_argument(
-            "--testbed", choices=["egee", "faulty"], default="egee",
+            "--testbed", choices=["egee", "faulty", "chaotic"], default="egee",
             help="grid to run on (default: egee)",
         )
         sub_parser.add_argument(
             "--max-attempts", type=int, default=None, metavar="N",
-            help="override the faulty testbed's resubmission cap",
+            help="override the faulty/chaotic testbed's resubmission cap",
+        )
+        sub_parser.add_argument(
+            "--no-repair", action="store_true",
+            help="with --testbed chaotic: disable background replica repair",
         )
 
     crit = sub.add_parser(
@@ -942,6 +1009,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     # dead letters only happen where faults do: default to the faulty grid
     failures.set_defaults(func=cmd_report_failures, testbed="faulty")
+
+    durability = sub.add_parser(
+        "report-durability",
+        help="data-plane durability report for one best-effort chaos run: "
+        "items delivered vs lost, repair traffic, transfer faults, alerts",
+    )
+    add_run_options(durability)
+    durability.add_argument(
+        "--strict", action="store_true",
+        help="exit 3 when the run lost any item",
+    )
+    # durability only means something where data can die: default chaotic
+    durability.set_defaults(func=cmd_report_durability, testbed="chaotic")
 
     dataflow = sub.add_parser(
         "report-dataflow",

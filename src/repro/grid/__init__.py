@@ -23,11 +23,23 @@ service parallelism and job grouping pay off — maps directly onto the
 `OverheadModel` parameters of the testbed in use.
 """
 
+from repro.grid.faults import DurabilityFaultModel, FaultModel, OutageSchedule
 from repro.grid.job import JobDescription, JobRecord, JobState
-from repro.grid.middleware import Grid, SubmissionHandle
+from repro.grid.middleware import Grid, SubmissionHandle, TransferFailedError
 from repro.grid.overhead import OverheadModel
-from repro.grid.storage import LogicalFile, ReplicaCatalog, StorageElement
-from repro.grid.testbeds import cluster_testbed, egee_like_testbed, ideal_testbed
+from repro.grid.storage import (
+    LogicalFile,
+    ReplicaCatalog,
+    ReplicaUnavailableError,
+    StorageElement,
+    UnknownFileError,
+)
+from repro.grid.testbeds import (
+    chaotic_testbed,
+    cluster_testbed,
+    egee_like_testbed,
+    ideal_testbed,
+)
 
 __all__ = [
     "JobDescription",
@@ -39,7 +51,14 @@ __all__ = [
     "LogicalFile",
     "ReplicaCatalog",
     "StorageElement",
+    "FaultModel",
+    "OutageSchedule",
+    "DurabilityFaultModel",
+    "ReplicaUnavailableError",
+    "UnknownFileError",
+    "TransferFailedError",
     "ideal_testbed",
     "cluster_testbed",
     "egee_like_testbed",
+    "chaotic_testbed",
 ]

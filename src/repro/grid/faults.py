@@ -28,13 +28,13 @@ be tested against a known ground truth).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.util.distributions import Constant, Distribution, as_distribution
 
-__all__ = ["FaultModel"]
+__all__ = ["FaultModel", "OutageSchedule", "DurabilityFaultModel"]
 
 
 @dataclass(frozen=True)
@@ -126,3 +126,190 @@ class FaultModel:
         n = self.max_attempts
         # E[min(G, n)] for geometric G with success prob (1-p):
         return sum(p ** (k - 1) for k in range(1, n + 1))
+
+
+def _normalise_windows(
+    windows: Iterable[Tuple[float, float]],
+) -> Tuple[Tuple[float, float], ...]:
+    """Sort, validate, and merge overlapping ``[start, end)`` windows."""
+    ordered = sorted((float(s), float(e)) for s, e in windows)
+    merged: list = []
+    for start, end in ordered:
+        if end <= start:
+            raise ValueError(f"outage window must have end > start, got [{start}, {end})")
+        if start < 0:
+            raise ValueError(f"outage window must start at >= 0, got {start}")
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
+@dataclass(frozen=True)
+class OutageSchedule:
+    """Deterministic down/up timeline for sites, CEs, and storage elements.
+
+    A *subject* is any failure-domain name — a site (``site01``, taking
+    its CE and SE down with it), a computing element (``site01-ce``), or
+    a storage element (``site01-se``).  Each subject owns a sorted tuple
+    of half-open ``[start, end)`` down-windows; outside every window the
+    subject is up.  The schedule is a pure value: no clocks, no RNG
+    state — given the same seed, :meth:`generate` always produces the
+    same timeline, so chaos runs replay byte-identically.
+    """
+
+    #: subject name -> merged, sorted ``(start, end)`` down-windows
+    windows: Mapping[str, Tuple[Tuple[float, float], ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cleaned = {
+            subject: _normalise_windows(spans)
+            for subject, spans in self.windows.items()
+            if spans
+        }
+        object.__setattr__(self, "windows", cleaned)
+
+    @classmethod
+    def none(cls) -> "OutageSchedule":
+        """The always-up schedule (every non-chaotic testbed)."""
+        return cls()
+
+    @classmethod
+    def from_windows(
+        cls, windows: Mapping[str, Iterable[Tuple[float, float]]]
+    ) -> "OutageSchedule":
+        """Build from a plain mapping of subject -> window list."""
+        return cls({subject: tuple(spans) for subject, spans in windows.items()})
+
+    def with_flapping(
+        self,
+        subject: str,
+        start: float,
+        down: float,
+        up: float,
+        cycles: int,
+    ) -> "OutageSchedule":
+        """A copy where *subject* flaps: *cycles* down-windows of length
+        *down* separated by *up* seconds of health, starting at *start*."""
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles}")
+        if down <= 0 or up < 0:
+            raise ValueError(f"need down > 0 and up >= 0, got down={down} up={up}")
+        flaps = [
+            (start + k * (down + up), start + k * (down + up) + down)
+            for k in range(cycles)
+        ]
+        merged = dict(self.windows)
+        merged[subject] = tuple(merged.get(subject, ())) + tuple(flaps)
+        return OutageSchedule(merged)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        subjects: Sequence[str],
+        horizon: float,
+        outage_rate: float = 1.0,
+        mean_downtime: float = 300.0,
+    ) -> "OutageSchedule":
+        """Draw a random schedule as a pure function of *seed*.
+
+        Each subject suffers ``Poisson(outage_rate)`` outages uniformly
+        placed over ``[0, horizon)`` with exponential downtimes of mean
+        *mean_downtime* (clipped to the horizon).  Subjects are processed
+        in the given order from a dedicated generator, so the timeline
+        depends only on the arguments.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        rng = np.random.default_rng(seed)
+        windows: Dict[str, list] = {}
+        for subject in subjects:
+            count = int(rng.poisson(outage_rate))
+            spans = []
+            for _ in range(count):
+                start = float(rng.uniform(0.0, horizon))
+                length = float(rng.exponential(mean_downtime))
+                spans.append((start, min(start + max(length, 1.0), horizon)))
+            if spans:
+                windows[subject] = spans
+        return cls.from_windows(windows)
+
+    @property
+    def empty(self) -> bool:
+        """True when no subject ever goes down."""
+        return not self.windows
+
+    def subjects(self) -> Tuple[str, ...]:
+        """All subjects with at least one down-window, sorted."""
+        return tuple(sorted(self.windows))
+
+    def down_windows(self, subject: str) -> Tuple[Tuple[float, float], ...]:
+        """The merged down-windows of one subject (empty if always up)."""
+        return self.windows.get(subject, ())
+
+    def is_down(self, subject: str, now: float) -> bool:
+        """Is *subject* inside one of its ``[start, end)`` down-windows?"""
+        for start, end in self.windows.get(subject, ()):
+            if start <= now < end:
+                return True
+            if now < start:
+                break
+        return False
+
+    def next_up(self, subject: str, now: float) -> float:
+        """When *subject* is next up: *now* if already up, else the end
+        of the down-window containing *now*."""
+        for start, end in self.windows.get(subject, ()):
+            if start <= now < end:
+                return end
+            if now < start:
+                break
+        return now
+
+
+@dataclass(frozen=True)
+class DurabilityFaultModel:
+    """Replica loss and corruption injected on stage-in accesses.
+
+    Every verified access to a replica draws exactly one number (when
+    the model is active at all), so which replica the failover logic
+    happened to pick never shifts the draws seen by later accesses —
+    the same stream-stability rule :meth:`FaultModel.attempt_fails`
+    follows for job faults.
+    """
+
+    #: probability that the accessed replica turns out to be lost
+    loss_probability: float = 0.0
+    #: probability that the transfer completes but the checksum mismatches
+    corruption_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_probability", "corruption_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.loss_probability + self.corruption_probability > 1.0:
+            raise ValueError("loss + corruption probabilities must not exceed 1")
+
+    @classmethod
+    def none(cls) -> "DurabilityFaultModel":
+        """Perfectly durable storage (every non-chaotic testbed)."""
+        return cls()
+
+    @property
+    def active(self) -> bool:
+        """True when any replica fault can fire."""
+        return self.loss_probability > 0.0 or self.corruption_probability > 0.0
+
+    def access_outcome(self, rng: np.random.Generator) -> str:
+        """Sample one access: ``"ok"``, ``"lost"``, or ``"corrupt"``."""
+        if not self.active:
+            return "ok"
+        draw = rng.random()
+        if draw < self.loss_probability:
+            return "lost"
+        if draw < self.loss_probability + self.corruption_probability:
+            return "corrupt"
+        return "ok"

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.grid.broker import ResourceBroker
-from repro.grid.faults import FaultModel
+from repro.grid.faults import DurabilityFaultModel, FaultModel, OutageSchedule
 from repro.grid.job import (
     JobCancelledError,
     JobDescription,
@@ -41,17 +41,39 @@ from repro.grid.job import (
 from repro.grid.overhead import OverheadModel
 from repro.grid.resources import ComputingElement, Site
 from repro.grid.retry import RetryBudget, RetryPolicy
-from repro.grid.storage import LogicalFile, ReplicaCatalog, StorageElement
+from repro.grid.storage import (
+    LogicalFile,
+    ReplicaCatalog,
+    ReplicaUnavailableError,
+    StorageElement,
+)
 from repro.grid.transfer import NetworkModel
 from repro.observability.bus import InstrumentationBus
 from repro.observability.spans import Span
 from repro.sim.engine import Engine, Event
 from repro.util.rng import RandomStreams
 
-__all__ = ["Grid", "SubmissionHandle", "TransferContext"]
+__all__ = ["Grid", "SubmissionHandle", "TransferContext", "TransferFailedError"]
 
 #: the purposes a data-plane transfer can serve (see TransferContext)
-TRANSFER_PURPOSES = ("stage-in", "stage-out", "intermediate", "cache-refill")
+TRANSFER_PURPOSES = ("stage-in", "stage-out", "intermediate", "cache-refill", "repair")
+
+
+class TransferFailedError(RuntimeError):
+    """A stage-in/out exhausted its transfer retry budget.
+
+    Live replicas still exist (otherwise the failure would be a
+    :class:`~repro.grid.storage.ReplicaUnavailableError`): the *network*
+    gave up, not the storage.  Carried by the failing job's completion
+    so failure reports can tell a transfer storm from data death.
+    """
+
+    def __init__(self, gfn: str, attempts: int, last_error: str) -> None:
+        self.gfn = gfn
+        self.attempts = attempts
+        super().__init__(
+            f"transfer of {gfn!r} failed after {attempts} attempts: {last_error}"
+        )
 
 
 @dataclass(frozen=True)
@@ -116,6 +138,11 @@ class Grid:
         instrumentation: Optional[InstrumentationBus] = None,
         retry_policy: Optional[RetryPolicy] = None,
         retry_budget: Optional[RetryBudget] = None,
+        outages: Optional[OutageSchedule] = None,
+        durability: Optional[DurabilityFaultModel] = None,
+        transfer_retry: Optional[RetryPolicy] = None,
+        repair_target: int = 1,
+        repair_interval: float = 300.0,
     ) -> None:
         if not sites:
             raise ValueError("a grid needs at least one site")
@@ -138,6 +165,23 @@ class Grid:
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy.default()
         #: run-wide / per-service retry allowance (unlimited by default)
         self.retry_budget = retry_budget if retry_budget is not None else RetryBudget.unlimited()
+        #: deterministic down/up timeline for sites, CEs, and SEs
+        self.outages = outages if outages is not None else OutageSchedule.none()
+        #: replica loss/corruption injection on stage-in accesses
+        self.durability = durability if durability is not None else DurabilityFaultModel.none()
+        #: backoff policy for failed *transfers* (distinct from job retries)
+        self.transfer_retry = (
+            transfer_retry
+            if transfer_retry is not None
+            else RetryPolicy.exponential(base_delay=5.0, max_delay=120.0, max_attempts=4)
+        )
+        if repair_target < 1:
+            raise ValueError(f"repair_target must be >= 1, got {repair_target}")
+        if repair_interval <= 0:
+            raise ValueError(f"repair_interval must be > 0, got {repair_interval}")
+        #: desired healthy replicas per GFN (1 = repair daemon off)
+        self.repair_target = repair_target
+        self.repair_interval = repair_interval
         self.catalog = ReplicaCatalog()
         self.computing_elements: List[ComputingElement] = []
         self._storage_by_site: Dict[str, StorageElement] = {}
@@ -182,6 +226,13 @@ class Grid:
                 break
             total_slots += capacity
         self._total_slots = total_slots
+        # Chaos background processes are spawned only when their feature
+        # is actually configured: an extra process on a quiet grid would
+        # renumber engine events and shift every seeded baseline.
+        if not self.outages.empty:
+            engine.process(self._outage_beacon(), name=f"{name}:outage-beacon")
+        if self.repair_target > 1:
+            engine.process(self._repair_loop(), name=f"{name}:replica-repair")
 
     # -- data management -------------------------------------------------
     @property
@@ -278,6 +329,335 @@ class Grid:
             se = self.default_site.storage_element
         self._minted_gfns.add(file.gfn)
         self.catalog.register(file, se)
+
+    # -- data-plane chaos ---------------------------------------------------
+    @property
+    def chaos_enabled(self) -> bool:
+        """True when any data-plane fault injection or repair is on.
+
+        Computing elements switch from the legacy bulk staging path to
+        the per-file retry/failover generators only under this flag, so
+        every pre-chaos testbed keeps its exact seeded event sequence.
+        """
+        return (
+            not self.outages.empty
+            or self.durability.active
+            or self.network.has_faults
+            or self.repair_target > 1
+        )
+
+    def entity_down(self, entity_name: str, site_name: str, now: float) -> bool:
+        """Is an entity down, directly or through its site's outage?"""
+        return self.outages.is_down(entity_name, now) or self.outages.is_down(
+            site_name, now
+        )
+
+    def entity_next_up(self, entity_name: str, site_name: str, now: float) -> float:
+        """When both the entity and its site are next up (>= *now*)."""
+        return max(
+            self.outages.next_up(entity_name, now),
+            self.outages.next_up(site_name, now),
+        )
+
+    def storage_down(self, se: StorageElement, now: Optional[float] = None) -> bool:
+        """Is a storage element inside a down-window right now?"""
+        when = self.engine.now if now is None else now
+        return self.entity_down(se.name, se.site, when)
+
+    def _counter(self, name: str, value: float = 1) -> None:
+        bus = self.instrumentation
+        if bus is not None:
+            bus.metrics.counter(name).inc(value)
+
+    def _chaos_span(self, name: str, start: float, **attributes) -> None:
+        bus = self.instrumentation
+        if bus is not None:
+            bus.record(
+                name,
+                "grid",
+                start,
+                self.engine.now,
+                parent=bus.run_span,
+                status="error",
+                **attributes,
+            )
+
+    def stage_in_process(self, gfn: str, site: str, record: Optional[JobRecord] = None):
+        """Stage *gfn* in to *site* under chaos; generator, returns seconds.
+
+        Walks the deterministic failover order over live verified
+        replicas: replicas discovered lost are skipped in place,
+        corrupted ones are quarantined after the (wasted) transfer,
+        failed transfers back off per :attr:`transfer_retry`, and when
+        every healthy replica sits behind an SE outage the stage-in
+        simply waits the outage out (outages delay, only loss kills).
+        Raises :class:`ReplicaUnavailableError` when no usable replica
+        survives and :class:`TransferFailedError` when the retry budget
+        runs dry — both contained by the job machinery.
+        """
+        engine = self.engine
+        file = self.catalog.lookup(gfn)
+        policy = self.transfer_retry
+        max_attempts = policy.max_attempts if policy.max_attempts is not None else 4
+        backoff_rng = self.streams.get("transfer-backoff")
+        fault_rng = self.streams.get("transfer-faults")
+        replica_rng = self.streams.get("replica-faults")
+        network_faulty = self.network.has_faults
+        durability_on = self.durability.active
+        purpose = self._stage_in_purpose(gfn)
+        sites_tried: List[str] = []
+        elapsed = 0.0
+        failures = 0
+        last_error = "no transfer attempted"
+        while True:
+            ranked = self.catalog.failover_order(gfn, site)
+            if not ranked:
+                tried = sites_tried or [se.site for se in self.catalog.replicas(gfn)]
+                raise ReplicaUnavailableError(gfn, tuple(dict.fromkeys(tried)))
+            live = [se for se in ranked if not self.storage_down(se)]
+            if not live:
+                # Every healthy replica is behind an outage: wait for the
+                # earliest one to come back, then re-evaluate.  Outage
+                # windows are finite, so this terminates.
+                resume = min(
+                    self.entity_next_up(se.name, se.site, engine.now) for se in ranked
+                )
+                if resume <= engine.now:
+                    continue
+                self._counter("grid.transfer.outage_waits")
+                yield engine.timeout(resume - engine.now)
+                continue
+            faulted = False
+            for se in live:
+                outcome = (
+                    self.durability.access_outcome(replica_rng)
+                    if durability_on
+                    else "ok"
+                )
+                if outcome == "lost":
+                    # Metadata says the replica exists but the bytes are
+                    # gone — detected instantly, fail over in place.
+                    se.mark_lost(gfn)
+                    sites_tried.append(se.site)
+                    self._counter("grid.replicas.lost")
+                    self._chaos_span(
+                        "replica.loss", engine.now, se=se.name, gfn=gfn
+                    )
+                    continue
+                started = engine.now
+                seconds = self.network.raw_transfer_time(
+                    se.site, site, file.size, now=engine.now
+                )
+                if outcome == "corrupt":
+                    # The copy completes, then checksum verification
+                    # rejects it: time wasted, replica quarantined.
+                    yield engine.timeout(seconds)
+                    elapsed += seconds
+                    se.quarantine(gfn)
+                    sites_tried.append(se.site)
+                    failures += 1
+                    last_error = f"checksum mismatch from {se.name} (expected {file.checksum})"
+                    self._counter("grid.replicas.quarantined")
+                    self._chaos_span(
+                        "replica.corruption", started, se=se.name, gfn=gfn
+                    )
+                    faulted = True
+                    break
+                if network_faulty and float(fault_rng.random()) < (
+                    self.network.failure_probability_for(se.site, site)
+                ):
+                    # Mid-flight transfer failure: the time is spent, the
+                    # bytes never land (so the ledger never sees them).
+                    yield engine.timeout(seconds)
+                    elapsed += seconds
+                    sites_tried.append(se.site)
+                    failures += 1
+                    last_error = f"transfer from {se.name} to {site} failed"
+                    self._counter("grid.transfer.failures")
+                    self._chaos_span(
+                        "transfer.fault", started, src=se.site, dst=site, gfn=gfn
+                    )
+                    faulted = True
+                    break
+                self.transfer_context = self._transfer_attribution(purpose, gfn, record)
+                try:
+                    seconds = self.network.transfer_time(
+                        se.site, site, file.size, now=engine.now
+                    )
+                finally:
+                    self.transfer_context = None
+                yield engine.timeout(seconds)
+                return elapsed + seconds
+            if not faulted:
+                # every live candidate was discovered lost; re-rank (the
+                # next pass either finds a survivor or raises).
+                continue
+            if failures >= max_attempts:
+                raise TransferFailedError(gfn, failures, last_error)
+            self._counter("grid.transfer.retries")
+            delay = policy.backoff(failures, backoff_rng)
+            if delay > 0:
+                yield engine.timeout(delay)
+
+    def _stage_out_target(self, site: str, now: float) -> Optional[StorageElement]:
+        """The SE a produced file goes to under chaos: the local SE,
+        else the default site's, else the first live SE by name; None
+        when every SE is down."""
+        ordered: List[StorageElement] = []
+        local = self.storage_at(site)
+        if local is not None:
+            ordered.append(local)
+        default = self.default_site.storage_element
+        if default not in ordered:
+            ordered.append(default)
+        for se in sorted(self._storage_by_site.values(), key=lambda s: s.name):
+            if se not in ordered:
+                ordered.append(se)
+        for se in ordered:
+            if not self.storage_down(se, now):
+                return se
+        return None
+
+    def stage_out_process(self, file: LogicalFile, site: str, record: Optional[JobRecord] = None):
+        """Stage a produced *file* out from *site* under chaos; generator.
+
+        Fails over to the default site's SE (then any live SE) when the
+        local one is down, retries failed transfers with backoff, and
+        registers the file on the SE that actually received it.
+        Returns the seconds spent.
+        """
+        engine = self.engine
+        policy = self.transfer_retry
+        max_attempts = policy.max_attempts if policy.max_attempts is not None else 4
+        backoff_rng = self.streams.get("transfer-backoff")
+        fault_rng = self.streams.get("transfer-faults")
+        network_faulty = self.network.has_faults
+        elapsed = 0.0
+        failures = 0
+        last_error = "no transfer attempted"
+        while True:
+            target = self._stage_out_target(site, engine.now)
+            if target is None:
+                resume = min(
+                    self.entity_next_up(se.name, se.site, engine.now)
+                    for se in self._storage_by_site.values()
+                )
+                if resume <= engine.now:
+                    continue
+                self._counter("grid.transfer.outage_waits")
+                yield engine.timeout(resume - engine.now)
+                continue
+            started = engine.now
+            seconds = self.network.raw_transfer_time(
+                site, target.site, file.size, now=engine.now
+            )
+            if network_faulty and float(fault_rng.random()) < (
+                self.network.failure_probability_for(site, target.site)
+            ):
+                yield engine.timeout(seconds)
+                elapsed += seconds
+                failures += 1
+                last_error = f"transfer from {site} to {target.name} failed"
+                self._counter("grid.transfer.failures")
+                self._chaos_span(
+                    "transfer.fault", started, src=site, dst=target.site, gfn=file.gfn
+                )
+                if failures >= max_attempts:
+                    raise TransferFailedError(file.gfn, failures, last_error)
+                self._counter("grid.transfer.retries")
+                delay = policy.backoff(failures, backoff_rng)
+                if delay > 0:
+                    yield engine.timeout(delay)
+                continue
+            self.transfer_context = self._transfer_attribution(
+                "stage-out", file.gfn, record
+            )
+            try:
+                seconds = self.network.transfer_time(
+                    site, target.site, file.size, now=engine.now
+                )
+            finally:
+                self.transfer_context = None
+            yield engine.timeout(seconds)
+            self._minted_gfns.add(file.gfn)
+            self.catalog.register(file, target)
+            return elapsed + seconds
+
+    def _outage_beacon(self):
+        """Emit a ground-truth ``se.outage`` span at each SE down-window.
+
+        The schedule is the grid's own configuration, so every emitted
+        span is a real injected outage — the monitor turns them into
+        ``se-outage`` alerts with zero false positives by construction.
+        """
+        engine = self.engine
+        events = []
+        for se in sorted(self._storage_by_site.values(), key=lambda s: s.name):
+            for subject in dict.fromkeys((se.name, se.site)):
+                for start, end in self.outages.down_windows(subject):
+                    events.append((start, end, se.name))
+        for start, end, se_name in sorted(events):
+            if start > engine.now:
+                yield engine.timeout(start - engine.now)
+            self._counter("grid.se.outage_windows")
+            bus = self.instrumentation
+            if bus is not None:
+                bus.record(
+                    "se.outage",
+                    "grid",
+                    engine.now,
+                    engine.now,
+                    parent=bus.run_span,
+                    status="error",
+                    se=se_name,
+                    until=end,
+                )
+
+    def _repair_loop(self):
+        """Background re-replication: copy under-replicated GFNs to live
+        SEs until each has :attr:`repair_target` healthy replicas.
+
+        Cycle-first: the daemon does an initial replication pass as soon
+        as the simulation starts (input files are registered before the
+        clock moves), then rescans every :attr:`repair_interval`.
+        """
+        engine = self.engine
+        while True:
+            yield from self._repair_cycle()
+            yield engine.timeout(self.repair_interval)
+
+    def _repair_cycle(self):
+        engine = self.engine
+        for gfn in list(self.catalog.gfns()):
+            healthy = self.catalog.healthy_replicas(gfn)
+            live = sorted(
+                (se for se in healthy if not self.storage_down(se)),
+                key=lambda se: se.name,
+            )
+            if not live or len(healthy) >= self.repair_target:
+                continue
+            holders = {se.name for se in healthy}
+            targets = sorted(
+                (
+                    se
+                    for se in self._storage_by_site.values()
+                    if se.name not in holders and not self.storage_down(se)
+                ),
+                key=lambda se: se.name,
+            )
+            src = live[0]
+            file = self.catalog.lookup(gfn)
+            for dst in targets[: self.repair_target - len(healthy)]:
+                self.transfer_context = TransferContext(purpose="repair", gfn=gfn)
+                try:
+                    seconds = self.network.transfer_time(
+                        src.site, dst.site, file.size, now=engine.now
+                    )
+                finally:
+                    self.transfer_context = None
+                yield engine.timeout(seconds)
+                self.catalog.register(file, dst)
+                self._counter("grid.repair.transfers")
 
     # -- instrumentation hooks ---------------------------------------------
     def _observe_transfer(self, src: str, dst: str, size: float, seconds: float) -> None:

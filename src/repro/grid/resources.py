@@ -213,6 +213,20 @@ class ComputingElement:
         return False
 
     # -- dispatch ------------------------------------------------------------
+    def _down_until(self) -> float:
+        """End of the outage window this CE currently sits in (or now).
+
+        A down CE stops dispatching: its queue backs up, its load
+        estimate climbs, and a least-loaded broker steers new jobs
+        elsewhere — the outage degrades capacity without failing jobs.
+        """
+        grid = self.grid
+        if grid is None or grid.outages.empty:
+            return self.engine.now
+        if not grid.entity_down(self.name, self.site, self.engine.now):
+            return self.engine.now
+        return grid.entity_next_up(self.name, self.site, self.engine.now)
+
     def _dispatch_loop(self):
         """Forever: pick next queued entry, grab a slot, run the job."""
         while True:
@@ -220,6 +234,12 @@ class ComputingElement:
             self._dispatching += 1
             request = self._slots.request()
             yield request
+            # Outage windows can chain (flapping); loop until truly up.
+            while True:
+                resume = self._down_until()
+                if resume <= self.engine.now:
+                    break
+                yield self.engine.timeout(resume - self.engine.now)
             self._dispatching -= 1
             self.engine.process(
                 self._run(entry, request), name=f"run:{entry.record.name}"
@@ -243,11 +263,17 @@ class ComputingElement:
             stage_in = 0.0
             stage_in_bytes = 0
             stage_in_start = engine.now
-            if grid is not None:
+            if grid is not None and grid.chaos_enabled:
+                # Chaos path: per-file retry/failover generators (the
+                # bulk path below cannot express mid-transfer faults).
+                for gfn in record.description.input_files:
+                    stage_in += yield from grid.stage_in_process(gfn, self.site, record)
+                    stage_in_bytes += grid.catalog.lookup(gfn).size
+            elif grid is not None:
                 for gfn in record.description.input_files:
                     stage_in += grid.stage_in_time(gfn, self.site, record)
                     stage_in_bytes += grid.catalog.lookup(gfn).size
-            if stage_in > 0:
+            if stage_in > 0 and not (grid is not None and grid.chaos_enabled):
                 yield engine.timeout(stage_in)
             record.stage_in_time = stage_in
             if bus is not None and record.description.input_files:
@@ -280,14 +306,22 @@ class ComputingElement:
             stage_out = 0.0
             stage_out_bytes = 0
             stage_out_start = engine.now
-            if grid is not None:
+            if grid is not None and grid.chaos_enabled:
+                # Chaos path: the generator registers each file on the
+                # SE that actually received it (local SE may be down).
+                for produced in record.description.output_files:
+                    stage_out += yield from grid.stage_out_process(
+                        produced, self.site, record
+                    )
+                    stage_out_bytes += produced.size
+            elif grid is not None:
                 for produced in record.description.output_files:
                     stage_out += grid.stage_out_time(produced, self.site, record)
                     stage_out_bytes += produced.size
-            if stage_out > 0:
+            if stage_out > 0 and not (grid is not None and grid.chaos_enabled):
                 yield engine.timeout(stage_out)
             record.stage_out_time = stage_out
-            if grid is not None:
+            if grid is not None and not grid.chaos_enabled:
                 for produced in record.description.output_files:
                     grid.register_output(produced, self.site)
             if bus is not None and record.description.output_files:

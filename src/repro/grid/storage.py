@@ -17,19 +17,43 @@ the simulator's stand-in for the LCG replica-selection heuristics.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.util.units import MEBIBYTE
 
-__all__ = ["LogicalFile", "StorageElement", "ReplicaCatalog", "UnknownFileError"]
+__all__ = [
+    "LogicalFile",
+    "StorageElement",
+    "ReplicaCatalog",
+    "UnknownFileError",
+    "ReplicaUnavailableError",
+]
 
 _file_counter = itertools.count(1)
 
 
 class UnknownFileError(KeyError):
     """Raised when resolving a GFN the catalog has never seen."""
+
+
+class ReplicaUnavailableError(LookupError):
+    """A *known* GFN has no live replica left.
+
+    Distinct from :class:`UnknownFileError` (the catalog never heard of
+    the file — a wiring bug) — this is a durability event: every replica
+    is lost, quarantined, or was tried and failed.  Carries the GFN and
+    the sites that were tried so failure reports and failover logic can
+    say exactly where the data died.
+    """
+
+    def __init__(self, gfn: str, sites_tried: Sequence[str] = ()) -> None:
+        self.gfn = gfn
+        self.sites_tried = tuple(sites_tried)
+        where = ", ".join(self.sites_tried) if self.sites_tried else "none"
+        super().__init__(f"no live replica of {gfn!r} (sites tried: {where})")
 
 
 @dataclass(frozen=True)
@@ -59,6 +83,16 @@ class LogicalFile:
         """Mint a unique GFN under *prefix* (for newly produced outputs)."""
         return LogicalFile(gfn=f"gfn://{prefix}/{next(_file_counter):08d}", size=size)
 
+    @property
+    def checksum(self) -> str:
+        """Deterministic content digest for stage-in verification.
+
+        The simulator has no real bytes, so the digest is derived from
+        the file identity — what matters is that every healthy replica
+        of a GFN agrees on it and an injected corruption does not.
+        """
+        return hashlib.sha256(f"{self.gfn}:{self.size}".encode()).hexdigest()[:16]
+
 
 class StorageElement:
     """A storage endpoint living at a site."""
@@ -69,19 +103,47 @@ class StorageElement:
         self.name = name
         self.site = site
         self._files: Set[str] = set()
+        self._lost: Set[str] = set()
+        self._quarantined: Set[str] = set()
 
     def holds(self, gfn: str) -> bool:
-        """True if this SE has a replica of *gfn*."""
+        """True if this SE has a replica of *gfn* (healthy or not)."""
         return gfn in self._files
 
+    def healthy(self, gfn: str) -> bool:
+        """True if this SE has a usable replica of *gfn*."""
+        return gfn in self._files and gfn not in self._lost and gfn not in self._quarantined
+
     def add(self, gfn: str) -> None:
-        """Record a replica of *gfn* on this SE."""
+        """Record a replica of *gfn* on this SE (clears any bad state)."""
         self._files.add(gfn)
+        self._lost.discard(gfn)
+        self._quarantined.discard(gfn)
+
+    def mark_lost(self, gfn: str) -> None:
+        """The replica of *gfn* here is gone (disk loss, deletion)."""
+        if gfn in self._files:
+            self._lost.add(gfn)
+
+    def quarantine(self, gfn: str) -> None:
+        """The replica of *gfn* here failed verification; never serve it."""
+        if gfn in self._files:
+            self._quarantined.add(gfn)
 
     @property
     def file_count(self) -> int:
         """Number of replicas stored here."""
         return len(self._files)
+
+    @property
+    def lost_count(self) -> int:
+        """Replicas marked lost on this SE."""
+        return len(self._lost)
+
+    @property
+    def quarantined_count(self) -> int:
+        """Replicas quarantined on this SE."""
+        return len(self._quarantined)
 
     def __repr__(self) -> str:
         return f"<StorageElement {self.name!r} site={self.site!r} files={len(self._files)}>"
@@ -145,17 +207,48 @@ class ReplicaCatalog:
             raise UnknownFileError(gfn)
         return list(self._replicas[gfn])
 
+    def healthy_replicas(self, gfn: str) -> List[StorageElement]:
+        """SEs holding a usable (not lost, not quarantined) replica."""
+        return [se for se in self.replicas(gfn) if se.healthy(gfn)]
+
+    def healthy_replica_count(self, gfn: str) -> int:
+        """How many usable replicas *gfn* still has (repair's scan metric)."""
+        return len(self.healthy_replicas(gfn))
+
+    def failover_order(
+        self, gfn: str, site: str, exclude: Iterable[str] = ()
+    ) -> List[StorageElement]:
+        """Healthy replicas in deterministic preference order for *site*.
+
+        Same-site replicas first (registration order), then remote ones
+        by SE name — the same rule :meth:`closest_replica` applies, kept
+        as a full ranking so transfer failover walks replicas in a
+        reproducible order.  *exclude* drops SE names already tried.
+        """
+        excluded = set(exclude)
+        candidates = [
+            se for se in self.healthy_replicas(gfn) if se.name not in excluded
+        ]
+        local = [se for se in candidates if se.site == site]
+        remote = sorted(
+            (se for se in candidates if se.site != site), key=lambda se: se.name
+        )
+        return local + remote
+
     def closest_replica(self, gfn: str, site: str) -> StorageElement:
         """Pick the replica to read from for a job running at *site*.
 
         Same-site replicas win; otherwise the lexicographically first SE
-        name is used so that the choice is deterministic.
+        name is used so that the choice is deterministic.  Raises
+        :class:`ReplicaUnavailableError` when the file is known but no
+        usable replica survives — the data-death signal the failure
+        containment machinery turns into a poisoned lineage.
         """
-        candidates = self.replicas(gfn)
-        local = [se for se in candidates if se.site == site]
-        if local:
-            return local[0]
-        return min(candidates, key=lambda se: se.name)
+        ranked = self.failover_order(gfn, site)
+        if not ranked:
+            tried = tuple(se.site for se in self.replicas(gfn))
+            raise ReplicaUnavailableError(gfn, tried)
+        return ranked[0]
 
     def knows(self, gfn: str) -> bool:
         """True if *gfn* has been registered."""

@@ -34,20 +34,26 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.grid.batch import FairSharePolicy, FifoPolicy
-from repro.grid.faults import FaultModel
+from repro.grid.faults import DurabilityFaultModel, FaultModel, OutageSchedule
 from repro.grid.load import BackgroundLoad
 from repro.grid.middleware import Grid
 from repro.grid.overhead import OverheadModel
 from repro.grid.resources import ComputingElement, Site, WorkerNode
 from repro.grid.retry import RetryBudget, RetryPolicy
 from repro.grid.storage import StorageElement
-from repro.grid.transfer import LinkParameters, NetworkModel
+from repro.grid.transfer import DegradedWindow, LinkParameters, NetworkModel
 from repro.sim.engine import Engine
 from repro.util.distributions import LogNormal, TruncatedNormal, Uniform
 from repro.util.rng import RandomStreams
 from repro.util.units import MEBIBYTE, MINUTE
 
-__all__ = ["ideal_testbed", "cluster_testbed", "egee_like_testbed", "faulty_testbed"]
+__all__ = [
+    "ideal_testbed",
+    "cluster_testbed",
+    "egee_like_testbed",
+    "faulty_testbed",
+    "chaotic_testbed",
+]
 
 
 def ideal_testbed(engine: Engine, streams: Optional[RandomStreams] = None) -> Grid:
@@ -288,6 +294,117 @@ def faulty_testbed(
         name="faulty",
         retry_policy=retry_policy,
         retry_budget=retry_budget,
+    )
+
+
+def chaotic_testbed(
+    engine: Engine,
+    streams: Optional[RandomStreams] = None,
+    n_sites: int = 4,
+    workers_per_ce: int = 8,
+    slots_per_worker: int = 2,
+    repair: bool = True,
+    repair_target: int = 2,
+    repair_interval: float = 60.0,
+    transfer_failure_probability: float = 0.05,
+    replica_loss_probability: float = 0.02,
+    corruption_probability: float = 0.015,
+    outages: Optional[OutageSchedule] = None,
+    max_attempts: int = 6,
+) -> Grid:
+    """A small grid where the *data plane* misbehaves on schedule.
+
+    Everything the fault-injection subsystem can do, in one testbed:
+
+    * a long outage of ``site00-se`` — the SE every input file is
+      registered on — plus a *flapping* ``site02-se`` and one whole-site
+      blackout (``site03``: CE and SE down together),
+    * WAN transfers that fail ``transfer_failure_probability`` of the
+      time and a degraded-bandwidth brown-out window,
+    * replica loss and corruption injected on stage-in accesses, and
+    * (with ``repair=True``) the background re-replication daemon that
+      keeps ``repair_target`` healthy copies of every GFN — the thing
+      that lets Bronze complete where the ``repair=False`` ablation
+      loses the lineages whose only replica dies.
+
+    Overheads are the small constants of :func:`faulty_testbed`; all
+    chaos is a pure function of the schedule and the seeded streams, so
+    two runs with the same seed are byte-identical.
+    """
+    if n_sites < 3:
+        raise ValueError(f"chaotic_testbed needs >= 3 sites, got {n_sites}")
+    streams = streams or RandomStreams(seed=0)
+    speed_rng = streams.get("worker-speeds")
+
+    sites = []
+    for s in range(n_sites):
+        site_name = f"site{s:02d}"
+        nodes = [
+            WorkerNode(
+                name=f"{site_name}-wn{w:03d}",
+                slots=slots_per_worker,
+                speed=float(Uniform(0.95, 1.05).sample(speed_rng)),
+            )
+            for w in range(workers_per_ce)
+        ]
+        ce = ComputingElement(
+            engine,
+            name=f"{site_name}-ce",
+            site=site_name,
+            workers=nodes,
+            policy=FifoPolicy(engine),
+        )
+        se = StorageElement(f"{site_name}-se", site=site_name)
+        sites.append(Site(name=site_name, computing_elements=[ce], storage_element=se))
+
+    if outages is None:
+        outages = OutageSchedule.from_windows(
+            {
+                # the default SE (all inputs start here) dies for a while
+                "site00-se": [(900.0, 2600.0)],
+                # one CE browns out mid-run; its queue backs up
+                "site01-ce": [(400.0, 800.0)],
+                # a whole site goes dark: CE and SE down together
+                "site03": [(600.0, 1000.0)],
+            }
+        ).with_flapping("site02-se", start=300.0, down=120.0, up=180.0, cycles=4)
+
+    network = NetworkModel(
+        failure_probability=transfer_failure_probability,
+        degraded_windows=(
+            # backbone congestion: every transfer 2x slower in the window
+            DegradedWindow(start=200.0, end=800.0, factor=2.0),
+        ),
+    )
+    faults = FaultModel.from_values(
+        probability=0.02,
+        detection_delay=TruncatedNormal(mu=60.0, sigma=15.0, floor=15.0),
+        max_attempts=max_attempts,
+    )
+    return Grid(
+        engine,
+        streams,
+        sites=sites,
+        overhead=OverheadModel.from_values(
+            submission=2.0,
+            brokering=3.0,
+            queue_extra=5.0,
+            completion_notification=1.0,
+        ),
+        network=network,
+        faults=faults,
+        broker_strategy="least-loaded",
+        name="chaotic",
+        outages=outages,
+        durability=DurabilityFaultModel(
+            loss_probability=replica_loss_probability,
+            corruption_probability=corruption_probability,
+        ),
+        transfer_retry=RetryPolicy.exponential(
+            base_delay=5.0, max_delay=60.0, jitter=0.1, max_attempts=5
+        ),
+        repair_target=repair_target if repair else 1,
+        repair_interval=repair_interval,
     )
 
 

@@ -23,10 +23,41 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.util.units import MEBIBYTE
 
-__all__ = ["LinkParameters", "NetworkModel", "TransferObserver"]
+__all__ = ["LinkParameters", "NetworkModel", "TransferObserver", "DegradedWindow"]
 
 #: observer signature: ``(src_site, dst_site, size_bytes, seconds)``
 TransferObserver = Callable[[str, str, float, float], None]
+
+
+@dataclass(frozen=True)
+class DegradedWindow:
+    """A timed bandwidth brown-out on matching links.
+
+    While ``start <= now < end`` every transfer whose endpoints match
+    (``None`` endpoints match any site) takes ``factor`` times longer —
+    the congested-backbone / throttled-SE pathology, injected
+    deterministically so chaos runs stay replayable.
+    """
+
+    start: float
+    end: float
+    factor: float
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"window must have end > start, got [{self.start}, {self.end})")
+        if self.factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {self.factor}")
+
+    def matches(self, src_site: str, dst_site: str, now: float) -> bool:
+        """Does this window slow a src -> dst transfer happening at *now*?"""
+        if not self.start <= now < self.end:
+            return False
+        if self.src is not None and self.src != src_site:
+            return False
+        return self.dst is None or self.dst == dst_site
 
 
 @dataclass(frozen=True)
@@ -60,6 +91,12 @@ class NetworkModel:
         default_factory=lambda: LinkParameters(latency=2.0, bandwidth=5 * MEBIBYTE)
     )
     overrides: Dict[Tuple[str, str], LinkParameters] = field(default_factory=dict)
+    #: fleet-wide probability that one transfer attempt fails mid-flight
+    failure_probability: float = 0.0
+    #: per-directed-link failure probability overrides
+    link_failure_probability: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: timed bandwidth brown-outs (applied when a transfer passes ``now``)
+    degraded_windows: Tuple[DegradedWindow, ...] = ()
     #: observers called as ``(src_site, dst_site, size, seconds)`` for
     #: every transfer-time evaluation, in registration order.  The grid
     #: registers its metrics hook here and a
@@ -69,6 +106,14 @@ class NetworkModel:
     observers: List[TransferObserver] = field(
         default_factory=list, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        for label, p in [("failure_probability", self.failure_probability)] + [
+            (f"link_failure_probability[{pair}]", p)
+            for pair, p in self.link_failure_probability.items()
+        ]:
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {p}")
 
     @classmethod
     def instantaneous(cls) -> "NetworkModel":
@@ -110,9 +155,57 @@ class NetworkModel:
     def on_transfer(self, observer: Optional[TransferObserver]) -> None:
         self.observers[:] = [] if observer is None else [observer]
 
-    def transfer_time(self, src_site: str, dst_site: str, size: float) -> float:
-        """Seconds to move *size* bytes from *src_site* to *dst_site*."""
+    @property
+    def has_faults(self) -> bool:
+        """True when any transfer attempt can fail."""
+        return self.failure_probability > 0.0 or any(
+            p > 0.0 for p in self.link_failure_probability.values()
+        )
+
+    def failure_probability_for(self, src_site: str, dst_site: str) -> float:
+        """The failure probability governing a src -> dst attempt."""
+        override = self.link_failure_probability.get((src_site, dst_site))
+        if override is not None:
+            return override
+        return self.failure_probability
+
+    def degradation_factor(self, src_site: str, dst_site: str, now: float) -> float:
+        """Combined slow-down of every degraded window live at *now*."""
+        factor = 1.0
+        for window in self.degraded_windows:
+            if window.matches(src_site, dst_site, now):
+                factor *= window.factor
+        return factor
+
+    def raw_transfer_time(
+        self,
+        src_site: str,
+        dst_site: str,
+        size: float,
+        now: Optional[float] = None,
+    ) -> float:
+        """Transfer seconds *without* firing observers.
+
+        The chaos stage-in path prices doomed attempts with this (a
+        failed transfer delivers no bytes, so it must not enter the
+        byte ledger) and only reports the final successful copy through
+        :meth:`transfer_time`.  Passing *now* applies any degraded
+        windows live at that instant.
+        """
         seconds = self.link(src_site, dst_site).transfer_time(size)
+        if now is not None:
+            seconds *= self.degradation_factor(src_site, dst_site, now)
+        return seconds
+
+    def transfer_time(
+        self,
+        src_site: str,
+        dst_site: str,
+        size: float,
+        now: Optional[float] = None,
+    ) -> float:
+        """Seconds to move *size* bytes from *src_site* to *dst_site*."""
+        seconds = self.raw_transfer_time(src_site, dst_site, size, now=now)
         for observer in self.observers:
             observer(src_site, dst_site, size, seconds)
         return seconds

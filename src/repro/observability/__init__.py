@@ -125,6 +125,13 @@ from repro.observability.drift import (
     policy_key,
     time_matrix,
 )
+from repro.observability.durability import (
+    DurabilityReport,
+    DurabilityReportError,
+    build_durability_report,
+    format_durability_report,
+    parse_durability_report,
+)
 from repro.observability.failures import failure_rows_from_spans, failure_summary
 from repro.observability.health import (
     CEHealth,
@@ -238,6 +245,11 @@ __all__ = [
     "ServiceProgress",
     "failure_rows_from_spans",
     "failure_summary",
+    "DurabilityReport",
+    "DurabilityReportError",
+    "build_durability_report",
+    "format_durability_report",
+    "parse_durability_report",
     "Profile",
     "Profiler",
     "ProfilerError",

@@ -62,6 +62,9 @@ ALERT_KINDS: Tuple[str, ...] = (
     "eta-blowout",
     "queue-stall",
     "slo-burn",
+    "se-outage",
+    "replica-corruption",
+    "transfer-storm",
 )
 
 
@@ -185,6 +188,10 @@ class AlertRules:
     queue_stall_seconds: float = 3600.0
     #: blended ETA beyond model prediction x this factor = eta-blowout
     eta_blowout_factor: float = 2.0
+    #: failed transfers within ``transfer_storm_window`` = transfer-storm
+    transfer_storm_count: int = 5
+    #: sliding window (simulated seconds) for transfer-storm counting
+    transfer_storm_window: float = 600.0
 
     def __post_init__(self) -> None:
         if self.fault_burst_count < 1:
@@ -198,6 +205,14 @@ class AlertRules:
         if self.eta_blowout_factor <= 1.0:
             raise ValueError(
                 f"eta_blowout_factor must be > 1, got {self.eta_blowout_factor}"
+            )
+        if self.transfer_storm_count < 1:
+            raise ValueError(
+                f"transfer_storm_count must be >= 1, got {self.transfer_storm_count}"
+            )
+        if self.transfer_storm_window <= 0:
+            raise ValueError(
+                f"transfer_storm_window must be > 0, got {self.transfer_storm_window}"
             )
 
     def health_thresholds(self):

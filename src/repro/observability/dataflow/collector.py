@@ -29,7 +29,7 @@ from repro.observability.spans import Span
 __all__ = ["TransferRecord", "DataFlowCollector", "TRANSFER_PURPOSES"]
 
 #: every purpose a transfer record may carry, in display order
-TRANSFER_PURPOSES = ("stage-in", "stage-out", "intermediate", "cache-refill")
+TRANSFER_PURPOSES = ("stage-in", "stage-out", "intermediate", "cache-refill", "repair")
 
 #: service label for transfers observed without a publishing grid
 UNATTRIBUTED = "(unattributed)"

@@ -1,0 +1,189 @@
+"""Durability reporting: what the data-plane chaos did to a run.
+
+One :class:`DurabilityReport` summarizes a (best-effort) enactment on a
+fault-injected testbed: how many items survived, what the repair daemon
+moved, how often transfers failed and retried, which replicas died, and
+the chaos alerts the monitor raised.  The text rendering round-trips
+through :func:`parse_durability_report` — a *strict* parser, so CI can
+gate on the report format never silently drifting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "DurabilityReport",
+    "DurabilityReportError",
+    "build_durability_report",
+    "format_durability_report",
+    "parse_durability_report",
+]
+
+#: the chaos alert kinds a durability report accounts for, display order
+CHAOS_ALERT_KINDS = ("se-outage", "replica-corruption", "transfer-storm")
+
+
+class DurabilityReportError(ValueError):
+    """A durability report that does not parse (or is internally wrong)."""
+
+
+@dataclass(frozen=True)
+class DurabilityReport:
+    """The durability story of one run, in integers."""
+
+    expected_items: int
+    delivered_items: int
+    lost_items: int
+    repair_transfers: int
+    repair_bytes: int
+    transfer_failures: int
+    transfer_retries: int
+    outage_waits: int
+    replicas_lost: int
+    replicas_quarantined: int
+    se_outage_windows: int
+    alerts: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.delivered_items + self.lost_items != self.expected_items:
+            raise DurabilityReportError(
+                f"delivered ({self.delivered_items}) + lost ({self.lost_items}) "
+                f"must equal expected ({self.expected_items})"
+            )
+        for kind in self.alerts:
+            if kind not in CHAOS_ALERT_KINDS:
+                raise DurabilityReportError(
+                    f"unknown chaos alert kind {kind!r}; "
+                    f"expected one of {CHAOS_ALERT_KINDS}"
+                )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (what the CLI can emit as JSON)."""
+        return {
+            "expected_items": self.expected_items,
+            "delivered_items": self.delivered_items,
+            "lost_items": self.lost_items,
+            "repair_transfers": self.repair_transfers,
+            "repair_bytes": self.repair_bytes,
+            "transfer_failures": self.transfer_failures,
+            "transfer_retries": self.transfer_retries,
+            "outage_waits": self.outage_waits,
+            "replicas_lost": self.replicas_lost,
+            "replicas_quarantined": self.replicas_quarantined,
+            "se_outage_windows": self.se_outage_windows,
+            "alerts": dict(self.alerts),
+        }
+
+
+def build_durability_report(
+    result,
+    n_items: int,
+    counters: Optional[Mapping[str, float]] = None,
+) -> DurabilityReport:
+    """Assemble a report from an enactment result and metric counters.
+
+    *result* is an :class:`~repro.core.enactor.EnactmentResult`;
+    *counters* defaults to the result's own metric counters.  Lost items
+    are the union of the poisoned lineage over every input port.
+    """
+    if counters is None:
+        counters = (
+            dict(result.metrics.counters) if result.metrics is not None else {}
+        )
+
+    lost_items: set = set()
+    for items in result.failures.poisoned_lineage().values():
+        lost_items |= set(items)
+    lost = len(lost_items)
+
+    def count(key: str) -> int:
+        return int(counters.get(key, 0))
+
+    return DurabilityReport(
+        expected_items=n_items,
+        delivered_items=n_items - lost,
+        lost_items=lost,
+        repair_transfers=count("grid.repair.transfers"),
+        repair_bytes=count("bytes.repair"),
+        transfer_failures=count("grid.transfer.failures"),
+        transfer_retries=count("grid.transfer.retries"),
+        outage_waits=count("grid.transfer.outage_waits"),
+        replicas_lost=count("grid.replicas.lost"),
+        replicas_quarantined=count("grid.replicas.quarantined"),
+        se_outage_windows=count("grid.se.outage_windows"),
+        alerts={
+            kind: count(f"monitor.alerts.{kind}") for kind in CHAOS_ALERT_KINDS
+        },
+    )
+
+
+#: (display label, attribute name) rows of the text rendering, in order
+_REPORT_ROWS = (
+    ("items expected", "expected_items"),
+    ("items delivered", "delivered_items"),
+    ("items lost", "lost_items"),
+    ("repair transfers", "repair_transfers"),
+    ("repair bytes", "repair_bytes"),
+    ("transfer failures", "transfer_failures"),
+    ("transfer retries", "transfer_retries"),
+    ("outage waits", "outage_waits"),
+    ("replicas lost", "replicas_lost"),
+    ("replicas quarantined", "replicas_quarantined"),
+    ("SE outage windows", "se_outage_windows"),
+)
+
+_HEADER = "Durability report"
+_LINE = re.compile(r"^(?P<label>[A-Za-z][A-Za-z -]*?)\s*:\s*(?P<value>\d+)$")
+
+
+def format_durability_report(report: DurabilityReport) -> str:
+    """Render the report as the fixed-format text the strict parser eats."""
+    labels = [label for label, _ in _REPORT_ROWS] + [
+        f"alerts {kind}" for kind in CHAOS_ALERT_KINDS
+    ]
+    width = max(len(label) for label in labels)
+    lines = [_HEADER, "=" * len(_HEADER)]
+    for label, attr in _REPORT_ROWS:
+        lines.append(f"{label:<{width}} : {getattr(report, attr)}")
+    for kind in CHAOS_ALERT_KINDS:
+        lines.append(f"{'alerts ' + kind:<{width}} : {report.alerts.get(kind, 0)}")
+    return "\n".join(lines)
+
+
+def parse_durability_report(text: str) -> DurabilityReport:
+    """Strictly parse :func:`format_durability_report` output.
+
+    Raises :class:`DurabilityReportError` on a missing header, a
+    malformed or unknown line, or a missing field — CI pipes the CLI
+    output through this to catch format drift the moment it happens.
+    """
+    lines = [line.rstrip() for line in text.strip().splitlines() if line.strip()]
+    if len(lines) < 2 or lines[0] != _HEADER or set(lines[1]) != {"="}:
+        raise DurabilityReportError("missing 'Durability report' header")
+    values: Dict[str, int] = {}
+    for lineno, line in enumerate(lines[2:], start=3):
+        match = _LINE.match(line.strip())
+        if match is None:
+            raise DurabilityReportError(f"line {lineno} is malformed: {line!r}")
+        values[match.group("label").strip()] = int(match.group("value"))
+
+    by_label = dict(_REPORT_ROWS)
+    kwargs: Dict[str, int] = {}
+    for label, attr in _REPORT_ROWS:
+        if label not in values:
+            raise DurabilityReportError(f"missing field {label!r}")
+        kwargs[attr] = values.pop(label)
+    alerts: Dict[str, int] = {}
+    for kind in CHAOS_ALERT_KINDS:
+        label = f"alerts {kind}"
+        if label not in values:
+            raise DurabilityReportError(f"missing field {label!r}")
+        alerts[kind] = values.pop(label)
+    if values:
+        unknown = ", ".join(sorted(values))
+        raise DurabilityReportError(f"unknown field(s): {unknown}")
+    assert by_label  # silence linters: mapping kept for documentation
+    return DurabilityReport(alerts=alerts, **kwargs)

@@ -184,6 +184,10 @@ class RunMonitor(Subscriber, HealthProvider):
         self._fault_times: Dict[str, Deque[float]] = {}
         self._in_burst: Dict[str, bool] = {}
 
+        #: fleet-wide recent failed-transfer times for storm detection
+        self._transfer_fault_times: Deque[float] = deque()
+        self._in_storm = False
+
         #: dedup sets: one CE-scope alert per CE per kind, one blowout
         self._alerted: Dict[str, set] = {"straggler": set(), "blackhole": set()}
         self._eta_blowout_raised = False
@@ -229,6 +233,12 @@ class RunMonitor(Subscriber, HealthProvider):
             self._close_phase(span)
         elif name == "job.fault":
             self._close_fault(span)
+        elif name == "se.outage":
+            self._close_se_outage(span)
+        elif name == "replica.corruption":
+            self._close_corruption(span)
+        elif name == "transfer.fault":
+            self._close_transfer_fault(span)
         elif name == "grid.job":
             if span.status == "error":
                 self.jobs_failed += 1
@@ -333,6 +343,71 @@ class RunMonitor(Subscriber, HealthProvider):
         else:
             self._in_burst[ce] = False
         self._check_ce(ce, span.end)
+
+    def _close_se_outage(self, span: Span) -> None:
+        """One ground-truth ``se.outage`` span = one ``se-outage`` alert.
+
+        The grid's outage beacon emits these only for *scheduled*
+        down-windows, so the mapping is exact: every injected SE outage
+        is flagged and a healthy site can never be (zero false
+        positives by construction).
+        """
+        se = str(span.attributes.get("se", "?"))
+        until = span.attributes.get("until")
+        suffix = f" (down until {float(until):.0f}s)" if until is not None else ""
+        self._emit(
+            "se-outage",
+            span.end,
+            subject=se,
+            scope="se",
+            severity="critical",
+            message=f"storage element {se} went down at {span.end:.0f}s{suffix}",
+            until=until,
+        )
+
+    def _close_corruption(self, span: Span) -> None:
+        se = str(span.attributes.get("se", "?"))
+        gfn = str(span.attributes.get("gfn", "?"))
+        self._emit(
+            "replica-corruption",
+            span.end,
+            subject=se,
+            scope="se",
+            message=(
+                f"replica of {gfn} on {se} failed checksum verification; quarantined"
+            ),
+            gfn=gfn,
+        )
+
+    def _close_transfer_fault(self, span: Span) -> None:
+        """Failed transfers in a fleet-wide sliding window -> storm alert.
+
+        Same edge-triggered pattern as :meth:`_close_fault`: the alert
+        fires once when the window first fills and re-arms only after
+        the rate drops back below the threshold.
+        """
+        window = self._transfer_fault_times
+        window.append(span.end)
+        horizon = span.end - self.rules.transfer_storm_window
+        while window and window[0] < horizon:
+            window.popleft()
+        if len(window) >= self.rules.transfer_storm_count:
+            if not self._in_storm:
+                self._in_storm = True
+                self._emit(
+                    "transfer-storm",
+                    span.end,
+                    subject="network",
+                    scope="run",
+                    severity="critical",
+                    message=(
+                        f"{len(window)} failed transfers within "
+                        f"{self.rules.transfer_storm_window:.0f}s"
+                    ),
+                    failures_in_window=len(window),
+                )
+        else:
+            self._in_storm = False
 
     def _check_ce(self, ce: str, now: float) -> None:
         """Raise CE-scope alerts on a health-flag transition (once each)."""

@@ -210,6 +210,20 @@ def summarize_run(
         "bytes.peer_moved",
         "bytes.enactor_moved",
         "bytes.intermediate_saved_by_grouping",
+        # chaos/durability ledger: always present so pre-chaos baselines
+        # and chaotic rows stay schema-comparable (a healthy run simply
+        # reports zeros)
+        "bytes.repair",
+        "grid.transfer.failures",
+        "grid.transfer.retries",
+        "grid.transfer.outage_waits",
+        "grid.repair.transfers",
+        "grid.replicas.lost",
+        "grid.replicas.quarantined",
+        "grid.se.outage_windows",
+        "monitor.alerts.se-outage",
+        "monitor.alerts.replica-corruption",
+        "monitor.alerts.transfer-storm",
     ):
         counters.setdefault(bytes_key, 0.0)
     return RunSummary(

@@ -1,0 +1,62 @@
+"""CLI: the chaotic testbed and the report-durability subcommand."""
+
+from repro.experiments.__main__ import build_parser, main
+from repro.observability.durability import parse_durability_report
+
+
+class TestParser:
+    def test_bronze_accepts_chaotic_testbed(self):
+        args = build_parser().parse_args(
+            ["bronze", "--testbed", "chaotic", "--best-effort", "--no-repair"]
+        )
+        assert args.testbed == "chaotic"
+        assert args.no_repair
+
+    def test_report_durability_defaults(self):
+        args = build_parser().parse_args(["report-durability"])
+        assert args.testbed == "chaotic"
+        assert not args.no_repair
+        assert not args.strict
+
+
+class TestChaoticBronze:
+    def test_best_effort_chaotic_run_exits_zero(self, capsys):
+        code = main(
+            [
+                "bronze", "--pairs", "3", "--config", "SP+DP",
+                "--testbed", "chaotic", "--best-effort", "--seed", "42",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "makespan" in out
+
+
+class TestReportDurability:
+    def test_report_prints_and_parses_strictly(self, capsys):
+        code = main(["report-durability", "--pairs", "3", "--seed", "42"])
+        out = capsys.readouterr().out
+        assert code == 0
+        start = out.index("Durability report")
+        block = out[start:].split("repair traffic")[0]
+        report = parse_durability_report(block)
+        assert report.expected_items == 3
+        assert report.repair_bytes > 0
+
+    def test_no_repair_reports_zero_repair_bytes(self, capsys):
+        code = main(
+            ["report-durability", "--pairs", "3", "--seed", "42", "--no-repair"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        start = out.index("Durability report")
+        report = parse_durability_report(out[start:].split("alerts:")[0])
+        assert report.repair_bytes == 0
+        assert report.repair_transfers == 0
+
+    def test_strict_exits_3_on_loss(self, capsys):
+        # seed 42 at 6 pairs is known to lose items even with repair
+        code = main(
+            ["report-durability", "--pairs", "6", "--seed", "42", "--strict"]
+        )
+        assert code == 3

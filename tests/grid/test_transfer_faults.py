@@ -1,0 +1,97 @@
+"""Transfer-level fault injection: link failures and degraded windows."""
+
+import pytest
+
+from repro.grid.transfer import DegradedWindow, NetworkModel
+
+
+def make_network(**kwargs):
+    return NetworkModel(**kwargs)
+
+
+class TestFailureProbability:
+    def test_default_network_has_no_faults(self):
+        network = make_network()
+        assert not network.has_faults
+        assert network.failure_probability_for("a", "b") == 0.0
+
+    def test_global_probability(self):
+        network = make_network(failure_probability=0.25)
+        assert network.has_faults
+        assert network.failure_probability_for("a", "b") == 0.25
+
+    def test_per_link_override_wins(self):
+        network = make_network(
+            failure_probability=0.1,
+            link_failure_probability={("a", "b"): 0.9},
+        )
+        assert network.failure_probability_for("a", "b") == 0.9
+        assert network.failure_probability_for("b", "a") == 0.1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            make_network(failure_probability=1.5)
+        with pytest.raises(ValueError):
+            make_network(link_failure_probability={("a", "b"): -0.1})
+
+
+class TestDegradedWindows:
+    def test_window_matches_time_and_sites(self):
+        window = DegradedWindow(start=100.0, end=200.0, factor=3.0)
+        assert window.matches("a", "b", 150.0)
+        assert not window.matches("a", "b", 250.0)
+        scoped = DegradedWindow(
+            start=0.0, end=1e9, factor=2.0, src="site-a", dst=None
+        )
+        assert scoped.matches("site-a", "anywhere", 5.0)
+        assert not scoped.matches("site-b", "anywhere", 5.0)
+
+    def test_factor_must_slow_down(self):
+        with pytest.raises(ValueError):
+            DegradedWindow(start=0.0, end=10.0, factor=0.5)
+
+    def test_degradation_multiplies(self):
+        network = make_network(
+            degraded_windows=(
+                DegradedWindow(start=0.0, end=100.0, factor=2.0),
+                DegradedWindow(start=50.0, end=100.0, factor=3.0),
+            )
+        )
+        assert network.degradation_factor("a", "b", 75.0) == 6.0
+        assert network.degradation_factor("a", "b", 25.0) == 2.0
+        assert network.degradation_factor("a", "b", 150.0) == 1.0
+
+    def test_degraded_transfer_takes_longer(self):
+        network = make_network(
+            degraded_windows=(DegradedWindow(start=0.0, end=100.0, factor=2.0),)
+        )
+        clean = network.raw_transfer_time("a", "b", 1e6, now=500.0)
+        degraded = network.raw_transfer_time("a", "b", 1e6, now=50.0)
+        assert degraded == pytest.approx(2.0 * clean)
+
+
+class TestRawVsObserved:
+    def test_raw_transfer_time_fires_no_observers(self):
+        network = make_network()
+        seen = []
+        network.add_observer(lambda *args: seen.append(args))
+        network.raw_transfer_time("a", "b", 1e6)
+        assert seen == []
+
+    def test_transfer_time_fires_observers(self):
+        network = make_network()
+        seen = []
+        network.add_observer(lambda *args: seen.append(args))
+        seconds = network.transfer_time("a", "b", 1e6)
+        assert len(seen) == 1
+        src, dst, size, observed_seconds = seen[0]
+        assert (src, dst, size) == ("a", "b", 1e6)
+        assert observed_seconds == pytest.approx(seconds)
+
+    def test_raw_equals_observed_seconds(self):
+        network = make_network(
+            degraded_windows=(DegradedWindow(start=0.0, end=100.0, factor=2.0),)
+        )
+        assert network.raw_transfer_time("a", "b", 5e6, now=50.0) == pytest.approx(
+            network.transfer_time("a", "b", 5e6, now=50.0)
+        )

@@ -1,0 +1,152 @@
+"""Chaos alert kinds: se-outage, replica-corruption, transfer-storm."""
+
+import pytest
+
+from repro.observability.alerts import ALERT_KINDS, Alert, AlertRules
+from repro.observability.bus import InstrumentationBus
+from repro.observability.monitor import RunMonitor
+
+
+def attach_monitor(**kwargs):
+    bus = InstrumentationBus()
+    collector = bus.collector()
+    monitor = RunMonitor.attach(bus, **kwargs)
+    return bus, collector, monitor
+
+
+class TestAlertKinds:
+    def test_new_kinds_registered(self):
+        for kind in ("se-outage", "replica-corruption", "transfer-storm"):
+            assert kind in ALERT_KINDS
+
+    def test_new_kinds_constructible(self):
+        alert = Alert(kind="se-outage", time=10.0, subject="se0", scope="se")
+        assert alert.kind == "se-outage"
+        Alert(kind="replica-corruption", time=1.0, subject="se1", scope="se")
+        Alert(kind="transfer-storm", time=2.0, subject="network", scope="run")
+
+    def test_storm_rules_validated(self):
+        with pytest.raises(ValueError):
+            AlertRules(transfer_storm_count=0)
+        with pytest.raises(ValueError):
+            AlertRules(transfer_storm_window=-1.0)
+
+
+class TestSeOutageAlerts:
+    def test_outage_span_maps_to_alert(self):
+        bus, _, monitor = attach_monitor()
+        bus.record(
+            "se.outage", "grid", 100.0, 100.0,
+            se="se3", until=600.0, status="error",
+        )
+        alerts = monitor.alerts
+        assert [a.kind for a in alerts] == ["se-outage"]
+        assert alerts[0].subject == "se3"
+        assert alerts[0].scope == "se"
+        assert alerts[0].severity == "critical"
+        assert monitor.alert_counts()["se-outage"] == 1
+
+    def test_counter_lands_in_metrics(self):
+        bus, _, monitor = attach_monitor()
+        bus.record("se.outage", "grid", 0.0, 0.0, se="se0", until=10.0)
+        assert bus.metrics.counter("monitor.alerts.se-outage").value == 1.0
+
+
+class TestCorruptionAlerts:
+    def test_corruption_span_maps_to_alert(self):
+        bus, _, monitor = attach_monitor()
+        bus.record(
+            "replica.corruption", "grid", 50.0, 55.0,
+            se="se1", gfn="gfn://x", status="error",
+        )
+        alerts = monitor.alerts
+        assert [a.kind for a in alerts] == ["replica-corruption"]
+        assert alerts[0].subject == "se1"
+        assert alerts[0].attributes["gfn"] == "gfn://x"
+
+
+class TestTransferStormAlerts:
+    def _fault(self, bus, t):
+        bus.record(
+            "transfer.fault", "grid", t, t + 1.0,
+            src="s0", dst="s1", gfn="gfn://x", status="error",
+        )
+
+    def test_storm_fires_at_threshold_once(self):
+        bus, _, monitor = attach_monitor(
+            rules=AlertRules(transfer_storm_count=3, transfer_storm_window=100.0)
+        )
+        for t in (0.0, 10.0):
+            self._fault(bus, t)
+        assert "transfer-storm" not in monitor.alert_counts()
+        self._fault(bus, 20.0)
+        assert monitor.alert_counts()["transfer-storm"] == 1
+        # still inside the same storm: no re-fire
+        self._fault(bus, 30.0)
+        assert monitor.alert_counts()["transfer-storm"] == 1
+
+    def test_storm_refires_after_window_drains(self):
+        bus, _, monitor = attach_monitor(
+            rules=AlertRules(transfer_storm_count=3, transfer_storm_window=100.0)
+        )
+        for t in (0.0, 10.0, 20.0):
+            self._fault(bus, t)
+        for t in (1000.0, 1010.0, 1020.0):
+            self._fault(bus, t)
+        assert monitor.alert_counts()["transfer-storm"] == 2
+
+    def test_below_threshold_is_quiet(self):
+        bus, _, monitor = attach_monitor(
+            rules=AlertRules(transfer_storm_count=5, transfer_storm_window=50.0)
+        )
+        # spaced beyond the window: never 5 inside one window
+        for t in (0.0, 100.0, 200.0, 300.0, 400.0, 500.0):
+            self._fault(bus, t)
+        assert "transfer-storm" not in monitor.alert_counts()
+
+
+class TestChaoticRunGroundTruth:
+    """Every scheduled SE outage alerts; healthy SEs never do."""
+
+    def test_alerts_match_injected_outages_exactly(self):
+        from repro.apps.bronze_standard import BronzeStandardApplication
+        from repro.core import OptimizationConfig
+        from repro.grid.testbeds import chaotic_testbed
+        from repro.sim.engine import Engine
+        from repro.util.rng import RandomStreams
+
+        engine = Engine()
+        streams = RandomStreams(seed=42)
+        grid = chaotic_testbed(engine, streams)
+        bus = InstrumentationBus()
+        monitor = RunMonitor.attach(bus, expected_items=3)
+        app = BronzeStandardApplication(engine, grid, streams)
+        config = next(
+            c
+            for c in OptimizationConfig.paper_configurations()
+            if c.label == "SP+DP"
+        ).with_best_effort()
+        result = app.enact(config, n_pairs=3, instrumentation=bus)
+
+        ses = [s.storage_element for s in grid.sites if s.storage_element]
+        outage_alerts = [a for a in monitor.alerts if a.kind == "se-outage"]
+        alerted = {a.subject for a in outage_alerts}
+        scheduled = {
+            se.name
+            for se in ses
+            if any(
+                start < result.makespan
+                for subject in (se.name, se.site)
+                for start, _ in grid.outages.down_windows(subject)
+            )
+        }
+        # zero false positives AND full coverage of in-run windows
+        assert alerted == scheduled
+        expected_windows = sum(
+            1
+            for se in ses
+            for subject in (se.name, se.site)
+            for start, _ in grid.outages.down_windows(subject)
+            if start < result.makespan
+        )
+        assert len(outage_alerts) == expected_windows

@@ -1,0 +1,119 @@
+"""DurabilityReport: construction, rendering, and the strict parser."""
+
+import pytest
+
+from repro.observability.durability import (
+    DurabilityReport,
+    DurabilityReportError,
+    format_durability_report,
+    parse_durability_report,
+)
+
+
+def sample_report(**overrides):
+    fields = dict(
+        expected_items=6,
+        delivered_items=4,
+        lost_items=2,
+        repair_transfers=42,
+        repair_bytes=90435584,
+        transfer_failures=6,
+        transfer_retries=6,
+        outage_waits=3,
+        replicas_lost=4,
+        replicas_quarantined=0,
+        se_outage_windows=5,
+        alerts={"se-outage": 5, "replica-corruption": 0, "transfer-storm": 1},
+    )
+    fields.update(overrides)
+    return DurabilityReport(**fields)
+
+
+class TestConstruction:
+    def test_partition_enforced(self):
+        with pytest.raises(DurabilityReportError):
+            sample_report(delivered_items=3)  # 3 + 2 != 6
+
+    def test_unknown_alert_kind_rejected(self):
+        with pytest.raises(DurabilityReportError):
+            sample_report(alerts={"made-up": 1})
+
+    def test_to_dict_round_trips_values(self):
+        payload = sample_report().to_dict()
+        assert payload["delivered_items"] == 4
+        assert payload["alerts"]["se-outage"] == 5
+
+
+class TestRoundTrip:
+    def test_format_then_parse_is_identity(self):
+        report = sample_report()
+        assert parse_durability_report(format_durability_report(report)) == report
+
+    def test_surrounding_noise_rejected(self):
+        text = "prologue\n" + format_durability_report(sample_report())
+        with pytest.raises(DurabilityReportError):
+            parse_durability_report(text)
+
+
+class TestStrictness:
+    def test_missing_header(self):
+        with pytest.raises(DurabilityReportError, match="header"):
+            parse_durability_report("items delivered : 4")
+
+    def test_missing_field(self):
+        text = format_durability_report(sample_report())
+        tampered = "\n".join(
+            line for line in text.splitlines() if "repair bytes" not in line
+        )
+        with pytest.raises(DurabilityReportError, match="missing field"):
+            parse_durability_report(tampered)
+
+    def test_malformed_value(self):
+        text = format_durability_report(sample_report())
+        tampered = text.replace(": 42", ": forty-two")
+        with pytest.raises(DurabilityReportError, match="malformed"):
+            parse_durability_report(tampered)
+
+    def test_unknown_field(self):
+        text = format_durability_report(sample_report()) + "\nbogus rows : 1"
+        with pytest.raises(DurabilityReportError, match="unknown field"):
+            parse_durability_report(text)
+
+    def test_inconsistent_partition_caught_at_parse(self):
+        text = format_durability_report(sample_report())
+        tampered = text.replace("items delivered           : 4",
+                                "items delivered           : 5")
+        with pytest.raises(DurabilityReportError):
+            parse_durability_report(tampered)
+
+
+class TestBuildFromRun:
+    def test_built_from_chaotic_run(self):
+        from repro.apps.bronze_standard import BronzeStandardApplication
+        from repro.core import OptimizationConfig
+        from repro.grid.testbeds import chaotic_testbed
+        from repro.observability import InstrumentationBus
+        from repro.observability.durability import build_durability_report
+        from repro.sim.engine import Engine
+        from repro.util.rng import RandomStreams
+
+        engine = Engine()
+        streams = RandomStreams(seed=42)
+        grid = chaotic_testbed(engine, streams)
+        bus = InstrumentationBus()
+        app = BronzeStandardApplication(engine, grid, streams)
+        config = next(
+            c
+            for c in OptimizationConfig.paper_configurations()
+            if c.label == "SP+DP"
+        ).with_best_effort()
+        result = app.enact(config, n_pairs=3, instrumentation=bus)
+        report = build_durability_report(result, n_items=3)
+        assert report.expected_items == 3
+        assert report.delivered_items + report.lost_items == 3
+        assert report.repair_bytes > 0
+        assert report.repair_transfers > 0
+        # rendering a real run's report still round-trips strictly
+        assert (
+            parse_durability_report(format_durability_report(report)) == report
+        )

@@ -162,6 +162,22 @@ class TestSummarizeRun:
         store = RunStore(tmp_path / "store")
         store.append(summary)
         assert compare(store.latest(), summary).ok
+        # the chaos/durability ledger is zero-filled on healthy runs, so
+        # pre-chaos baselines and chaotic rows share one schema
+        for key in (
+            "bytes.repair",
+            "grid.transfer.failures",
+            "grid.transfer.retries",
+            "grid.transfer.outage_waits",
+            "grid.repair.transfers",
+            "grid.replicas.lost",
+            "grid.replicas.quarantined",
+            "grid.se.outage_windows",
+            "monitor.alerts.se-outage",
+            "monitor.alerts.replica-corruption",
+            "monitor.alerts.transfer-storm",
+        ):
+            assert summary.counters[key] == 0.0
 
 
 class TestThroughputGate:
